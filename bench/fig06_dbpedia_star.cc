@@ -1,0 +1,10 @@
+// Figure 6 of the paper: star-shaped queries on DBPEDIA — (a) average time
+// and (b) % unanswered, for query sizes 10..50.
+
+#include "common/bench_common.h"
+
+int main() {
+  amber::bench::RunShapeFigure("Figure 6: DBPEDIA, star-shaped queries",
+                               "DBPEDIA", amber::QueryShape::kStar);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 7 of the paper: complex-shaped queries on DBPEDIA — (a) average
+// time and (b) % unanswered, for query sizes 10..50.
+
+#include "common/bench_common.h"
+
+int main() {
+  amber::bench::RunShapeFigure("Figure 7: DBPEDIA, complex-shaped queries",
+                               "DBPEDIA", amber::QueryShape::kComplex);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 8 of the paper: star-shaped queries on YAGO.
+
+#include "common/bench_common.h"
+
+int main() {
+  amber::bench::RunShapeFigure("Figure 8: YAGO, star-shaped queries", "YAGO",
+                               amber::QueryShape::kStar);
+  return 0;
+}

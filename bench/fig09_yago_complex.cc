@@ -1,0 +1,9 @@
+// Figure 9 of the paper: complex-shaped queries on YAGO.
+
+#include "common/bench_common.h"
+
+int main() {
+  amber::bench::RunShapeFigure("Figure 9: YAGO, complex-shaped queries",
+                               "YAGO", amber::QueryShape::kComplex);
+  return 0;
+}

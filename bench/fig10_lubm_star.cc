@@ -1,0 +1,9 @@
+// Figure 10 of the paper: star-shaped queries on LUBM.
+
+#include "common/bench_common.h"
+
+int main() {
+  amber::bench::RunShapeFigure("Figure 10: LUBM, star-shaped queries", "LUBM",
+                               amber::QueryShape::kStar);
+  return 0;
+}

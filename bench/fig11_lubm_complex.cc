@@ -1,0 +1,9 @@
+// Figure 11 of the paper: complex-shaped queries on LUBM.
+
+#include "common/bench_common.h"
+
+int main() {
+  amber::bench::RunShapeFigure("Figure 11: LUBM, complex-shaped queries",
+                               "LUBM", amber::QueryShape::kComplex);
+  return 0;
+}

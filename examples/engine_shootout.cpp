@@ -1,0 +1,68 @@
+// Engine shootout: runs the same workload through AMbER and both baseline
+// architectures (six-permutation triple store; index-free graph
+// backtracking), verifying they agree and contrasting their latencies —
+// a miniature of the paper's Section 7 evaluation.
+
+#include <cstdio>
+
+#include "baseline/graph_backtrack.h"
+#include "baseline/triple_store.h"
+#include "core/amber_engine.h"
+#include "gen/scale_free.h"
+#include "gen/workload.h"
+
+int main() {
+  using namespace amber;
+
+  ScaleFreeOptions profile = YagoProfile(0.2);
+  auto triples = GenerateScaleFree(profile);
+  std::printf("YAGO-like dataset: %zu triples\n\n", triples.size());
+
+  auto amber_engine = AmberEngine::Build(triples);
+  auto store = TripleStoreEngine::Build(triples);
+  auto graph_bt = GraphBacktrackEngine::Build(triples);
+  if (!amber_engine.ok() || !store.ok() || !graph_bt.ok()) {
+    std::fprintf(stderr, "engine build failed\n");
+    return 1;
+  }
+  QueryEngine* engines[] = {&*amber_engine, &*store, &*graph_bt};
+
+  WorkloadGenerator workload(triples);
+  for (QueryShape shape : {QueryShape::kStar, QueryShape::kComplex}) {
+    const char* shape_name = shape == QueryShape::kStar ? "star" : "complex";
+    WorkloadOptions options;
+    options.query_size = 12;
+    options.count = 8;
+    options.seed = 99;
+    auto queries = workload.Generate(shape, options);
+    std::printf("== %s queries (size 12, %zu queries) ==\n", shape_name,
+                queries.size());
+    std::printf("%-14s %12s %12s %10s\n", "engine", "avg ms", "rows(total)",
+                "agree");
+
+    std::vector<uint64_t> counts_per_engine;
+    for (QueryEngine* engine : engines) {
+      double total_ms = 0;
+      uint64_t total_rows = 0;
+      for (const std::string& text : queries) {
+        ExecOptions exec;
+        exec.timeout = std::chrono::milliseconds(10000);
+        auto result = engine->CountSparql(text, exec);
+        if (!result.ok()) continue;
+        total_ms += result->stats.elapsed_ms;
+        total_rows += result->count;
+      }
+      counts_per_engine.push_back(total_rows);
+      bool agree = counts_per_engine[0] == total_rows;
+      std::printf("%-14s %12.3f %12llu %10s\n", engine->name().c_str(),
+                  queries.empty() ? 0 : total_ms / queries.size(),
+                  static_cast<unsigned long long>(total_rows),
+                  agree ? "yes" : "NO!");
+    }
+    std::printf("\n");
+  }
+  std::printf("All engines implement the paper's query model, so the row "
+              "counts must agree; the latencies demonstrate why AMbER's "
+              "indexes + satellite batching win (Section 7).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Graph-based baseline: subgraph homomorphism evaluated directly on the
+// data multigraph with NO auxiliary indexes (no A/S/N) and no core/satellite
+// decomposition — every variable is matched inside the recursion.
+//
+// This represents the graph-engine competitors (gStore, TurboHom++) of
+// Section 6 at the level the paper distinguishes itself from them, and
+// doubles as the headline ablation: AMbER minus its indexes and minus
+// Lemma-2 satellite batching. Candidate generation walks raw adjacency
+// lists; the initial candidate set is a full vertex scan with per-vertex
+// checks.
+
+#ifndef AMBER_BASELINE_GRAPH_BACKTRACK_H_
+#define AMBER_BASELINE_GRAPH_BACKTRACK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "graph/multigraph.h"
+#include "rdf/encoded_dataset.h"
+#include "rdf/term.h"
+#include "sparql/query_graph.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// \brief Index-free homomorphic matching over the data multigraph.
+class GraphBacktrackEngine : public QueryEngine {
+ public:
+  /// Builds the multigraph (but no indexes) from a tripleset.
+  static Result<GraphBacktrackEngine> Build(
+      const std::vector<Triple>& triples);
+
+  std::string name() const override { return "GraphBT"; }
+
+  Result<CountResult> Count(const SelectQuery& query,
+                            const ExecOptions& options) override;
+  Result<MaterializedRows> Materialize(const SelectQuery& query,
+                                       const ExecOptions& options) override;
+
+  const Multigraph& graph() const { return graph_; }
+  const RdfDictionaries& dictionaries() const { return dicts_; }
+
+ private:
+  friend class GraphBacktrackExec;
+
+  GraphBacktrackEngine() = default;
+
+  RdfDictionaries dicts_;
+  Multigraph graph_;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_BASELINE_GRAPH_BACKTRACK_H_

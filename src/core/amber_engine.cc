@@ -1,0 +1,190 @@
+#include "core/amber_engine.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "core/matcher.h"
+#include "core/query_plan.h"
+#include "rdf/ntriples.h"
+#include "util/clock.h"
+#include "util/serde.h"
+
+namespace amber {
+
+namespace {
+constexpr uint32_t kEngineMagic = 0x414D4245;  // "AMBE"
+constexpr uint32_t kEngineVersion = 1;
+}  // namespace
+
+Result<AmberEngine> AmberEngine::Build(const std::vector<Triple>& triples) {
+  Stopwatch sw;
+  AMBER_ASSIGN_OR_RETURN(EncodedDataset dataset,
+                         EncodedDataset::Encode(triples));
+  double encode_s = sw.ElapsedSeconds();
+  AmberEngine engine = FromEncoded(std::move(dataset));
+  engine.timings_.encode_seconds = encode_s;
+  return engine;
+}
+
+AmberEngine AmberEngine::FromEncoded(EncodedDataset dataset) {
+  AmberEngine engine;
+  Stopwatch sw;
+  engine.graph_ = Multigraph::FromDataset(dataset);
+  engine.timings_.graph_seconds = sw.ElapsedSeconds();
+  sw.Reset();
+  engine.indexes_ = IndexSet::Build(engine.graph_);
+  engine.timings_.index_seconds = sw.ElapsedSeconds();
+  engine.dicts_ = std::move(dataset.dictionaries);
+  return engine;
+}
+
+Result<AmberEngine> AmberEngine::BuildFromFile(const std::string& path) {
+  AMBER_ASSIGN_OR_RETURN(std::vector<Triple> triples,
+                         NTriplesParser::ParseFile(path));
+  return Build(triples);
+}
+
+Result<uint64_t> AmberEngine::Execute(
+    const SelectQuery& query, const ExecOptions& options, ExecStats* stats,
+    std::vector<std::vector<VertexId>>* materialize_into) {
+  Stopwatch sw;
+  AMBER_ASSIGN_OR_RETURN(QueryGraph qg, QueryGraph::Build(query, dicts_));
+  const uint64_t cap = EffectiveRowCap(query, options);
+
+  uint64_t rows = 0;
+  if (!qg.unsatisfiable()) {
+    QueryPlan plan = PlanQuery(qg, options.plan);
+
+    const bool parallel = options.num_threads > 1 &&
+                          plan.components.size() == 1 && !qg.distinct() &&
+                          materialize_into == nullptr;
+    if (parallel) {
+      // Shard CandInit across workers; each worker owns a Matcher and a
+      // CountingSink, merged at the end.
+      Matcher root_matcher(graph_, indexes_, qg, plan, options);
+      std::vector<VertexId> root = root_matcher.ComputeRootCandidates();
+      stats->initial_candidates = root.size();
+      const size_t num_workers =
+          std::min<size_t>(static_cast<size_t>(options.num_threads),
+                           std::max<size_t>(root.size(), 1));
+      std::vector<std::thread> workers;
+      std::vector<ExecStats> worker_stats(num_workers);
+      std::vector<uint64_t> worker_counts(num_workers, 0);
+      std::vector<Status> worker_status(num_workers);
+      std::atomic<size_t> next_shard{0};
+      const size_t shard = (root.size() + num_workers - 1) / num_workers;
+      for (size_t w = 0; w < num_workers; ++w) {
+        workers.emplace_back([&, w] {
+          size_t begin = w * shard;
+          size_t end = std::min(root.size(), begin + shard);
+          if (begin >= end) return;
+          std::vector<VertexId> slice(root.begin() + begin,
+                                      root.begin() + end);
+          Matcher matcher(graph_, indexes_, qg, plan, options);
+          CountingSink sink(cap);
+          worker_status[w] = matcher.Run(&sink, &worker_stats[w], &slice);
+          worker_counts[w] = sink.count();
+        });
+      }
+      for (auto& t : workers) t.join();
+      for (size_t w = 0; w < num_workers; ++w) {
+        AMBER_RETURN_IF_ERROR(worker_status[w]);
+        // initial_candidates was attributed above; avoid double counting.
+        worker_stats[w].initial_candidates = 0;
+        stats->MergeFrom(worker_stats[w]);
+        rows = SaturatingAdd(rows, worker_counts[w]);
+      }
+      if (cap != 0 && rows >= cap) {
+        rows = cap;
+        stats->truncated = true;
+      }
+    } else {
+      Matcher matcher(graph_, indexes_, qg, plan, options);
+      if (materialize_into != nullptr) {
+        if (qg.distinct()) {
+          DistinctSink sink(/*keep_rows=*/true, cap);
+          AMBER_RETURN_IF_ERROR(
+              matcher.Run(&sink, stats, nullptr, /*bag_multiplicity=*/false));
+          *materialize_into = sink.rows();
+          rows = sink.count();
+        } else {
+          CollectingSink sink(cap);
+          AMBER_RETURN_IF_ERROR(matcher.Run(&sink, stats));
+          *materialize_into = std::move(sink.TakeRows());
+          rows = materialize_into->size();
+        }
+      } else if (qg.distinct()) {
+        DistinctSink sink(/*keep_rows=*/false, cap);
+        AMBER_RETURN_IF_ERROR(
+            matcher.Run(&sink, stats, nullptr, /*bag_multiplicity=*/false));
+        rows = sink.count();
+      } else {
+        CountingSink sink(cap);
+        AMBER_RETURN_IF_ERROR(matcher.Run(&sink, stats));
+        rows = sink.count();
+      }
+    }
+  }
+
+  stats->rows = rows;
+  stats->elapsed_ms = sw.ElapsedMillis();
+  return rows;
+}
+
+Result<CountResult> AmberEngine::Count(const SelectQuery& query,
+                                       const ExecOptions& options) {
+  CountResult result;
+  AMBER_ASSIGN_OR_RETURN(result.count,
+                         Execute(query, options, &result.stats, nullptr));
+  return result;
+}
+
+Result<MaterializedRows> AmberEngine::Materialize(const SelectQuery& query,
+                                                  const ExecOptions& options) {
+  MaterializedRows result;
+  std::vector<std::vector<VertexId>> raw;
+  AMBER_RETURN_IF_ERROR(
+      Execute(query, options, &result.stats, &raw).status());
+
+  // Recover variable names in projection order.
+  AMBER_ASSIGN_OR_RETURN(QueryGraph qg, QueryGraph::Build(query, dicts_));
+  for (uint32_t u : qg.projection()) {
+    result.var_names.push_back(qg.vertices()[u].name);
+  }
+  result.rows.reserve(raw.size());
+  for (const auto& row : raw) {
+    result.rows.push_back(TranslateRow(row));
+  }
+  return result;
+}
+
+std::vector<std::string> AmberEngine::TranslateRow(
+    std::span<const VertexId> row) const {
+  std::vector<std::string> out;
+  out.reserve(row.size());
+  for (VertexId v : row) {
+    out.push_back(dicts_.VertexToken(v));
+  }
+  return out;
+}
+
+Status AmberEngine::Save(std::ostream& os) const {
+  serde::WriteHeader(os, kEngineMagic, kEngineVersion);
+  dicts_.Save(os);
+  graph_.Save(os);
+  indexes_.Save(os);
+  if (!os.good()) return Status::IOError("failed writing engine artifacts");
+  return Status::OK();
+}
+
+Result<AmberEngine> AmberEngine::Load(std::istream& is) {
+  AMBER_RETURN_IF_ERROR(serde::CheckHeader(is, kEngineMagic, kEngineVersion));
+  AmberEngine engine;
+  AMBER_RETURN_IF_ERROR(engine.dicts_.Load(is));
+  AMBER_RETURN_IF_ERROR(engine.graph_.Load(is));
+  AMBER_RETURN_IF_ERROR(engine.indexes_.Load(is));
+  return engine;
+}
+
+}  // namespace amber

@@ -1,0 +1,82 @@
+// AMbER engine facade (Section 3): offline stage (encode triples, build the
+// multigraph and the index ensemble I = {A, S, N}) plus the online stage
+// (SPARQL -> query multigraph -> decomposition -> sub-multigraph
+// homomorphism via Matcher).
+
+#ifndef AMBER_CORE_AMBER_ENGINE_H_
+#define AMBER_CORE_AMBER_ENGINE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "graph/multigraph.h"
+#include "index/index_set.h"
+#include "rdf/encoded_dataset.h"
+#include "rdf/term.h"
+#include "sparql/query_graph.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// \brief The AMbER RDF query engine.
+class AmberEngine : public QueryEngine {
+ public:
+  /// Offline-stage wall-clock breakdown (Table 5).
+  struct BuildTimings {
+    double encode_seconds = 0;  // tripleset -> dictionaries + encoded edges
+    double graph_seconds = 0;   // multigraph construction
+    double index_seconds = 0;   // I = {A, S, N}
+    double database_seconds() const { return encode_seconds + graph_seconds; }
+  };
+
+  /// Runs the full offline stage on a tripleset.
+  static Result<AmberEngine> Build(const std::vector<Triple>& triples);
+
+  /// Offline stage starting from an already encoded dataset.
+  static AmberEngine FromEncoded(EncodedDataset dataset);
+
+  /// Loads data from an N-Triples file and builds the engine.
+  static Result<AmberEngine> BuildFromFile(const std::string& path);
+
+  std::string name() const override { return "AMbER"; }
+
+  Result<CountResult> Count(const SelectQuery& query,
+                            const ExecOptions& options) override;
+  Result<MaterializedRows> Materialize(const SelectQuery& query,
+                                       const ExecOptions& options) override;
+
+  /// Translates a row of data-vertex ids back to RDF terms via Mv^-1.
+  std::vector<std::string> TranslateRow(
+      std::span<const VertexId> row) const;
+
+  const Multigraph& graph() const { return graph_; }
+  const IndexSet& indexes() const { return indexes_; }
+  const RdfDictionaries& dictionaries() const { return dicts_; }
+  const BuildTimings& timings() const { return timings_; }
+
+  /// Serializes the offline artifacts (dictionaries, multigraph, indexes).
+  Status Save(std::ostream& os) const;
+  /// Restores an engine persisted with Save().
+  static Result<AmberEngine> Load(std::istream& is);
+
+ private:
+  AmberEngine() = default;
+
+  // Runs the matcher with the right sink into `stats`; reports the row
+  // count. `materialize_into` non-null collects rows.
+  Result<uint64_t> Execute(const SelectQuery& query,
+                           const ExecOptions& options, ExecStats* stats,
+                           std::vector<std::vector<VertexId>>* materialize_into);
+
+  RdfDictionaries dicts_;
+  Multigraph graph_;
+  IndexSet indexes_;
+  BuildTimings timings_;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_CORE_AMBER_ENGINE_H_

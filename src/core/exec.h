@@ -1,0 +1,179 @@
+// Execution options, statistics and result sinks shared by all engines.
+
+#ifndef AMBER_CORE_EXEC_H_
+#define AMBER_CORE_EXEC_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/query_plan.h"
+#include "rdf/encoded_dataset.h"
+
+namespace amber {
+
+/// Per-query execution options.
+struct ExecOptions {
+  /// Per-query wall-clock budget; zero means unlimited. The paper uses 60 s
+  /// (Section 7.2); exceeding it marks the query unanswered, not an error.
+  std::chrono::milliseconds timeout{0};
+
+  /// Stop after this many result rows (0 = unlimited). Combined with the
+  /// query's own LIMIT clause (the smaller wins).
+  uint64_t max_rows = 0;
+
+  /// Number of worker threads for root-candidate partitioning (>1 enables
+  /// the parallel mode; the paper lists this as future work).
+  int num_threads = 1;
+
+  /// Planner options (Ablation A: vertex-ordering heuristics).
+  PlanOptions plan;
+
+  /// When false, initial candidates are produced by a full synopsis scan
+  /// instead of the R-tree (Ablation B: value of the S index).
+  bool use_signature_index = true;
+};
+
+/// Statistics reported by one query execution.
+struct ExecStats {
+  /// Result rows under bag semantics (or distinct rows when DISTINCT).
+  uint64_t rows = 0;
+  /// True when the deadline fired before enumeration finished.
+  bool timed_out = false;
+  /// True when max_rows / LIMIT stopped enumeration early.
+  bool truncated = false;
+  /// Wall-clock time of the execution.
+  double elapsed_ms = 0.0;
+  /// Recursive HomomorphicMatch invocations.
+  uint64_t recursion_calls = 0;
+  /// Candidate set size for the initial query vertex (CandInit).
+  uint64_t initial_candidates = 0;
+  /// Solution records found (before Cartesian expansion of satellites).
+  uint64_t embeddings_found = 0;
+
+  void MergeFrom(const ExecStats& o) {
+    rows += o.rows;
+    timed_out = timed_out || o.timed_out;
+    truncated = truncated || o.truncated;
+    recursion_calls += o.recursion_calls;
+    initial_candidates += o.initial_candidates;
+    embeddings_found += o.embeddings_found;
+  }
+};
+
+/// Saturating uint64 multiply (embedding counts can overflow).
+inline uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  __uint128_t p = static_cast<__uint128_t>(a) * b;
+  if (p > std::numeric_limits<uint64_t>::max()) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(p);
+}
+
+/// Saturating uint64 add.
+inline uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  if (s < a) return std::numeric_limits<uint64_t>::max();
+  return s;
+}
+
+/// \brief Consumer of matcher output.
+///
+/// Engines drive a sink with either expanded rows (OnRow) or, when the sink
+/// does not need row contents, bulk counts (OnCount) that avoid the
+/// Cartesian expansion of satellite sets entirely. Both return false to
+/// stop enumeration early.
+class EmbeddingSink {
+ public:
+  virtual ~EmbeddingSink() = default;
+
+  /// True if the sink needs the actual rows; false enables the counting
+  /// fast path.
+  virtual bool wants_rows() const = 0;
+
+  /// One result row; `row[i]` is the data vertex bound to projection slot i.
+  virtual bool OnRow(std::span<const VertexId> row) = 0;
+
+  /// `count` rows whose contents the sink does not need.
+  virtual bool OnCount(uint64_t count) = 0;
+};
+
+/// Counts rows without materializing them (benchmark fast path).
+class CountingSink : public EmbeddingSink {
+ public:
+  explicit CountingSink(uint64_t cap = 0)
+      : cap_(cap == 0 ? std::numeric_limits<uint64_t>::max() : cap) {}
+
+  bool wants_rows() const override { return false; }
+  bool OnRow(std::span<const VertexId>) override { return OnCount(1); }
+  bool OnCount(uint64_t count) override {
+    count_ = SaturatingAdd(count_, count);
+    return count_ < cap_;
+  }
+
+  uint64_t count() const { return std::min(count_, cap_); }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t cap_;
+};
+
+/// Collects up to `cap` rows of data-vertex ids.
+class CollectingSink : public EmbeddingSink {
+ public:
+  explicit CollectingSink(uint64_t cap = 0)
+      : cap_(cap == 0 ? std::numeric_limits<uint64_t>::max() : cap) {}
+
+  bool wants_rows() const override { return true; }
+  bool OnRow(std::span<const VertexId> row) override {
+    rows_.emplace_back(row.begin(), row.end());
+    return rows_.size() < cap_;
+  }
+  bool OnCount(uint64_t) override { return true; }  // unused in row mode
+
+  const std::vector<std::vector<VertexId>>& rows() const { return rows_; }
+  std::vector<std::vector<VertexId>>&& TakeRows() { return std::move(rows_); }
+
+ private:
+  std::vector<std::vector<VertexId>> rows_;
+  uint64_t cap_;
+};
+
+/// Deduplicates projected rows (SELECT DISTINCT), optionally keeping them.
+class DistinctSink : public EmbeddingSink {
+ public:
+  /// `keep_rows`: retain unique rows (Materialize) or only count them.
+  DistinctSink(bool keep_rows, uint64_t cap)
+      : keep_rows_(keep_rows),
+        cap_(cap == 0 ? std::numeric_limits<uint64_t>::max() : cap) {}
+
+  bool wants_rows() const override { return true; }
+  bool OnRow(std::span<const VertexId> row) override {
+    std::string key(reinterpret_cast<const char*>(row.data()),
+                    row.size() * sizeof(VertexId));
+    if (seen_.insert(std::move(key)).second) {
+      if (keep_rows_) rows_.emplace_back(row.begin(), row.end());
+      ++count_;
+    }
+    return count_ < cap_;
+  }
+  bool OnCount(uint64_t) override { return true; }
+
+  uint64_t count() const { return count_; }
+  const std::vector<std::vector<VertexId>>& rows() const { return rows_; }
+
+ private:
+  bool keep_rows_;
+  uint64_t cap_;
+  uint64_t count_ = 0;
+  std::unordered_set<std::string> seen_;
+  std::vector<std::vector<VertexId>> rows_;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_CORE_EXEC_H_

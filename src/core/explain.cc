@@ -1,0 +1,93 @@
+#include "core/explain.h"
+
+#include <string>
+
+namespace amber {
+
+namespace {
+
+void AppendVertexLine(const QueryGraph& q, uint32_t u,
+                      const RdfDictionaries& dicts, std::string* out) {
+  const QueryVertex& v = q.vertices()[u];
+  *out += "  ?" + v.name;
+  *out += " (degree " + std::to_string(q.Degree(u));
+  *out += ", r2=" + std::to_string(q.SignatureEdgeCount(u)) + ")";
+  if (!v.attrs.empty()) {
+    *out += " attrs={";
+    for (size_t i = 0; i < v.attrs.size(); ++i) {
+      if (i) *out += ", ";
+      *out += dicts.AttributeDescription(v.attrs[i]);
+    }
+    *out += "}";
+  }
+  for (const IriConstraint& c : v.iris) {
+    *out += " anchor=" + dicts.VertexToken(c.anchor);
+    if (!c.out_types.empty()) {
+      *out += " out:" + std::to_string(c.out_types.size());
+    }
+    if (!c.in_types.empty()) {
+      *out += " in:" + std::to_string(c.in_types.size());
+    }
+  }
+  if (!v.self_types.empty()) {
+    *out += " self-loop(" + std::to_string(v.self_types.size()) + ")";
+  }
+  *out += "\n";
+}
+
+}  // namespace
+
+Result<std::string> ExplainQuery(const SelectQuery& query,
+                                 const RdfDictionaries& dicts,
+                                 const IndexSet* indexes,
+                                 const PlanOptions& options) {
+  AMBER_ASSIGN_OR_RETURN(QueryGraph q, QueryGraph::Build(query, dicts));
+
+  std::string out;
+  out += "Query multigraph: " + std::to_string(q.NumVertices()) +
+         " variable vertices, " + std::to_string(q.edges().size()) +
+         " multi-edges, " + std::to_string(q.ground_edges().size()) +
+         " ground edges, " + std::to_string(q.ground_attributes().size()) +
+         " ground attributes\n";
+
+  if (q.unsatisfiable()) {
+    out += "UNSATISFIABLE: " + q.unsatisfiable_reason() + "\n";
+    return out;
+  }
+
+  QueryPlan plan = PlanQuery(q, options);
+  out += "Decomposition: " + std::to_string(plan.NumCoreVertices()) +
+         " core, " + std::to_string(plan.NumSatelliteVertices()) +
+         " satellite, " + std::to_string(plan.components.size()) +
+         " component(s)\n";
+
+  for (size_t ci = 0; ci < plan.components.size(); ++ci) {
+    const ComponentPlan& cp = plan.components[ci];
+    out += "Component " + std::to_string(ci) + " matching order:\n";
+    for (size_t i = 0; i < cp.core_order.size(); ++i) {
+      const uint32_t u = cp.core_order[i];
+      out += (i == 0) ? "  [init] " : "  [" + std::to_string(i) + "]    ";
+      out += "?" + q.vertices()[u].name;
+      if (!cp.satellites[i].empty()) {
+        out += "  satellites:";
+        for (uint32_t s : cp.satellites[i]) {
+          out += " ?" + q.vertices()[s].name;
+        }
+      }
+      if (i == 0 && indexes != nullptr) {
+        const Synopsis syn = q.VertexSynopsis(u);
+        out += "  |C^S| = " +
+               std::to_string(indexes->signature.Candidates(syn).size());
+      }
+      out += "\n";
+    }
+  }
+
+  out += "Vertex detail:\n";
+  for (uint32_t u = 0; u < q.NumVertices(); ++u) {
+    AppendVertexLine(q, u, dicts, &out);
+  }
+  return out;
+}
+
+}  // namespace amber

@@ -1,0 +1,30 @@
+// EXPLAIN facility: a human-readable account of how AMbER would execute a
+// query — the query multigraph, the core/satellite decomposition, the
+// matching order with ranking values, per-vertex constraint summaries and
+// the initial candidate estimate from the S index. Production engines live
+// and die by their EXPLAIN; it also makes the Section 3/5 machinery
+// observable in tests and examples.
+
+#ifndef AMBER_CORE_EXPLAIN_H_
+#define AMBER_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/query_plan.h"
+#include "index/index_set.h"
+#include "sparql/ast.h"
+#include "sparql/query_graph.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// Renders the execution plan of `query` against data described by `dicts`
+/// (and, when `indexes` is non-null, initial candidate counts from S).
+Result<std::string> ExplainQuery(const SelectQuery& query,
+                                 const RdfDictionaries& dicts,
+                                 const IndexSet* indexes,
+                                 const PlanOptions& options = {});
+
+}  // namespace amber
+
+#endif  // AMBER_CORE_EXPLAIN_H_

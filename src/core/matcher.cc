@@ -1,0 +1,309 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amber {
+
+Matcher::Matcher(const Multigraph& g, const IndexSet& indexes,
+                 const QueryGraph& q, const QueryPlan& plan,
+                 const ExecOptions& options)
+    : g_(g), indexes_(indexes), q_(q), plan_(plan), options_(options) {
+  core_match_.assign(q_.NumVertices(), kInvalidId);
+  sat_match_.assign(q_.NumVertices(), {});
+  for (const ComponentPlan& cp : plan_.components) {
+    for (const auto& sats : cp.satellites) {
+      satellite_list_.insert(satellite_list_.end(), sats.begin(), sats.end());
+    }
+  }
+  row_buffer_.resize(q_.projection().size());
+}
+
+bool Matcher::DeadlineExpired() {
+  // Amortize the clock read: every 64th check actually reads the clock.
+  if ((++deadline_tick_ & 63u) != 0) return false;
+  return deadline_.Expired();
+}
+
+void Matcher::PairCandidates(const QueryEdge& e, bool u_is_from, VertexId vn,
+                             std::vector<VertexId>* out) const {
+  // u --types--> un: candidates must appear among vn's in-neighbours with a
+  // superset multi-edge; un --types--> u: among vn's out-neighbours.
+  const Direction d = u_is_from ? Direction::kIn : Direction::kOut;
+  indexes_.neighborhood.SupersetNeighbors(vn, d, e.types, out);
+}
+
+std::optional<std::vector<VertexId>> Matcher::LocalCandidates(uint32_t u) {
+  const QueryVertex& qv = q_.vertices()[u];
+  if (!qv.HasLocalConstraints()) return std::nullopt;
+
+  std::vector<VertexId> result;
+  bool first = true;
+
+  if (!qv.attrs.empty()) {
+    result = indexes_.attribute.Candidates(qv.attrs);  // C^A_u
+    first = false;
+  }
+  for (const IriConstraint& c : qv.iris) {  // C^I_u
+    if (!c.out_types.empty()) {
+      // u --out_types--> anchor: u is an in-neighbour of the anchor.
+      std::vector<VertexId> list =
+          indexes_.neighborhood.Superset(c.anchor, Direction::kIn,
+                                         c.out_types);
+      result = first ? std::move(list) : IntersectSorted(result, list);
+      first = false;
+      if (result.empty()) return result;
+    }
+    if (!c.in_types.empty()) {
+      // anchor --in_types--> u: u is an out-neighbour of the anchor.
+      std::vector<VertexId> list =
+          indexes_.neighborhood.Superset(c.anchor, Direction::kOut,
+                                         c.in_types);
+      result = first ? std::move(list) : IntersectSorted(result, list);
+      first = false;
+      if (result.empty()) return result;
+    }
+  }
+  return result;
+}
+
+void Matcher::RefineByVertex(uint32_t u, std::vector<VertexId>* cand) {
+  if (cand->empty()) return;
+  std::optional<std::vector<VertexId>> local = LocalCandidates(u);
+  if (local.has_value()) {
+    *cand = IntersectSorted(*cand, *local);
+  }
+  const std::vector<EdgeTypeId>& self = q_.vertices()[u].self_types;
+  if (!self.empty()) {
+    std::erase_if(*cand, [&](VertexId v) {
+      return !g_.HasMultiEdgeSuperset(v, Direction::kOut, v, self);
+    });
+  }
+}
+
+std::vector<VertexId> Matcher::InitialCandidates(uint32_t uinit) {
+  const Synopsis syn = q_.VertexSynopsis(uinit);
+  std::vector<VertexId> cand;
+  if (options_.use_signature_index) {
+    cand = indexes_.signature.Candidates(syn);  // QuerySynIndex via R-tree
+  } else {
+    // Ablation B: same complete filter, evaluated by a full scan.
+    cand.reserve(64);
+    for (VertexId v = 0; v < g_.NumVertices(); ++v) {
+      if (indexes_.signature.Of(v).Dominates(syn)) cand.push_back(v);
+    }
+  }
+  RefineByVertex(uinit, &cand);
+  return cand;
+}
+
+std::vector<VertexId> Matcher::ComputeRootCandidates() {
+  if (plan_.components.empty()) return {};
+  return InitialCandidates(plan_.components[0].core_order[0]);
+}
+
+bool Matcher::MatchSatellites(const std::vector<uint32_t>& sats, uint32_t uc,
+                              VertexId vc) {
+  for (uint32_t us : sats) {
+    std::vector<VertexId> cand;
+    bool first = true;
+    for (const auto& [edge_idx, us_is_from] : q_.IncidentEdges(us)) {
+      const QueryEdge& e = q_.edges()[edge_idx];
+      const uint32_t other = us_is_from ? e.to : e.from;
+      assert(other == uc);
+      (void)uc;
+      (void)other;
+      std::vector<VertexId> list;
+      PairCandidates(e, us_is_from, vc, &list);
+      cand = first ? std::move(list) : IntersectSorted(cand, list);
+      first = false;
+      if (cand.empty()) break;
+    }
+    if (first) {
+      // Satellite without variable edges cannot occur (degree is 1), but
+      // guard against it: fall back to local constraints only.
+      std::optional<std::vector<VertexId>> local = LocalCandidates(us);
+      if (local.has_value()) cand = std::move(*local);
+    } else {
+      RefineByVertex(us, &cand);
+    }
+    if (cand.empty()) return false;  // no solution possible for this vc
+    sat_match_[us] = std::move(cand);
+  }
+  return true;
+}
+
+Matcher::Flow Matcher::Emit() {
+  ++stats_->embeddings_found;
+
+  if (!sink_->wants_rows()) {
+    // GenEmb fast path: |embeddings| = product of satellite set sizes.
+    uint64_t count = 1;
+    for (uint32_t us : satellite_list_) {
+      count = SaturatingMul(count, sat_match_[us].size());
+    }
+    return sink_->OnCount(count) ? Flow::kContinue : Flow::kStop;
+  }
+
+  // Cartesian expansion. Projected satellites enumerate their sets; the
+  // multiplicity of non-projected satellites repeats rows (bag semantics)
+  // unless the sink deduplicates (DISTINCT).
+  const std::vector<uint32_t>& proj = q_.projection();
+  std::vector<uint32_t> expand;  // projected satellites (unique)
+  for (uint32_t u : proj) {
+    if (!plan_.is_core[u] &&
+        std::find(expand.begin(), expand.end(), u) == expand.end()) {
+      expand.push_back(u);
+    }
+  }
+  uint64_t multiplicity = 1;
+  if (bag_multiplicity_) {
+    for (uint32_t us : satellite_list_) {
+      if (std::find(expand.begin(), expand.end(), us) == expand.end()) {
+        multiplicity = SaturatingMul(multiplicity, sat_match_[us].size());
+      }
+    }
+  }
+
+  // Odometer over the projected satellite sets.
+  std::vector<size_t> pick(expand.size(), 0);
+  while (true) {
+    for (size_t i = 0; i < proj.size(); ++i) {
+      const uint32_t u = proj[i];
+      if (plan_.is_core[u]) {
+        row_buffer_[i] = core_match_[u];
+      } else {
+        const size_t slot = static_cast<size_t>(
+            std::find(expand.begin(), expand.end(), u) - expand.begin());
+        row_buffer_[i] = sat_match_[u][pick[slot]];
+      }
+    }
+    for (uint64_t m = 0; m < multiplicity; ++m) {
+      if (!sink_->OnRow(row_buffer_)) return Flow::kStop;
+    }
+    // Advance the odometer.
+    size_t d = 0;
+    while (d < expand.size()) {
+      if (++pick[d] < sat_match_[expand[d]].size()) break;
+      pick[d] = 0;
+      ++d;
+    }
+    if (d == expand.size()) break;
+  }
+  return Flow::kContinue;
+}
+
+Matcher::Flow Matcher::MatchComponent(size_t ci,
+                                      const std::vector<VertexId>* root) {
+  if (ci == plan_.components.size()) return Emit();
+  const ComponentPlan& cp = plan_.components[ci];
+  const uint32_t uinit = cp.core_order[0];
+
+  std::vector<VertexId> local_cand;
+  const std::vector<VertexId>* cand = nullptr;
+  if (ci == 0 && root != nullptr) {
+    cand = root;
+  } else {
+    // CandInit for this component (Algorithm 3, lines 4-5).
+    local_cand = InitialCandidates(uinit);
+    cand = &local_cand;
+  }
+  if (ci == 0) stats_->initial_candidates += cand->size();
+
+  for (VertexId vinit : *cand) {
+    if (DeadlineExpired()) return Flow::kTimeout;
+    if (!cp.satellites[0].empty() &&
+        !MatchSatellites(cp.satellites[0], uinit, vinit)) {
+      continue;
+    }
+    core_match_[uinit] = vinit;
+    Flow f = Recurse(ci, 1);
+    core_match_[uinit] = kInvalidId;
+    if (f != Flow::kContinue) return f;
+  }
+  return Flow::kContinue;
+}
+
+Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
+  ++stats_->recursion_calls;
+  const ComponentPlan& cp = plan_.components[ci];
+  if (depth == cp.core_order.size()) {
+    return MatchComponent(ci + 1, nullptr);
+  }
+  if (DeadlineExpired()) return Flow::kTimeout;
+
+  const uint32_t unxt = cp.core_order[depth];
+
+  // Candidates constrained by every already-matched core neighbour
+  // (Algorithm 4 lines 5-7). Lists are intersected smallest-first so a
+  // selective neighbour caps the work done on hub-sized lists.
+  std::vector<std::vector<VertexId>> lists;
+  for (const auto& [edge_idx, u_is_from] : q_.IncidentEdges(unxt)) {
+    const QueryEdge& e = q_.edges()[edge_idx];
+    const uint32_t other = u_is_from ? e.to : e.from;
+    const VertexId vn = core_match_[other];
+    if (vn == kInvalidId) continue;  // satellite or not yet matched
+    std::vector<VertexId> list;
+    PairCandidates(e, u_is_from, vn, &list);
+    if (list.empty()) return Flow::kContinue;
+    lists.push_back(std::move(list));
+  }
+  assert(!lists.empty() && "ordering guarantees a matched neighbour");
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  std::vector<VertexId> cand = std::move(lists[0]);
+  for (size_t i = 1; i < lists.size() && !cand.empty(); ++i) {
+    cand = IntersectSorted(cand, lists[i]);
+  }
+  if (cand.empty()) return Flow::kContinue;
+  RefineByVertex(unxt, &cand);
+
+  const std::vector<uint32_t>& sats = cp.satellites[depth];
+  for (VertexId vnxt : cand) {
+    if (DeadlineExpired()) return Flow::kTimeout;
+    if (!sats.empty() && !MatchSatellites(sats, unxt, vnxt)) continue;
+    core_match_[unxt] = vnxt;
+    Flow f = Recurse(ci, depth + 1);
+    core_match_[unxt] = kInvalidId;
+    if (f != Flow::kContinue) return f;
+  }
+  return Flow::kContinue;
+}
+
+Status Matcher::Run(EmbeddingSink* sink, ExecStats* stats,
+                    const std::vector<VertexId>* root_candidates,
+                    bool bag_multiplicity) {
+  sink_ = sink;
+  stats_ = stats;
+  bag_multiplicity_ = bag_multiplicity;
+  deadline_ = Deadline::After(options_.timeout);
+  deadline_tick_ = 0;
+
+  // Ground checks (patterns without variables) gate the whole query.
+  for (const GroundEdge& e : q_.ground_edges()) {
+    if (!g_.HasEdge(e.subject, e.predicate, e.object)) return Status::OK();
+  }
+  for (const GroundAttribute& a : q_.ground_attributes()) {
+    std::span<const AttributeId> attrs = g_.Attributes(a.subject);
+    if (!std::binary_search(attrs.begin(), attrs.end(), a.attribute)) {
+      return Status::OK();
+    }
+  }
+
+  if (plan_.components.empty()) {
+    // Fully ground query: all checks passed above.
+    if (sink_->wants_rows()) {
+      sink_->OnRow(std::span<const VertexId>{});
+    } else {
+      sink_->OnCount(1);
+    }
+    return Status::OK();
+  }
+
+  Flow f = MatchComponent(0, root_candidates);
+  if (f == Flow::kTimeout) stats_->timed_out = true;
+  if (f == Flow::kStop) stats_->truncated = true;
+  return Status::OK();
+}
+
+}  // namespace amber

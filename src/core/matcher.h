@@ -1,0 +1,104 @@
+// The AMbER matching procedure (Section 5): ProcessVertex (Algorithm 1),
+// MatchSatVertices (Algorithm 2), AMbER-Algo (Algorithm 3) and
+// HomomorphicMatch (Algorithm 4), generalized to handle multiple connected
+// components, self-loops and early termination.
+//
+// Semantics: sub-multigraph *homomorphism* (Definition 2) — no injectivity
+// constraint, so distinct query vertices may map to the same data vertex and
+// satellite vertices are resolved independently, set-at-a-time (Lemma 2).
+// Each full assignment yields |sat set| products of embeddings via the
+// Cartesian expansion of GenEmb.
+
+#ifndef AMBER_CORE_MATCHER_H_
+#define AMBER_CORE_MATCHER_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/exec.h"
+#include "core/query_plan.h"
+#include "graph/multigraph.h"
+#include "index/index_set.h"
+#include "sparql/query_graph.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// \brief One matching run of a query multigraph against a data multigraph.
+///
+/// A Matcher holds per-run mutable state (current core assignment, satellite
+/// candidate sets); create one per execution (they are cheap). Thread-safety:
+/// none — the parallel mode creates one Matcher per worker over a slice of
+/// the root candidates.
+class Matcher {
+ public:
+  Matcher(const Multigraph& g, const IndexSet& indexes, const QueryGraph& q,
+          const QueryPlan& plan, const ExecOptions& options);
+
+  /// Computes CandInit for the first component's initial vertex (Algorithm
+  /// 3, lines 4-5), already refined by ProcessVertex. Exposed so the
+  /// parallel mode can shard it.
+  std::vector<VertexId> ComputeRootCandidates();
+
+  /// Enumerates all homomorphic embeddings into `sink`. When
+  /// `root_candidates` is non-null, component 0's initial vertex iterates
+  /// over that slice instead of recomputing CandInit.
+  ///
+  /// `bag_multiplicity`: when false (DISTINCT), identical projected rows
+  /// arising from non-projected satellite multiplicity are emitted once.
+  Status Run(EmbeddingSink* sink, ExecStats* stats,
+             const std::vector<VertexId>* root_candidates = nullptr,
+             bool bag_multiplicity = true);
+
+ private:
+  enum class Flow { kContinue, kStop, kTimeout };
+
+  /// CandInit for an arbitrary component's initial vertex.
+  std::vector<VertexId> InitialCandidates(uint32_t uinit);
+
+  Flow MatchComponent(size_t ci, const std::vector<VertexId>* root);
+  Flow Recurse(size_t ci, size_t depth);
+  Flow Emit();
+
+  /// Algorithm 2. Returns false when some satellite has no candidates for
+  /// this assignment of `vc` to `uc`.
+  bool MatchSatellites(const std::vector<uint32_t>& sats, uint32_t uc,
+                       VertexId vc);
+
+  /// Algorithm 1: candidates induced by u's attributes and IRI anchors;
+  /// nullopt when u has neither.
+  std::optional<std::vector<VertexId>> LocalCandidates(uint32_t u);
+
+  /// Intersects `cand` with LocalCandidates(u) and filters self-loop
+  /// constraints.
+  void RefineByVertex(uint32_t u, std::vector<VertexId>* cand);
+
+  /// Candidates for `u` that respect the multi-edge of query edge `e`
+  /// towards the already-matched data vertex `vn` (one index N probe).
+  void PairCandidates(const QueryEdge& e, bool u_is_from, VertexId vn,
+                      std::vector<VertexId>* out) const;
+
+  bool DeadlineExpired();
+
+  const Multigraph& g_;
+  const IndexSet& indexes_;
+  const QueryGraph& q_;
+  const QueryPlan& plan_;
+  const ExecOptions& options_;
+
+  Deadline deadline_;
+  EmbeddingSink* sink_ = nullptr;
+  ExecStats* stats_ = nullptr;
+  bool bag_multiplicity_ = true;
+
+  std::vector<VertexId> core_match_;              // per query vertex
+  std::vector<std::vector<VertexId>> sat_match_;  // per query vertex
+  std::vector<uint32_t> satellite_list_;          // all satellite vertices
+  std::vector<VertexId> row_buffer_;
+  uint32_t deadline_tick_ = 0;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_CORE_MATCHER_H_

@@ -1,0 +1,26 @@
+#include "core/query_engine.h"
+
+#include "sparql/parser.h"
+
+namespace amber {
+
+Result<CountResult> QueryEngine::CountSparql(std::string_view text,
+                                             const ExecOptions& options) {
+  AMBER_ASSIGN_OR_RETURN(SelectQuery query, SparqlParser::Parse(text));
+  return Count(query, options);
+}
+
+Result<MaterializedRows> QueryEngine::MaterializeSparql(
+    std::string_view text, const ExecOptions& options) {
+  AMBER_ASSIGN_OR_RETURN(SelectQuery query, SparqlParser::Parse(text));
+  return Materialize(query, options);
+}
+
+uint64_t EffectiveRowCap(const SelectQuery& query,
+                         const ExecOptions& options) {
+  uint64_t cap = options.max_rows;
+  if (query.limit != 0 && (cap == 0 || query.limit < cap)) cap = query.limit;
+  return cap;
+}
+
+}  // namespace amber

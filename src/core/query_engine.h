@@ -1,0 +1,68 @@
+// Common interface implemented by AMbER and by the baseline engines, so the
+// benchmark harness and the cross-engine consistency tests can drive them
+// uniformly.
+//
+// All engines implement the *paper's* query model: variables bind to
+// IRIs/blank nodes (multigraph vertices); literals occur only as constants
+// (vertex attributes). Results are identical across engines by construction
+// and verified by property tests.
+
+#ifndef AMBER_CORE_QUERY_ENGINE_H_
+#define AMBER_CORE_QUERY_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/exec.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// Result of a counting execution.
+struct CountResult {
+  uint64_t count = 0;
+  ExecStats stats;
+};
+
+/// Result of a materializing execution: rows of N-Triples tokens.
+struct MaterializedRows {
+  std::vector<std::string> var_names;
+  std::vector<std::vector<std::string>> rows;
+  ExecStats stats;
+};
+
+/// \brief Abstract SPARQL (SELECT/WHERE fragment) query engine.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// Engine display name ("AMbER", "TripleStore", ...).
+  virtual std::string name() const = 0;
+
+  /// Counts result rows (bag semantics; distinct rows under DISTINCT)
+  /// without materializing them. Timeouts are reported via
+  /// `stats.timed_out`, not as an error.
+  virtual Result<CountResult> Count(const SelectQuery& query,
+                                    const ExecOptions& options) = 0;
+
+  /// Materializes result rows as strings (subject to LIMIT / max_rows).
+  virtual Result<MaterializedRows> Materialize(const SelectQuery& query,
+                                               const ExecOptions& options) = 0;
+
+  /// Parses `text` and counts.
+  Result<CountResult> CountSparql(std::string_view text,
+                                  const ExecOptions& options = {});
+
+  /// Parses `text` and materializes.
+  Result<MaterializedRows> MaterializeSparql(std::string_view text,
+                                             const ExecOptions& options = {});
+};
+
+/// The row cap implied by options.max_rows and the query's LIMIT (0 = none).
+uint64_t EffectiveRowCap(const SelectQuery& query, const ExecOptions& options);
+
+}  // namespace amber
+
+#endif  // AMBER_CORE_QUERY_ENGINE_H_

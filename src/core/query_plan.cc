@@ -1,0 +1,144 @@
+#include "core/query_plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amber {
+
+namespace {
+
+// Connected components over the variable graph; returns component id per
+// vertex and the number of components.
+size_t FindComponents(const QueryGraph& q, std::vector<uint32_t>* comp) {
+  const size_t n = q.NumVertices();
+  comp->assign(n, kInvalidId);
+  size_t num_components = 0;
+  std::vector<uint32_t> stack;
+  for (uint32_t start = 0; start < n; ++start) {
+    if ((*comp)[start] != kInvalidId) continue;
+    uint32_t id = static_cast<uint32_t>(num_components++);
+    stack.push_back(start);
+    (*comp)[start] = id;
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      for (uint32_t w : q.Neighbors(u)) {
+        if ((*comp)[w] == kInvalidId) {
+          (*comp)[w] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return num_components;
+}
+
+}  // namespace
+
+QueryPlan PlanQuery(const QueryGraph& q, const PlanOptions& options) {
+  QueryPlan plan;
+  const size_t n = q.NumVertices();
+  plan.is_core.assign(n, false);
+  if (n == 0) return plan;
+
+  std::vector<uint32_t> comp;
+  const size_t num_components = FindComponents(q, &comp);
+  std::vector<std::vector<uint32_t>> members(num_components);
+  for (uint32_t u = 0; u < n; ++u) members[comp[u]].push_back(u);
+
+  for (size_t ci = 0; ci < num_components; ++ci) {
+    const std::vector<uint32_t>& verts = members[ci];
+    ComponentPlan cplan;
+
+    // --- QueryDecompose: classify core vs satellite.
+    size_t max_degree = 0;
+    for (uint32_t u : verts) max_degree = std::max(max_degree, q.Degree(u));
+
+    std::vector<uint32_t> core;
+    if (max_degree > 1) {
+      for (uint32_t u : verts) {
+        if (q.Degree(u) > 1) core.push_back(u);
+      }
+    } else {
+      // Single vertex or single multi-edge pair: promote one vertex to core
+      // (the paper picks at random; we pick the structurally richer one for
+      // determinism, falling back to the smaller index).
+      uint32_t chosen = verts[0];
+      for (uint32_t u : verts) {
+        size_t ru = q.SignatureEdgeCount(u), rc = q.SignatureEdgeCount(chosen);
+        if (ru > rc || (ru == rc && u < chosen)) chosen = u;
+      }
+      core.push_back(chosen);
+    }
+    for (uint32_t u : core) plan.is_core[u] = true;
+
+    // Satellites attach to their unique core neighbour.
+    std::vector<std::vector<uint32_t>> sat_of(n);
+    for (uint32_t u : verts) {
+      if (plan.is_core[u]) continue;
+      assert(q.Degree(u) <= 1);
+      // Its single neighbour is core (removing leaves keeps the rest
+      // connected, and in pair components the partner was promoted).
+      if (!q.Neighbors(u).empty()) {
+        uint32_t host = q.Neighbors(u)[0];
+        assert(plan.is_core[host]);
+        sat_of[host].push_back(u);
+      }
+    }
+
+    // --- VertexOrdering: r1 then r2 (or r2 alone without satellites),
+    // connectivity-constrained greedy.
+    auto r1 = [&](uint32_t u) { return sat_of[u].size(); };
+    auto r2 = [&](uint32_t u) { return q.SignatureEdgeCount(u); };
+    bool component_has_satellites = false;
+    for (uint32_t u : core) {
+      if (!sat_of[u].empty()) component_has_satellites = true;
+    }
+
+    // `better(a, b)`: should a be picked before b?
+    auto better = [&](uint32_t a, uint32_t b) {
+      if (!options.use_ordering_heuristics) return a < b;
+      if (component_has_satellites) {
+        if (r1(a) != r1(b)) return r1(a) > r1(b);
+        if (r2(a) != r2(b)) return r2(a) > r2(b);
+      } else {
+        if (r2(a) != r2(b)) return r2(a) > r2(b);
+        if (r1(a) != r1(b)) return r1(a) > r1(b);
+      }
+      return a < b;
+    };
+
+    std::vector<bool> chosen(n, false);
+    std::vector<bool> frontier(n, false);
+    for (size_t step = 0; step < core.size(); ++step) {
+      uint32_t best = kInvalidId;
+      for (uint32_t u : core) {
+        if (chosen[u]) continue;
+        // After the first pick, require adjacency to the ordered prefix.
+        if (step > 0 && !frontier[u]) continue;
+        if (best == kInvalidId || better(u, best)) best = u;
+      }
+      if (best == kInvalidId) {
+        // Should not happen (core subgraph of a component is connected),
+        // but degrade gracefully instead of looping forever.
+        for (uint32_t u : core) {
+          if (!chosen[u]) {
+            best = u;
+            break;
+          }
+        }
+      }
+      chosen[best] = true;
+      cplan.core_order.push_back(best);
+      cplan.satellites.push_back(sat_of[best]);
+      for (uint32_t w : q.Neighbors(best)) {
+        if (plan.is_core[w]) frontier[w] = true;
+      }
+    }
+
+    plan.components.push_back(std::move(cplan));
+  }
+  return plan;
+}
+
+}  // namespace amber

@@ -1,0 +1,194 @@
+#include "gen/lubm.h"
+
+#include <string>
+
+#include "util/random.h"
+
+namespace amber {
+
+namespace {
+
+constexpr char kUb[] = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+class LubmBuilder {
+ public:
+  explicit LubmBuilder(const LubmOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  std::vector<Triple> Build() {
+    // Pre-create university IRIs (plus a pool of "external" universities
+    // that only appear as degree-granting institutions).
+    const int num_universities = options_.universities;
+    const int external = std::max(5, num_universities / 2);
+    for (int u = 0; u < num_universities + external; ++u) {
+      universities_.push_back(Iri("University" + std::to_string(u)));
+    }
+    for (int u = 0; u < num_universities + external; ++u) {
+      AddType(universities_[u], "University");
+    }
+    for (int u = 0; u < num_universities; ++u) {
+      GenerateUniversity(u);
+    }
+    return std::move(triples_);
+  }
+
+ private:
+  std::string Iri(const std::string& local) {
+    return "http://lubm.example.org/" + local;
+  }
+  std::string Pred(const std::string& local) { return kUb + local; }
+
+  void Edge(const std::string& s, const std::string& p,
+            const std::string& o) {
+    triples_.emplace_back(Term::Iri(s), Term::Iri(p), Term::Iri(o));
+  }
+  void Attr(const std::string& s, const std::string& p,
+            const std::string& value) {
+    triples_.emplace_back(Term::Iri(s), Term::Iri(p), Term::Literal(value));
+  }
+  void AddType(const std::string& s, const std::string& cls) {
+    triples_.emplace_back(Term::Iri(s), Term::Iri(kRdfType),
+                          Term::Iri(Pred(cls)));
+  }
+
+  const std::string& RandomUniversity() {
+    return universities_[rng_.Uniform(universities_.size())];
+  }
+
+  void GenerateUniversity(int uni) {
+    const std::string& univ = universities_[uni];
+    const int num_depts = static_cast<int>(rng_.UniformRange(15, 25));
+    for (int d = 0; d < num_depts; ++d) {
+      GenerateDepartment(univ, uni, d);
+    }
+  }
+
+  void GenerateDepartment(const std::string& univ, int uni, int dept) {
+    const std::string dep =
+        Iri("Dept" + std::to_string(dept) + ".Univ" + std::to_string(uni));
+    AddType(dep, "Department");
+    Edge(dep, Pred("subOrganizationOf"), univ);
+    Attr(dep, Pred("name"), "Department" + std::to_string(dept));
+
+    // Research groups.
+    const int num_groups = static_cast<int>(rng_.UniformRange(10, 20));
+    for (int g = 0; g < num_groups; ++g) {
+      std::string group = dep + "/ResearchGroup" + std::to_string(g);
+      AddType(group, "ResearchGroup");
+      Edge(group, Pred("subOrganizationOf"), dep);
+    }
+
+    // Faculty.
+    struct Rank {
+      const char* cls;
+      int lo, hi;
+    };
+    const Rank ranks[] = {{"FullProfessor", 7, 10},
+                          {"AssociateProfessor", 10, 14},
+                          {"AssistantProfessor", 8, 11},
+                          {"Lecturer", 5, 7}};
+    std::vector<std::string> faculty;
+    std::vector<std::string> courses;
+    for (const Rank& rank : ranks) {
+      const int n = static_cast<int>(rng_.UniformRange(rank.lo, rank.hi));
+      for (int i = 0; i < n; ++i) {
+        std::string person =
+            dep + "/" + rank.cls + std::to_string(faculty.size());
+        AddType(person, rank.cls);
+        Edge(person, Pred("worksFor"), dep);
+        Edge(person, Pred("undergraduateDegreeFrom"), RandomUniversity());
+        Edge(person, Pred("mastersDegreeFrom"), RandomUniversity());
+        Edge(person, Pred("doctoralDegreeFrom"), RandomUniversity());
+        Attr(person, Pred("name"), rank.cls + std::to_string(i));
+        Attr(person, Pred("emailAddress"),
+             "mail" + std::to_string(faculty.size()) + "@dept" +
+                 std::to_string(uni));
+        Attr(person, Pred("telephone"),
+             "555-" + std::to_string(1000 + faculty.size()));
+        Attr(person, Pred("researchInterest"),
+             "Research" + std::to_string(rng_.Uniform(30)));
+        // Courses taught.
+        const int taught = static_cast<int>(rng_.UniformRange(1, 2));
+        for (int c = 0; c < taught; ++c) {
+          std::string course = dep + "/Course" + std::to_string(courses.size());
+          AddType(course, rng_.Chance(0.3) ? "GraduateCourse" : "Course");
+          Edge(person, Pred("teacherOf"), course);
+          courses.push_back(course);
+        }
+        // Publications.
+        const int pubs = static_cast<int>(rng_.UniformRange(1, 5));
+        for (int p = 0; p < pubs; ++p) {
+          std::string pub =
+              person + "/Publication" + std::to_string(p);
+          AddType(pub, "Publication");
+          Edge(pub, Pred("publicationAuthor"), person);
+          Attr(pub, Pred("name"), "Pub" + std::to_string(p));
+        }
+        faculty.push_back(person);
+      }
+    }
+    // Head of department: a full professor.
+    Edge(faculty[0], Pred("headOf"), dep);
+
+    // Students.
+    const int undergrads = static_cast<int>(
+        faculty.size() * static_cast<size_t>(rng_.UniformRange(8, 14)));
+    const int grads = static_cast<int>(
+        faculty.size() * static_cast<size_t>(rng_.UniformRange(3, 4)));
+    for (int s = 0; s < undergrads; ++s) {
+      std::string student = dep + "/UndergraduateStudent" + std::to_string(s);
+      AddType(student, "UndergraduateStudent");
+      Edge(student, Pred("memberOf"), dep);
+      Attr(student, Pred("name"), "UndergraduateStudent" + std::to_string(s));
+      const int takes = static_cast<int>(rng_.UniformRange(2, 4));
+      for (int c = 0; c < takes; ++c) {
+        Edge(student, Pred("takesCourse"),
+             courses[rng_.Uniform(courses.size())]);
+      }
+      if (rng_.Chance(0.2)) {  // 1 in 5 undergrads has an advisor
+        Edge(student, Pred("advisor"), faculty[rng_.Uniform(faculty.size())]);
+      }
+    }
+    for (int s = 0; s < grads; ++s) {
+      std::string student = dep + "/GraduateStudent" + std::to_string(s);
+      AddType(student, "GraduateStudent");
+      Edge(student, Pred("memberOf"), dep);
+      Edge(student, Pred("undergraduateDegreeFrom"), RandomUniversity());
+      Edge(student, Pred("advisor"), faculty[rng_.Uniform(faculty.size())]);
+      Attr(student, Pred("name"), "GraduateStudent" + std::to_string(s));
+      Attr(student, Pred("emailAddress"),
+           "grad" + std::to_string(s) + "@dept" + std::to_string(uni));
+      const int takes = static_cast<int>(rng_.UniformRange(1, 3));
+      for (int c = 0; c < takes; ++c) {
+        Edge(student, Pred("takesCourse"),
+             courses[rng_.Uniform(courses.size())]);
+      }
+      if (rng_.Chance(0.25)) {
+        Edge(student, Pred("teachingAssistantOf"),
+             courses[rng_.Uniform(courses.size())]);
+      }
+      // Some graduate students co-author publications.
+      if (rng_.Chance(0.3)) {
+        std::string pub = student + "/Publication0";
+        AddType(pub, "Publication");
+        Edge(pub, Pred("publicationAuthor"), student);
+      }
+    }
+  }
+
+  const LubmOptions& options_;
+  Rng rng_;
+  std::vector<std::string> universities_;
+  std::vector<Triple> triples_;
+};
+
+}  // namespace
+
+std::vector<Triple> GenerateLubm(const LubmOptions& options) {
+  LubmBuilder builder(options);
+  return builder.Build();
+}
+
+}  // namespace amber

@@ -1,0 +1,36 @@
+// From-scratch LUBM-style dataset generator.
+//
+// LUBM (the Lehigh University Benchmark) is itself a synthetic generator;
+// this module re-implements its university schema and growth rules so the
+// paper's LUBM100 experiments can be reproduced at laptop scale (the scaling
+// factor is the number of universities, as in the original).
+//
+// The generated data exposes exactly 13 resource-valued predicates —
+// matching the paper's Table 4 edge-type count for LUBM — plus literal
+// predicates (name, emailAddress, telephone, researchInterest) that become
+// vertex attributes in the multigraph.
+
+#ifndef AMBER_GEN_LUBM_H_
+#define AMBER_GEN_LUBM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace amber {
+
+/// Options for the LUBM-style generator.
+struct LubmOptions {
+  /// Scaling factor: number of universities (LUBM(N)).
+  int universities = 1;
+  /// RNG seed; every run with the same options is bit-identical.
+  uint64_t seed = 42;
+};
+
+/// Generates a LUBM-style tripleset (~100k triples per university).
+std::vector<Triple> GenerateLubm(const LubmOptions& options);
+
+}  // namespace amber
+
+#endif  // AMBER_GEN_LUBM_H_

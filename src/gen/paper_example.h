@@ -1,0 +1,94 @@
+// The paper's running example: the RDF tripleset of Figure 1 and the SPARQL
+// query of Figure 2, shared by the ground-truth tests and the quickstart
+// example.
+//
+// The triples are listed so that predicates are first seen in the exact
+// order t0..t8 of Table 2b, which makes the Table 3 synopsis values
+// reproduce verbatim (synopses depend on edge-type ids).
+//
+// Two deliberate reconciliations of the paper's internal typos (the figures
+// disagree with each other; we follow the multigraph figures 1c/2c and the
+// worked prose of Sections 4-5, which are self-consistent):
+//   * Music_Band's foundedIn value is "1994" in both data and query
+//     (Fig. 1a says 1994, Fig. 1b says 1934, the query Fig. 2a says 1934 —
+//     yet Fig. 2c maps it to attribute a1, which only exists if the values
+//     agree).
+//   * The query edge ?X0 -> ?X1 uses wasBornIn (t5) as in Fig. 2b/2c and
+//     the Section 4.2/4.3 prose, not livedIn as the SPARQL text of Fig. 2a
+//     (with livedIn the query provably has zero answers on the Figure 1
+//     data, contradicting Section 5's walkthrough).
+
+#ifndef AMBER_GEN_PAPER_EXAMPLE_H_
+#define AMBER_GEN_PAPER_EXAMPLE_H_
+
+namespace amber {
+
+/// Figure 1a data as N-Triples (predicates first seen in t0..t8 order).
+inline constexpr const char* kPaperExampleNTriples = R"(
+<http://dbpedia.org/resource/London> <http://dbpedia.org/ontology/isPartOf> <http://dbpedia.org/resource/England> .
+<http://dbpedia.org/resource/England> <http://dbpedia.org/ontology/hasCapital> <http://dbpedia.org/resource/London> .
+<http://dbpedia.org/resource/London> <http://dbpedia.org/ontology/hasStadium> <http://dbpedia.org/resource/WembleyStadium> .
+<http://dbpedia.org/resource/Amy_Winehouse> <http://dbpedia.org/ontology/livedIn> <http://dbpedia.org/resource/United_States> .
+<http://dbpedia.org/resource/Amy_Winehouse> <http://dbpedia.org/ontology/diedIn> <http://dbpedia.org/resource/London> .
+<http://dbpedia.org/resource/Amy_Winehouse> <http://dbpedia.org/ontology/wasBornIn> <http://dbpedia.org/resource/London> .
+<http://dbpedia.org/resource/Music_Band> <http://dbpedia.org/ontology/wasFormedIn> <http://dbpedia.org/resource/London> .
+<http://dbpedia.org/resource/Amy_Winehouse> <http://dbpedia.org/ontology/wasPartOf> <http://dbpedia.org/resource/Music_Band> .
+<http://dbpedia.org/resource/Amy_Winehouse> <http://dbpedia.org/ontology/wasMarriedTo> <http://dbpedia.org/resource/Blake_Fielder-Civil> .
+<http://dbpedia.org/resource/Blake_Fielder-Civil> <http://dbpedia.org/ontology/livedIn> <http://dbpedia.org/resource/United_States> .
+<http://dbpedia.org/resource/Christopher_Nolan> <http://dbpedia.org/ontology/wasBornIn> <http://dbpedia.org/resource/London> .
+<http://dbpedia.org/resource/Christopher_Nolan> <http://dbpedia.org/ontology/livedIn> <http://dbpedia.org/resource/England> .
+<http://dbpedia.org/resource/Christopher_Nolan> <http://dbpedia.org/ontology/isPartOf> <http://dbpedia.org/resource/Dark_Knight_Trilogy> .
+<http://dbpedia.org/resource/WembleyStadium> <http://dbpedia.org/ontology/hasCapacityOf> "90000" .
+<http://dbpedia.org/resource/Music_Band> <http://dbpedia.org/ontology/foundedIn> "1994" .
+<http://dbpedia.org/resource/Music_Band> <http://dbpedia.org/ontology/hasName> "MCA_Band" .
+)";
+
+/// Figure 2a query (with the two reconciliations described above). The one
+/// embedding maps ?X1=London, ?X2=England, ?X3=Amy, ?X4=Wembley,
+/// ?X5=Music_Band, ?X6=Blake; ?X0 is a satellite with candidates
+/// {Amy, Christopher_Nolan} -> 2 embeddings.
+inline constexpr const char* kPaperExampleQuery = R"(
+PREFIX x: <http://dbpedia.org/resource/>
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?X0 ?X1 ?X2 ?X3 ?X4 ?X5 ?X6 WHERE {
+  ?X0 y:wasBornIn ?X1 .
+  ?X1 y:isPartOf ?X2 .
+  ?X2 y:hasCapital ?X1 .
+  ?X1 y:hasStadium ?X4 .
+  ?X3 y:wasBornIn ?X1 .
+  ?X3 y:diedIn ?X1 .
+  ?X3 y:wasMarriedTo ?X6 .
+  ?X3 y:wasPartOf ?X5 .
+  ?X5 y:wasFormedIn ?X1 .
+  ?X4 y:hasCapacityOf "90000" .
+  ?X5 y:hasName "MCA_Band" .
+  ?X5 y:foundedIn "1994" .
+  ?X3 y:livedIn x:United_States .
+}
+)";
+
+/// The literal Figure 2a variant (livedIn between ?X0 and ?X1): zero
+/// answers on the Figure 1 data — used as a negative ground-truth test.
+inline constexpr const char* kPaperExampleQueryLiteralFig2a = R"(
+PREFIX x: <http://dbpedia.org/resource/>
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?X0 ?X1 ?X2 ?X3 ?X4 ?X5 ?X6 WHERE {
+  ?X0 y:livedIn ?X1 .
+  ?X1 y:isPartOf ?X2 .
+  ?X2 y:hasCapital ?X1 .
+  ?X1 y:hasStadium ?X4 .
+  ?X3 y:wasBornIn ?X1 .
+  ?X3 y:diedIn ?X1 .
+  ?X3 y:wasMarriedTo ?X6 .
+  ?X3 y:wasPartOf ?X5 .
+  ?X5 y:wasFormedIn ?X1 .
+  ?X4 y:hasCapacityOf "90000" .
+  ?X5 y:hasName "MCA_Band" .
+  ?X5 y:foundedIn "1994" .
+  ?X3 y:livedIn x:United_States .
+}
+)";
+
+}  // namespace amber
+
+#endif  // AMBER_GEN_PAPER_EXAMPLE_H_

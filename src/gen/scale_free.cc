@@ -1,0 +1,106 @@
+#include "gen/scale_free.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace amber {
+
+std::vector<Triple> GenerateScaleFree(const ScaleFreeOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Triple> triples;
+  const uint64_t num_attrs = static_cast<uint64_t>(
+      static_cast<double>(options.num_edge_triples) * options.attr_fraction);
+  triples.reserve(options.num_edge_triples + num_attrs);
+
+  auto entity = [&](uint64_t i) {
+    return Term::Iri(options.entity_prefix + std::to_string(i));
+  };
+  auto predicate = [&](uint64_t i) {
+    return Term::Iri(options.predicate_prefix + std::to_string(i));
+  };
+
+  ZipfSampler pred_sampler(options.num_predicates, options.predicate_zipf);
+  ZipfSampler lit_pred_sampler(options.num_literal_predicates, 1.1);
+  ZipfSampler lit_val_sampler(options.num_literal_values, 1.05);
+
+  // Preferential attachment: objects are drawn from the endpoint pool with
+  // probability `preferential_bias` (rich get richer), else uniformly.
+  std::vector<uint32_t> endpoint_pool;
+  endpoint_pool.reserve(options.num_edge_triples * 2);
+
+  for (uint64_t e = 0; e < options.num_edge_triples; ++e) {
+    uint32_t s = static_cast<uint32_t>(rng.Uniform(options.num_entities));
+    uint32_t o;
+    if (!endpoint_pool.empty() && rng.Chance(options.preferential_bias)) {
+      o = endpoint_pool[rng.Uniform(endpoint_pool.size())];
+    } else {
+      o = static_cast<uint32_t>(rng.Uniform(options.num_entities));
+    }
+    if (o == s) {  // keep self-loops rare but legal
+      if (!rng.Chance(0.02)) {
+        o = static_cast<uint32_t>(rng.Uniform(options.num_entities));
+      }
+    }
+    uint64_t p = pred_sampler.Sample(&rng);
+    triples.emplace_back(entity(s), predicate(p), entity(o));
+    // Price-model attachment: in-degree drives future popularity (as with
+    // real-world RDF hubs); subjects enter the pool only occasionally.
+    endpoint_pool.push_back(o);
+    if (rng.Chance(0.15)) endpoint_pool.push_back(s);
+  }
+
+  // Literal attributes: subjects biased towards high-degree entities so
+  // attribute-rich hubs exist (as in infobox data).
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    uint32_t s;
+    if (!endpoint_pool.empty() && rng.Chance(0.5)) {
+      s = endpoint_pool[rng.Uniform(endpoint_pool.size())];
+    } else {
+      s = static_cast<uint32_t>(rng.Uniform(options.num_entities));
+    }
+    uint64_t p = lit_pred_sampler.Sample(&rng);
+    uint64_t v = lit_val_sampler.Sample(&rng);
+    triples.emplace_back(
+        entity(s), Term::Iri(options.predicate_prefix + "lit" +
+                             std::to_string(p)),
+        Term::Literal("Value" + std::to_string(v)));
+  }
+  return triples;
+}
+
+ScaleFreeOptions DbpediaProfile(double scale) {
+  ScaleFreeOptions o;
+  o.seed = 0xDBED1A;
+  o.num_entities = static_cast<uint32_t>(60000 * scale);
+  o.num_edge_triples = static_cast<uint64_t>(180000 * scale);
+  o.num_predicates = 676;
+  o.predicate_zipf = 1.25;
+  o.attr_fraction = 0.25;
+  o.num_literal_predicates = 40;
+  o.num_literal_values = std::max<uint32_t>(
+      200, static_cast<uint32_t>(2000 * scale));
+  o.preferential_bias = 0.7;
+  o.entity_prefix = "http://dbpedia.example.org/resource/E";
+  o.predicate_prefix = "http://dbpedia.example.org/ontology/p";
+  return o;
+}
+
+ScaleFreeOptions YagoProfile(double scale) {
+  ScaleFreeOptions o;
+  o.seed = 0x7A60;
+  o.num_entities = static_cast<uint32_t>(55000 * scale);
+  o.num_edge_triples = static_cast<uint64_t>(165000 * scale);
+  o.num_predicates = 44;
+  o.predicate_zipf = 1.1;
+  o.attr_fraction = 0.2;
+  o.num_literal_predicates = 12;
+  o.num_literal_values = std::max<uint32_t>(
+      150, static_cast<uint32_t>(1500 * scale));
+  o.preferential_bias = 0.65;
+  o.entity_prefix = "http://yago.example.org/resource/E";
+  o.predicate_prefix = "http://yago.example.org/ontology/p";
+  return o;
+}
+
+}  // namespace amber

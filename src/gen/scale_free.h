@@ -1,0 +1,56 @@
+// Scale-free RDF generator: preferential-attachment topology with
+// Zipf-skewed predicate usage and a pool of shared literal values.
+//
+// This stands in for the real-world DBPEDIA and YAGO dumps (see DESIGN.md
+// §2): the properties AMbER's evaluation depends on — predicate diversity,
+// heavy-tailed vertex degrees, star-rich neighbourhoods, selective literal
+// attributes — are reproduced at configurable scale.
+
+#ifndef AMBER_GEN_SCALE_FREE_H_
+#define AMBER_GEN_SCALE_FREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace amber {
+
+/// Options for the scale-free generator.
+struct ScaleFreeOptions {
+  uint64_t seed = 1;
+  /// Number of distinct entities (IRIs).
+  uint32_t num_entities = 60000;
+  /// Number of resource-object (edge) triples to draw.
+  uint64_t num_edge_triples = 180000;
+  /// Number of distinct predicates used for edges.
+  uint32_t num_predicates = 676;
+  /// Zipf exponent of predicate usage (higher = more skew).
+  double predicate_zipf = 1.25;
+  /// Literal-object triples, as a fraction of num_edge_triples.
+  double attr_fraction = 0.25;
+  /// Distinct literal-bearing predicates.
+  uint32_t num_literal_predicates = 40;
+  /// Size of the shared literal value pool (smaller = denser attributes).
+  uint32_t num_literal_values = 2000;
+  /// Probability that an edge's object is drawn by preferential attachment
+  /// (vs uniformly), controlling degree skew.
+  double preferential_bias = 0.7;
+  std::string entity_prefix = "http://example.org/resource/E";
+  std::string predicate_prefix = "http://example.org/ontology/p";
+};
+
+/// Generates the tripleset (deterministic in `options.seed`).
+std::vector<Triple> GenerateScaleFree(const ScaleFreeOptions& options);
+
+/// DBpedia-like profile (676 predicates, strong skew), scaled by `scale`
+/// (scale 1.0 ~ 225k triples).
+ScaleFreeOptions DbpediaProfile(double scale);
+
+/// YAGO-like profile (44 predicates, milder skew), scaled by `scale`.
+ScaleFreeOptions YagoProfile(double scale);
+
+}  // namespace amber
+
+#endif  // AMBER_GEN_SCALE_FREE_H_

@@ -1,0 +1,207 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace amber {
+
+WorkloadGenerator::WorkloadGenerator(const std::vector<Triple>& data)
+    : data_(data) {
+  auto intern = [this](const Term& t) -> uint32_t {
+    std::string token = t.ToNTriples();
+    auto it = entity_index_.find(token);
+    if (it != entity_index_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(entities_.size());
+    entities_.push_back(token);
+    entity_index_.emplace(std::move(token), id);
+    incident_.emplace_back();
+    return id;
+  };
+  for (uint32_t i = 0; i < data_.size(); ++i) {
+    const Triple& t = data_[i];
+    uint32_t s = intern(t.subject);
+    incident_[s].push_back(Incident{i, /*as_subject=*/true});
+    if (t.object.is_resource()) {
+      uint32_t o = intern(t.object);
+      if (o != s) {
+        incident_[o].push_back(Incident{i, /*as_subject=*/false});
+      }
+    }
+  }
+}
+
+std::vector<std::string> WorkloadGenerator::Generate(
+    QueryShape shape, const WorkloadOptions& options) const {
+  Rng rng(options.seed);
+  std::vector<std::string> queries;
+  int failures = 0;
+  const int max_failures = options.count * 200;
+  while (static_cast<int>(queries.size()) < options.count &&
+         failures < max_failures) {
+    std::string q;
+    bool ok = (shape == QueryShape::kStar) ? BuildStar(&rng, options, &q)
+                                           : BuildComplex(&rng, options, &q);
+    if (ok) {
+      queries.push_back(std::move(q));
+    } else {
+      ++failures;
+    }
+  }
+  return queries;
+}
+
+bool WorkloadGenerator::BuildStar(Rng* rng, const WorkloadOptions& options,
+                                  std::string* out) const {
+  if (entities_.empty()) return false;
+  const uint32_t center = static_cast<uint32_t>(rng->Uniform(entities_.size()));
+  const std::vector<Incident>& inc = incident_[center];
+  const size_t k = static_cast<size_t>(options.query_size);
+  if (inc.size() < k) return false;  // needs >= k incident triples
+
+  // Split incident triples into literal and edge triples so we can aim for
+  // the requested literal fraction.
+  std::vector<uint32_t> literal_triples, edge_triples;
+  for (const Incident& i : inc) {
+    if (data_[i.triple_index].object.is_literal()) {
+      literal_triples.push_back(i.triple_index);
+    } else {
+      edge_triples.push_back(i.triple_index);
+    }
+  }
+  size_t want_literals = std::min(
+      literal_triples.size(),
+      static_cast<size_t>(static_cast<double>(k) * options.literal_fraction));
+  if (edge_triples.size() + want_literals < k) {
+    want_literals = k - std::min(k, edge_triples.size());
+    if (literal_triples.size() < want_literals) return false;
+  }
+  const size_t want_edges = k - want_literals;
+  if (edge_triples.size() < want_edges) return false;
+
+  std::vector<uint32_t> chosen;
+  for (size_t idx : rng->Sample(literal_triples.size(), want_literals)) {
+    chosen.push_back(literal_triples[idx]);
+  }
+  for (size_t idx : rng->Sample(edge_triples.size(), want_edges)) {
+    chosen.push_back(edge_triples[idx]);
+  }
+  *out = Render(chosen, rng, options, entities_[center]);
+  return true;
+}
+
+bool WorkloadGenerator::BuildComplex(Rng* rng, const WorkloadOptions& options,
+                                     std::string* out) const {
+  if (entities_.empty()) return false;
+  const size_t k = static_cast<size_t>(options.query_size);
+  const uint32_t start = static_cast<uint32_t>(rng->Uniform(entities_.size()));
+  if (incident_[start].empty()) return false;
+
+  std::vector<uint32_t> frontier{start};
+  std::unordered_set<uint32_t> chosen_set;
+  std::vector<uint32_t> chosen;
+
+  int stall = 0;
+  while (chosen.size() < k && stall < 200) {
+    const uint32_t e = frontier[rng->Uniform(frontier.size())];
+    const std::vector<Incident>& inc = incident_[e];
+    if (inc.empty()) {
+      ++stall;
+      continue;
+    }
+    const Incident& pick = inc[rng->Uniform(inc.size())];
+    if (!chosen_set.insert(pick.triple_index).second) {
+      ++stall;
+      continue;
+    }
+    stall = 0;
+    chosen.push_back(pick.triple_index);
+    const Triple& t = data_[pick.triple_index];
+    // Extend the frontier through the other endpoint (navigating the
+    // neighbourhood through predicate links, Section 7.2).
+    const Term& other = pick.as_subject ? t.object : t.subject;
+    if (other.is_resource()) {
+      auto it = entity_index_.find(other.ToNTriples());
+      if (it != entity_index_.end()) frontier.push_back(it->second);
+    }
+  }
+  if (chosen.size() < k) return false;
+  *out = Render(chosen, rng, options, /*center=*/"");
+  return true;
+}
+
+std::string WorkloadGenerator::Render(const std::vector<uint32_t>& chosen,
+                                      Rng* rng,
+                                      const WorkloadOptions& options,
+                                      const std::string& center) const {
+  // Assign variables to entities in first-use order; the star center (if
+  // any) is always ?X0 and never a constant.
+  std::unordered_map<std::string, std::string> var_of;
+  std::vector<std::string> var_order;
+  std::unordered_set<std::string> constants;
+
+  if (!center.empty()) {
+    // The star's central vertex is always ?X0 (paper convention).
+    var_order.push_back("?X0");
+    var_of.emplace(center, "?X0");
+  }
+
+  auto slot_token = [&](const Term& term) -> std::string {
+    std::string token = term.ToNTriples();
+    if (constants.count(token)) return token;
+    auto it = var_of.find(token);
+    if (it != var_of.end()) return it->second;
+    // First sight of this entity: maybe freeze it as a constant IRI.
+    if (token != center && rng->Chance(options.constant_iri_probability)) {
+      constants.insert(token);
+      return token;
+    }
+    std::string var = "?X" + std::to_string(var_of.size());
+    var_order.push_back(var);
+    var_of.emplace(std::move(token), var);
+    return var_of[term.ToNTriples()];
+  };
+
+  std::string body;
+  for (uint32_t idx : chosen) {
+    const Triple& t = data_[idx];
+    std::string s = slot_token(t.subject);
+    std::string o = t.object.is_literal() ? t.object.ToNTriples()
+                                          : slot_token(t.object);
+    body += "  " + s + " " + t.predicate.ToNTriples() + " " + o + " .\n";
+  }
+
+  // Guarantee at least one variable (an all-constant query is legal but
+  // pointless as a benchmark): demote one constant if necessary.
+  if (var_order.empty()) {
+    // Rebuild with the first subject as a variable.
+    const Triple& t = data_[chosen[0]];
+    std::string token = t.subject.ToNTriples();
+    constants.erase(token);
+    var_of.clear();
+    var_order.clear();
+    std::string var = "?X0";
+    var_order.push_back(var);
+    var_of.emplace(token, var);
+    body.clear();
+    for (uint32_t idx : chosen) {
+      const Triple& tt = data_[idx];
+      auto tok = [&](const Term& term) -> std::string {
+        std::string tkn = term.ToNTriples();
+        auto it = var_of.find(tkn);
+        if (it != var_of.end()) return it->second;
+        return tkn;
+      };
+      std::string o = tt.object.is_literal() ? tt.object.ToNTriples()
+                                             : tok(tt.object);
+      body +=
+          "  " + tok(tt.subject) + " " + tt.predicate.ToNTriples() + " " + o +
+          " .\n";
+    }
+  }
+
+  std::string head = "SELECT";
+  for (const std::string& v : var_order) head += " " + v;
+  return head + " WHERE {\n" + body + "}";
+}
+
+}  // namespace amber

@@ -1,0 +1,86 @@
+// SPARQL workload generator following Section 7.2 of the paper.
+//
+// Two query shapes, both grown from the data so every query has at least one
+// answer (the source entities are a witness under homomorphism):
+//
+//   * star-shaped:    pick an initial entity with at least k incident
+//                     triples; those triples form a star around the central
+//                     variable ?X0;
+//   * complex-shaped: random-walk the neighbourhood of an initial entity
+//                     through predicate links until k triples are collected.
+//
+// Some object literals are kept as constants (they become query-vertex
+// attributes) and some entities are kept as constant IRIs; everything else
+// becomes a variable. Queries are emitted as SPARQL text so that every
+// engine exercises its full parse/plan/execute path.
+
+#ifndef AMBER_GEN_WORKLOAD_H_
+#define AMBER_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// Query shape of Section 7.2.
+enum class QueryShape { kStar, kComplex };
+
+/// Options for one workload batch.
+struct WorkloadOptions {
+  uint64_t seed = 7;
+  /// Query size k: number of triple patterns (10..50 in the paper).
+  int query_size = 10;
+  /// Number of queries to generate.
+  int count = 200;
+  /// Target fraction of literal-object (attribute) patterns per query.
+  double literal_fraction = 0.2;
+  /// Probability that a non-central entity is kept as a constant IRI.
+  double constant_iri_probability = 0.1;
+};
+
+/// \brief Generates star-shaped and complex-shaped SPARQL workloads from a
+/// tripleset.
+class WorkloadGenerator {
+ public:
+  /// Indexes the tripleset (entity -> incident triples).
+  explicit WorkloadGenerator(const std::vector<Triple>& data);
+
+  /// Generates `options.count` queries of the given shape. Returns fewer
+  /// queries only when the data cannot support the requested size at all.
+  std::vector<std::string> Generate(QueryShape shape,
+                                    const WorkloadOptions& options) const;
+
+  /// Number of distinct entities (resources) indexed.
+  size_t NumEntities() const { return entities_.size(); }
+
+ private:
+  struct Incident {
+    uint32_t triple_index;
+    bool as_subject;
+  };
+
+  bool BuildStar(Rng* rng, const WorkloadOptions& options,
+                 std::string* out) const;
+  bool BuildComplex(Rng* rng, const WorkloadOptions& options,
+                    std::string* out) const;
+
+  // Renders chosen triple indices as SPARQL, assigning variables/constants.
+  std::string Render(const std::vector<uint32_t>& chosen, Rng* rng,
+                     const WorkloadOptions& options,
+                     const std::string& center) const;
+
+  const std::vector<Triple>& data_;
+  std::vector<std::string> entities_;  // entity tokens (resources)
+  std::unordered_map<std::string, uint32_t> entity_index_;
+  std::vector<std::vector<Incident>> incident_;  // per entity
+};
+
+}  // namespace amber
+
+#endif  // AMBER_GEN_WORKLOAD_H_

@@ -1,0 +1,274 @@
+#include "graph/multigraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/serde.h"
+
+namespace amber {
+
+namespace {
+constexpr uint32_t kGraphMagic = 0x414D4247;  // "AMBG"
+constexpr uint32_t kGraphVersion = 1;
+}  // namespace
+
+void Multigraph::Builder::AddEdge(VertexId s, EdgeTypeId t, VertexId o) {
+  edges_.push_back(EncodedEdge{s, t, o});
+}
+
+void Multigraph::Builder::AddAttribute(VertexId v, AttributeId a) {
+  attrs_.push_back(EncodedAttribute{v, a});
+}
+
+void Multigraph::Builder::EnsureVertexCount(size_t n) {
+  min_vertices_ = std::max(min_vertices_, n);
+}
+
+Multigraph Multigraph::Builder::Build() && {
+  Multigraph g;
+
+  size_t num_vertices = min_vertices_;
+  for (const EncodedEdge& e : edges_) {
+    num_vertices = std::max<size_t>(num_vertices, e.subject + 1);
+    num_vertices = std::max<size_t>(num_vertices, e.object + 1);
+    g.num_edge_types_ =
+        std::max<size_t>(g.num_edge_types_, e.predicate + 1);
+  }
+  for (const EncodedAttribute& a : attrs_) {
+    num_vertices = std::max<size_t>(num_vertices, a.subject + 1);
+    g.num_attributes_ = std::max<size_t>(g.num_attributes_, a.attribute + 1);
+  }
+  g.num_vertices_ = num_vertices;
+
+  // Deduplicate edges: RDF data is a set of statements.
+  std::sort(edges_.begin(), edges_.end(),
+            [](const EncodedEdge& a, const EncodedEdge& b) {
+              if (a.subject != b.subject) return a.subject < b.subject;
+              if (a.object != b.object) return a.object < b.object;
+              return a.predicate < b.predicate;
+            });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const EncodedEdge& a, const EncodedEdge& b) {
+                             return a.subject == b.subject &&
+                                    a.object == b.object &&
+                                    a.predicate == b.predicate;
+                           }),
+               edges_.end());
+  g.num_edges_ = edges_.size();
+
+  BuildAdjacency(&edges_, Direction::kOut, num_vertices,
+                 &g.adj_[static_cast<int>(Direction::kOut)]);
+  BuildAdjacency(&edges_, Direction::kIn, num_vertices,
+                 &g.adj_[static_cast<int>(Direction::kIn)]);
+
+  // Attributes CSR.
+  std::sort(attrs_.begin(), attrs_.end(),
+            [](const EncodedAttribute& a, const EncodedAttribute& b) {
+              if (a.subject != b.subject) return a.subject < b.subject;
+              return a.attribute < b.attribute;
+            });
+  attrs_.erase(std::unique(attrs_.begin(), attrs_.end(),
+                           [](const EncodedAttribute& a,
+                              const EncodedAttribute& b) {
+                             return a.subject == b.subject &&
+                                    a.attribute == b.attribute;
+                           }),
+               attrs_.end());
+  g.attr_offsets_.assign(num_vertices + 1, 0);
+  for (const EncodedAttribute& a : attrs_) {
+    ++g.attr_offsets_[a.subject + 1];
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    g.attr_offsets_[v + 1] += g.attr_offsets_[v];
+  }
+  g.attr_pool_.reserve(attrs_.size());
+  for (const EncodedAttribute& a : attrs_) {
+    g.attr_pool_.push_back(a.attribute);
+  }
+
+  return g;
+}
+
+void Multigraph::BuildAdjacency(std::vector<EncodedEdge>* edges, Direction d,
+                                size_t num_vertices, Adjacency* adj) {
+  const bool out = (d == Direction::kOut);
+  auto key = [out](const EncodedEdge& e) {
+    return out ? e.subject : e.object;
+  };
+  auto nbr = [out](const EncodedEdge& e) {
+    return out ? e.object : e.subject;
+  };
+  std::sort(edges->begin(), edges->end(),
+            [&](const EncodedEdge& a, const EncodedEdge& b) {
+              if (key(a) != key(b)) return key(a) < key(b);
+              if (nbr(a) != nbr(b)) return nbr(a) < nbr(b);
+              return a.predicate < b.predicate;
+            });
+
+  adj->offsets.assign(num_vertices + 1, 0);
+  adj->groups.clear();
+  adj->types.clear();
+  adj->types.reserve(edges->size());
+
+  size_t i = 0;
+  while (i < edges->size()) {
+    VertexId v = key((*edges)[i]);
+    VertexId n = nbr((*edges)[i]);
+    GroupEntry group;
+    group.neighbor = n;
+    group.type_begin = static_cast<uint32_t>(adj->types.size());
+    size_t j = i;
+    while (j < edges->size() && key((*edges)[j]) == v &&
+           nbr((*edges)[j]) == n) {
+      adj->types.push_back((*edges)[j].predicate);
+      ++j;
+    }
+    group.type_count = static_cast<uint32_t>(j - i);
+    adj->groups.push_back(group);
+    ++adj->offsets[v + 1];
+    i = j;
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    adj->offsets[v + 1] += adj->offsets[v];
+  }
+}
+
+Multigraph Multigraph::FromDataset(const EncodedDataset& dataset) {
+  Builder builder;
+  builder.EnsureVertexCount(dataset.dictionaries.vertices().size());
+  for (const EncodedEdge& e : dataset.edges) {
+    builder.AddEdge(e.subject, e.predicate, e.object);
+  }
+  for (const EncodedAttribute& a : dataset.attributes) {
+    builder.AddAttribute(a.subject, a.attribute);
+  }
+  Multigraph g = std::move(builder).Build();
+  // The dictionaries are authoritative for id-space sizes: an edge type or
+  // attribute may exist in the dictionary without surviving deduplication.
+  g.num_edge_types_ =
+      std::max(g.num_edge_types_, dataset.dictionaries.edge_types().size());
+  g.num_attributes_ =
+      std::max(g.num_attributes_, dataset.dictionaries.attributes().size());
+  return g;
+}
+
+std::span<const EdgeTypeId> Multigraph::MultiEdge(VertexId v, Direction d,
+                                                  VertexId neighbor) const {
+  const Adjacency& a = adj_[static_cast<int>(d)];
+  const GroupEntry* begin = a.groups.data() + a.offsets[v];
+  const GroupEntry* end = a.groups.data() + a.offsets[v + 1];
+  const GroupEntry* it = std::lower_bound(
+      begin, end, neighbor, [](const GroupEntry& g, VertexId n) {
+        return g.neighbor < n;
+      });
+  if (it == end || it->neighbor != neighbor) return {};
+  return {a.types.data() + it->type_begin, it->type_count};
+}
+
+bool Multigraph::HasEdge(VertexId s, EdgeTypeId t, VertexId o) const {
+  std::span<const EdgeTypeId> types = MultiEdge(s, Direction::kOut, o);
+  return std::binary_search(types.begin(), types.end(), t);
+}
+
+bool Multigraph::HasMultiEdgeSuperset(
+    VertexId v, Direction d, VertexId neighbor,
+    std::span<const EdgeTypeId> types) const {
+  std::span<const EdgeTypeId> have = MultiEdge(v, d, neighbor);
+  if (have.size() < types.size()) return false;
+  // Both sides sorted: linear merge containment test.
+  size_t i = 0;
+  for (EdgeTypeId t : types) {
+    while (i < have.size() && have[i] < t) ++i;
+    if (i == have.size() || have[i] != t) return false;
+    ++i;
+  }
+  return true;
+}
+
+uint64_t Multigraph::ByteSize() const {
+  uint64_t total = 0;
+  for (const Adjacency& a : adj_) {
+    total += a.offsets.capacity() * sizeof(uint64_t);
+    total += a.groups.capacity() * sizeof(GroupEntry);
+    total += a.types.capacity() * sizeof(EdgeTypeId);
+  }
+  total += attr_offsets_.capacity() * sizeof(uint64_t);
+  total += attr_pool_.capacity() * sizeof(AttributeId);
+  return total;
+}
+
+bool Multigraph::Adjacency::operator==(const Adjacency& o) const {
+  if (offsets != o.offsets || types != o.types) return false;
+  if (groups.size() != o.groups.size()) return false;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].neighbor != o.groups[i].neighbor ||
+        groups[i].type_begin != o.groups[i].type_begin ||
+        groups[i].type_count != o.groups[i].type_count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Multigraph::operator==(const Multigraph& o) const {
+  return num_vertices_ == o.num_vertices_ && num_edges_ == o.num_edges_ &&
+         num_edge_types_ == o.num_edge_types_ &&
+         num_attributes_ == o.num_attributes_ && adj_[0] == o.adj_[0] &&
+         adj_[1] == o.adj_[1] && attr_offsets_ == o.attr_offsets_ &&
+         attr_pool_ == o.attr_pool_;
+}
+
+void Multigraph::Save(std::ostream& os) const {
+  serde::WriteHeader(os, kGraphMagic, kGraphVersion);
+  serde::WritePod<uint64_t>(os, num_vertices_);
+  serde::WritePod<uint64_t>(os, num_edges_);
+  serde::WritePod<uint64_t>(os, num_edge_types_);
+  serde::WritePod<uint64_t>(os, num_attributes_);
+  for (const Adjacency& a : adj_) {
+    serde::WriteVector(os, a.offsets);
+    serde::WritePod<uint64_t>(os, a.groups.size());
+    for (const GroupEntry& g : a.groups) {
+      serde::WritePod(os, g.neighbor);
+      serde::WritePod(os, g.type_begin);
+      serde::WritePod(os, g.type_count);
+    }
+    serde::WriteVector(os, a.types);
+  }
+  serde::WriteVector(os, attr_offsets_);
+  serde::WriteVector(os, attr_pool_);
+}
+
+Status Multigraph::Load(std::istream& is) {
+  AMBER_RETURN_IF_ERROR(serde::CheckHeader(is, kGraphMagic, kGraphVersion));
+  uint64_t v64 = 0;
+  AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &v64));
+  num_vertices_ = v64;
+  AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &num_edges_));
+  AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &v64));
+  num_edge_types_ = v64;
+  AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &v64));
+  num_attributes_ = v64;
+  for (Adjacency& a : adj_) {
+    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &a.offsets));
+    uint64_t n = 0;
+    AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &n));
+    a.groups.resize(n);
+    for (GroupEntry& g : a.groups) {
+      AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &g.neighbor));
+      AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &g.type_begin));
+      AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &g.type_count));
+    }
+    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &a.types));
+    if (a.offsets.size() != num_vertices_ + 1) {
+      return Status::Corruption("adjacency offsets size mismatch");
+    }
+  }
+  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &attr_offsets_));
+  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &attr_pool_));
+  if (attr_offsets_.size() != num_vertices_ + 1) {
+    return Status::Corruption("attribute offsets size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace amber

@@ -1,0 +1,78 @@
+#include "graph/synopsis.h"
+
+#include <algorithm>
+
+namespace amber {
+
+std::string Synopsis::ToString() const {
+  std::string out = "[";
+  for (int i = 0; i < kNumFields; ++i) {
+    if (i == 4) out += "| ";
+    out += std::to_string(f[i]);
+    out += (i + 1 == kNumFields) ? "]" : " ";
+  }
+  return out;
+}
+
+void SynopsisBuilder::Reset() {
+  for (Side& s : sides_) {
+    s.max_cardinality = 0;
+    s.all_types.clear();
+  }
+}
+
+void SynopsisBuilder::AddMultiEdge(Direction d,
+                                   std::span<const EdgeTypeId> types) {
+  if (types.empty()) return;
+  Side& side = sides_[static_cast<int>(d)];
+  side.max_cardinality =
+      std::max(side.max_cardinality, static_cast<int32_t>(types.size()));
+  side.all_types.insert(side.all_types.end(), types.begin(), types.end());
+}
+
+Synopsis SynopsisBuilder::Build() {
+  Synopsis s;
+  for (int d = 0; d < 2; ++d) {
+    Side& side = sides_[d];
+    const int base = (d == static_cast<int>(Direction::kIn)) ? 0 : 4;
+    if (side.all_types.empty()) continue;  // all-zero half
+    std::sort(side.all_types.begin(), side.all_types.end());
+    side.all_types.erase(
+        std::unique(side.all_types.begin(), side.all_types.end()),
+        side.all_types.end());
+    s.f[base + 0] = side.max_cardinality;
+    s.f[base + 1] = static_cast<int32_t>(side.all_types.size());
+    s.f[base + 2] = -static_cast<int32_t>(side.all_types.front());
+    s.f[base + 3] = static_cast<int32_t>(side.all_types.back());
+  }
+  return s;
+}
+
+Synopsis ComputeVertexSynopsis(const Multigraph& g, VertexId v) {
+  SynopsisBuilder builder;
+  for (Direction d : {Direction::kIn, Direction::kOut}) {
+    const size_t n = g.GroupCount(v, d);
+    for (size_t i = 0; i < n; ++i) {
+      builder.AddMultiEdge(d, g.Group(v, d, i).types);
+    }
+  }
+  return builder.Build();
+}
+
+std::vector<Synopsis> ComputeAllSynopses(const Multigraph& g) {
+  std::vector<Synopsis> out(g.NumVertices());
+  SynopsisBuilder builder;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    builder.Reset();
+    for (Direction d : {Direction::kIn, Direction::kOut}) {
+      const size_t n = g.GroupCount(v, d);
+      for (size_t i = 0; i < n; ++i) {
+        builder.AddMultiEdge(d, g.Group(v, d, i).types);
+      }
+    }
+    out[v] = builder.Build();
+  }
+  return out;
+}
+
+}  // namespace amber

@@ -1,0 +1,107 @@
+// Vertex signatures and synopses (Section 4.2, Definition 3, Table 3).
+//
+// The *signature* of a vertex is the multiset of multi-edges incident on it,
+// split into incoming ('+') and outgoing ('-') sides. The *synopsis* is an
+// 8-field surrogate of the signature:
+//
+//   f1 = maximum cardinality of a multi-edge,
+//   f2 = number of distinct edge types in the signature,
+//   f3 = NEGATED minimum edge-type id,
+//   f4 = maximum edge-type id,
+//
+// replicated for the incoming (+) and outgoing (-) sides. f3 is stored
+// negated so that *all* candidate constraints become component-wise
+// dominance: a data vertex v can match a query vertex u only if
+// q.f[i] <= v.f[i] for every i (Lemma 1 — the filter is complete).
+
+#ifndef AMBER_GRAPH_SYNOPSIS_H_
+#define AMBER_GRAPH_SYNOPSIS_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/multigraph.h"
+
+namespace amber {
+
+/// \brief 8-field synopsis of a vertex signature (Table 3).
+struct Synopsis {
+  // Field layout: [f1+, f2+, f3+, f4+, f1-, f2-, f3-, f4-].
+  static constexpr int kNumFields = 8;
+
+  /// Sentinel for the f3 field of an *empty* side in a query synopsis.
+  ///
+  /// The paper zero-fills empty sides (Table 3) and negates f3 so that all
+  /// candidate constraints become q.f[i] <= v.f[i]. Those two conventions
+  /// conflict: a query vertex with an empty side would demand v.f3 >= 0,
+  /// i.e. a data min edge-type id of 0, wrongly pruning valid candidates.
+  /// Queries therefore replace the f3 of empty sides with this -inf-like
+  /// sentinel (NormalizedForQuery) before probing the index; data synopses
+  /// keep the paper's zero-fill.
+  static constexpr int32_t kEmptySideQueryF3 =
+      std::numeric_limits<int32_t>::min() / 2;
+
+  std::array<int32_t, kNumFields> f{};
+
+  /// True iff a vertex with this synopsis can host a query vertex with
+  /// synopsis `q`: component-wise q.f[i] <= f[i]. `q` must be normalized
+  /// via NormalizedForQuery() if it can have empty sides.
+  bool Dominates(const Synopsis& q) const {
+    for (int i = 0; i < kNumFields; ++i) {
+      if (q.f[i] > f[i]) return false;
+    }
+    return true;
+  }
+
+  /// Copy with the f3 field of empty sides replaced by the sentinel (an
+  /// empty query side imposes no constraints). A side is empty iff its f1
+  /// is 0 — any non-empty side has f1 >= 1.
+  Synopsis NormalizedForQuery() const {
+    Synopsis out = *this;
+    if (out.f[0] == 0) out.f[2] = kEmptySideQueryF3;
+    if (out.f[4] == 0) out.f[6] = kEmptySideQueryF3;
+    return out;
+  }
+
+  bool operator==(const Synopsis& o) const { return f == o.f; }
+
+  /// "[f1+ f2+ f3+ f4+ | f1- f2- f3- f4-]" for logs and tests.
+  std::string ToString() const;
+};
+
+/// \brief Accumulates the multi-edges of one vertex and derives its synopsis.
+///
+/// Reusable across vertices via Reset() to avoid per-vertex allocations
+/// during whole-graph synopsis computation.
+class SynopsisBuilder {
+ public:
+  void Reset();
+
+  /// Adds one multi-edge (the sorted edge-type set shared with a single
+  /// neighbour) on side `d`.
+  void AddMultiEdge(Direction d, std::span<const EdgeTypeId> types);
+
+  /// Derives the synopsis from everything added since Reset().
+  Synopsis Build();
+
+ private:
+  struct Side {
+    int32_t max_cardinality = 0;
+    std::vector<EdgeTypeId> all_types;  // sorted+uniqued in Build()
+  };
+  Side sides_[2];  // indexed by Direction
+};
+
+/// Synopsis of data vertex `v` in `g`.
+Synopsis ComputeVertexSynopsis(const Multigraph& g, VertexId v);
+
+/// Synopses of all vertices of `g`, indexed by vertex id.
+std::vector<Synopsis> ComputeAllSynopses(const Multigraph& g);
+
+}  // namespace amber
+
+#endif  // AMBER_GRAPH_SYNOPSIS_H_

@@ -1,0 +1,87 @@
+#include "index/attribute_index.h"
+
+#include <algorithm>
+
+#include "util/serde.h"
+
+namespace amber {
+
+namespace {
+constexpr uint32_t kAttrIndexMagic = 0x414D4241;  // "AMBA"
+constexpr uint32_t kAttrIndexVersion = 1;
+}  // namespace
+
+AttributeIndex AttributeIndex::Build(const Multigraph& g) {
+  AttributeIndex index;
+  const size_t num_attrs = g.NumAttributes();
+  index.offsets_.assign(num_attrs + 1, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (AttributeId a : g.Attributes(v)) {
+      ++index.offsets_[a + 1];
+    }
+  }
+  for (size_t a = 0; a < num_attrs; ++a) {
+    index.offsets_[a + 1] += index.offsets_[a];
+  }
+  index.pool_.resize(index.offsets_[num_attrs]);
+  std::vector<uint64_t> cursor(index.offsets_.begin(),
+                               index.offsets_.end() - 1);
+  // Vertices are visited in ascending order, so each list ends up sorted.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (AttributeId a : g.Attributes(v)) {
+      index.pool_[cursor[a]++] = v;
+    }
+  }
+  return index;
+}
+
+std::vector<VertexId> IntersectSorted(std::span<const VertexId> a,
+                                      std::span<const VertexId> b) {
+  std::vector<VertexId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<VertexId> AttributeIndex::Candidates(
+    std::span<const AttributeId> attrs) const {
+  if (attrs.empty()) return {};
+  // Start from the most selective (shortest) list.
+  AttributeId smallest = attrs[0];
+  for (AttributeId a : attrs) {
+    if (Vertices(a).size() < Vertices(smallest).size()) smallest = a;
+  }
+  std::span<const VertexId> seed = Vertices(smallest);
+  std::vector<VertexId> result(seed.begin(), seed.end());
+  for (AttributeId a : attrs) {
+    if (a == smallest) continue;
+    if (result.empty()) break;
+    result = IntersectSorted(result, Vertices(a));
+  }
+  return result;
+}
+
+bool AttributeIndex::VertexHasAll(VertexId v,
+                                  std::span<const AttributeId> attrs) const {
+  for (AttributeId a : attrs) {
+    std::span<const VertexId> list = Vertices(a);
+    if (!std::binary_search(list.begin(), list.end(), v)) return false;
+  }
+  return true;
+}
+
+void AttributeIndex::Save(std::ostream& os) const {
+  serde::WriteHeader(os, kAttrIndexMagic, kAttrIndexVersion);
+  serde::WriteVector(os, offsets_);
+  serde::WriteVector(os, pool_);
+}
+
+Status AttributeIndex::Load(std::istream& is) {
+  AMBER_RETURN_IF_ERROR(
+      serde::CheckHeader(is, kAttrIndexMagic, kAttrIndexVersion));
+  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &offsets_));
+  return serde::ReadVector(is, &pool_);
+}
+
+}  // namespace amber

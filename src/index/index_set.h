@@ -1,0 +1,53 @@
+// The ensemble I := {A, S, N} of Section 4: everything AMbER builds in the
+// offline stage besides the multigraph itself.
+
+#ifndef AMBER_INDEX_INDEX_SET_H_
+#define AMBER_INDEX_INDEX_SET_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "graph/multigraph.h"
+#include "index/attribute_index.h"
+#include "index/neighborhood_index.h"
+#include "index/signature_index.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// \brief The three AMbER indexes, built together from a data multigraph.
+struct IndexSet {
+  AttributeIndex attribute;      // A  (Section 4.1)
+  SignatureIndex signature;      // S  (Section 4.2)
+  NeighborhoodIndex neighborhood;  // N  (Section 4.3)
+
+  /// Builds all three indexes (offline stage).
+  static IndexSet Build(const Multigraph& g) {
+    IndexSet set;
+    set.attribute = AttributeIndex::Build(g);
+    set.signature = SignatureIndex::Build(g);
+    set.neighborhood = NeighborhoodIndex::Build(g);
+    return set;
+  }
+
+  uint64_t ByteSize() const {
+    return attribute.ByteSize() + signature.ByteSize() +
+           neighborhood.ByteSize();
+  }
+
+  void Save(std::ostream& os) const {
+    attribute.Save(os);
+    signature.Save(os);
+    neighborhood.Save(os);
+  }
+
+  Status Load(std::istream& is) {
+    AMBER_RETURN_IF_ERROR(attribute.Load(is));
+    AMBER_RETURN_IF_ERROR(signature.Load(is));
+    return neighborhood.Load(is);
+  }
+};
+
+}  // namespace amber
+
+#endif  // AMBER_INDEX_INDEX_SET_H_

@@ -1,0 +1,179 @@
+#include "index/neighborhood_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/serde.h"
+
+namespace amber {
+
+namespace {
+constexpr uint32_t kNbrIndexMagic = 0x414D424E;  // "AMBN"
+constexpr uint32_t kNbrIndexVersion = 1;
+
+bool LexLess(std::span<const EdgeTypeId> a, std::span<const EdgeTypeId> b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+}  // namespace
+
+void NeighborhoodIndex::BuildChildren(
+    const std::vector<std::pair<std::span<const EdgeTypeId>, VertexId>>&
+        groups,
+    size_t lo, size_t hi, size_t depth, DirIndex* dir) {
+  size_t i = lo;
+  while (i < hi) {
+    const EdgeTypeId t = groups[i].first[depth];
+    size_t j = i;
+    while (j < hi && groups[j].first[depth] == t) ++j;
+
+    const uint32_t node_idx = static_cast<uint32_t>(dir->nodes.size());
+    dir->nodes.push_back(Node{t, 0, 0, 0});
+
+    // Groups whose set ends exactly at this node come first (a proper
+    // prefix sorts before its extensions).
+    uint32_t list_begin = static_cast<uint32_t>(dir->pool.size());
+    size_t k = i;
+    while (k < j && groups[k].first.size() == depth + 1) {
+      dir->pool.push_back(groups[k].second);
+      ++k;
+    }
+    dir->nodes[node_idx].list_begin = list_begin;
+    dir->nodes[node_idx].list_end = static_cast<uint32_t>(dir->pool.size());
+
+    BuildChildren(groups, k, j, depth + 1, dir);
+    dir->nodes[node_idx].subtree_end =
+        static_cast<uint32_t>(dir->nodes.size());
+    i = j;
+  }
+}
+
+NeighborhoodIndex NeighborhoodIndex::Build(const Multigraph& g) {
+  NeighborhoodIndex index;
+  const size_t num_vertices = g.NumVertices();
+
+  for (Direction d : {Direction::kIn, Direction::kOut}) {
+    DirIndex& dir = index.dirs_[static_cast<int>(d)];
+    dir.node_offsets.assign(num_vertices + 1, 0);
+    dir.pool_offsets.assign(num_vertices + 1, 0);
+
+    std::vector<std::pair<std::span<const EdgeTypeId>, VertexId>> groups;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      groups.clear();
+      const size_t n = g.GroupCount(v, d);
+      groups.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        GroupView view = g.Group(v, d, i);
+        groups.emplace_back(view.types, view.neighbor);
+      }
+      // Order multi-edges lexicographically by their (sorted) type sequence
+      // so prefix sharing in the trie falls out of a linear scan.
+      std::sort(groups.begin(), groups.end(),
+                [](const auto& a, const auto& b) {
+                  if (LexLess(a.first, b.first)) return true;
+                  if (LexLess(b.first, a.first)) return false;
+                  return a.second < b.second;
+                });
+      BuildChildren(groups, 0, groups.size(), 0, &dir);
+      dir.node_offsets[v + 1] = dir.nodes.size();
+      dir.pool_offsets[v + 1] = dir.pool.size();
+    }
+  }
+  return index;
+}
+
+void NeighborhoodIndex::SupersetNeighbors(VertexId v, Direction d,
+                                          std::span<const EdgeTypeId> types,
+                                          std::vector<VertexId>* out) const {
+  const DirIndex& dir = dirs_[static_cast<int>(d)];
+  if (v + 1 >= dir.node_offsets.size()) return;
+  const size_t out_start = out->size();
+
+  if (types.empty()) {
+    // Every neighbour on this side: the vertex's whole inverted-list range.
+    out->insert(out->end(), dir.pool.begin() + dir.pool_offsets[v],
+                dir.pool.begin() + dir.pool_offsets[v + 1]);
+    std::sort(out->begin() + out_start, out->end());
+    return;
+  }
+
+  const uint32_t begin = static_cast<uint32_t>(dir.node_offsets[v]);
+  const uint32_t end = static_cast<uint32_t>(dir.node_offsets[v + 1]);
+
+  // Iterative DFS over (node, matched query prefix length). Sibling walks
+  // stop early once a label exceeds the next unmatched query type.
+  struct Frame {
+    uint32_t node;
+    uint32_t limit;  // one past the last sibling in this chain
+    uint32_t qi;
+  };
+  std::vector<Frame> stack;
+  if (begin < end) stack.push_back(Frame{begin, end, 0});
+
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+
+    uint32_t n = f.node;
+    uint32_t qi = f.qi;
+    while (n < f.limit) {
+      const Node& node = dir.nodes[n];
+      if (qi < types.size() && node.type > types[qi]) {
+        break;  // this sibling and all later ones are > types[qi]: prune
+      }
+      uint32_t qn = qi;
+      if (qi < types.size() && node.type == types[qi]) qn = qi + 1;
+
+      if (qn == types.size()) {
+        // Whole subtree matches; its inverted lists are contiguous.
+        const Node& last = dir.nodes[node.subtree_end - 1];
+        out->insert(out->end(), dir.pool.begin() + node.list_begin,
+                    dir.pool.begin() + last.list_end);
+      } else if (node.subtree_end > n + 1) {
+        stack.push_back(Frame{n + 1, node.subtree_end, qn});
+      }
+      n = node.subtree_end;
+    }
+  }
+  std::sort(out->begin() + out_start, out->end());
+}
+
+uint64_t NeighborhoodIndex::ByteSize() const {
+  uint64_t total = 0;
+  for (const DirIndex& dir : dirs_) {
+    total += dir.node_offsets.capacity() * sizeof(uint64_t);
+    total += dir.pool_offsets.capacity() * sizeof(uint64_t);
+    total += dir.nodes.capacity() * sizeof(Node);
+    total += dir.pool.capacity() * sizeof(VertexId);
+  }
+  return total;
+}
+
+void NeighborhoodIndex::Save(std::ostream& os) const {
+  serde::WriteHeader(os, kNbrIndexMagic, kNbrIndexVersion);
+  for (const DirIndex& dir : dirs_) {
+    serde::WriteVector(os, dir.node_offsets);
+    serde::WriteVector(os, dir.pool_offsets);
+    serde::WritePod<uint64_t>(os, dir.nodes.size());
+    for (const Node& n : dir.nodes) serde::WritePod(os, n);
+    serde::WriteVector(os, dir.pool);
+  }
+}
+
+Status NeighborhoodIndex::Load(std::istream& is) {
+  AMBER_RETURN_IF_ERROR(
+      serde::CheckHeader(is, kNbrIndexMagic, kNbrIndexVersion));
+  for (DirIndex& dir : dirs_) {
+    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &dir.node_offsets));
+    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &dir.pool_offsets));
+    uint64_t n = 0;
+    AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &n));
+    dir.nodes.resize(n);
+    for (Node& node : dir.nodes) {
+      AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &node));
+    }
+    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &dir.pool));
+  }
+  return Status::OK();
+}
+
+}  // namespace amber

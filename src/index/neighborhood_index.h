@@ -1,0 +1,99 @@
+// Vertex neighbourhood index N (Section 4.3): per data vertex, two OTIL
+// structures — Ordered Trie with Inverted List, after Terrovitis et al.
+// (CIKM'06) — one for incoming ('+', N+) and one for outgoing ('-', N-)
+// edges.
+//
+// For a vertex v, each neighbour group (the sorted multi-edge type set shared
+// with one neighbour) is inserted as a root-anchored path in the trie; the
+// neighbour id is appended to the inverted list of the node where its path
+// ends. The core query is:
+//
+//   Superset(v, dir, T') = { v' in N_dir(v) : T' subseteq L_E(v,v') }
+//
+// answered by walking the trie and matching the sorted T' as a subsequence of
+// node labels. Because labels are sorted along paths *and* across siblings,
+// a node labelled greater than the next unmatched query type prunes itself
+// and all its later siblings; once every query type is matched, the whole
+// subtree (one contiguous node/list range in our flat layout) is accepted.
+//
+// The entire forest of tries is stored in four flat arrays per direction —
+// no per-node allocation, cheap to serialize, and subtree acceptance is a
+// single memcpy-style append.
+
+#ifndef AMBER_INDEX_NEIGHBORHOOD_INDEX_H_
+#define AMBER_INDEX_NEIGHBORHOOD_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// \brief OTIL-based neighbourhood index over a data multigraph.
+class NeighborhoodIndex {
+ public:
+  NeighborhoodIndex() = default;
+
+  /// Builds N+ and N- for every vertex (offline stage).
+  static NeighborhoodIndex Build(const Multigraph& g);
+
+  /// Appends to `*out` every neighbour v' of `v` on side `d` whose
+  /// multi-edge with `v` is a superset of `types` (sorted ascending).
+  /// With empty `types`, all neighbours on that side are returned.
+  /// The appended range is sorted and duplicate-free.
+  void SupersetNeighbors(VertexId v, Direction d,
+                         std::span<const EdgeTypeId> types,
+                         std::vector<VertexId>* out) const;
+
+  /// Convenience wrapper returning a fresh vector.
+  std::vector<VertexId> Superset(VertexId v, Direction d,
+                                 std::span<const EdgeTypeId> types) const {
+    std::vector<VertexId> out;
+    SupersetNeighbors(v, d, types, &out);
+    return out;
+  }
+
+  size_t NumVertices() const {
+    return dirs_[0].node_offsets.empty() ? 0
+                                         : dirs_[0].node_offsets.size() - 1;
+  }
+
+  uint64_t ByteSize() const;
+
+  void Save(std::ostream& os) const;
+  Status Load(std::istream& is);
+
+ private:
+  // One trie node. Children of node i are the maximal chain
+  // i+1, subtree_end(i+1), ... inside (i, subtree_end(i)); both node and
+  // inverted-list storage of a subtree are contiguous.
+  struct Node {
+    EdgeTypeId type;
+    uint32_t subtree_end;  // absolute node index one past the subtree
+    uint32_t list_begin;   // own inverted list in `pool`
+    uint32_t list_end;
+  };
+
+  struct DirIndex {
+    std::vector<uint64_t> node_offsets;  // per vertex, size V+1
+    std::vector<uint64_t> pool_offsets;  // per vertex, size V+1
+    std::vector<Node> nodes;
+    std::vector<VertexId> pool;          // inverted lists, DFS order
+  };
+
+  // Recursive trie construction over the sorted groups [lo, hi).
+  static void BuildChildren(
+      const std::vector<std::pair<std::span<const EdgeTypeId>, VertexId>>&
+          groups,
+      size_t lo, size_t hi, size_t depth, DirIndex* dir);
+
+  DirIndex dirs_[2];  // indexed by Direction
+};
+
+}  // namespace amber
+
+#endif  // AMBER_INDEX_NEIGHBORHOOD_INDEX_H_

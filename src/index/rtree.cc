@@ -1,0 +1,172 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/serde.h"
+
+namespace amber {
+
+namespace {
+constexpr uint32_t kRTreeMagic = 0x414D4252;  // "AMBR"
+constexpr uint32_t kRTreeVersion = 1;
+}  // namespace
+
+SynopsisRTree SynopsisRTree::Build(std::span<const Synopsis> points,
+                                   const Options& options) {
+  SynopsisRTree tree;
+  tree.points_.assign(points.begin(), points.end());
+  if (points.empty()) return tree;
+
+  std::vector<uint32_t> ids(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) ids[i] = i;
+  tree.entries_.reserve(points.size());
+  tree.root_ = tree.BuildNode(std::span<uint32_t>(ids), 0, options);
+  return tree;
+}
+
+uint32_t SynopsisRTree::BuildNode(std::span<uint32_t> ids, int depth,
+                                  const Options& options) {
+  assert(!ids.empty());
+  Node node;
+  for (int i = 0; i < Synopsis::kNumFields; ++i) {
+    node.mbr_min[i] = std::numeric_limits<int32_t>::max();
+    node.mbr_max[i] = std::numeric_limits<int32_t>::min();
+  }
+  node.entry_begin = static_cast<uint32_t>(entries_.size());
+
+  if (ids.size() <= options.leaf_capacity) {
+    for (uint32_t id : ids) {
+      entries_.push_back(id);
+      const Synopsis& p = points_[id];
+      for (int i = 0; i < Synopsis::kNumFields; ++i) {
+        node.mbr_min[i] = std::min(node.mbr_min[i], p.f[i]);
+        node.mbr_max[i] = std::max(node.mbr_max[i], p.f[i]);
+      }
+    }
+    node.entry_end = static_cast<uint32_t>(entries_.size());
+    node.children_begin = 0;
+    node.children_count = 0;
+    nodes_.push_back(node);
+    return static_cast<uint32_t>(nodes_.size() - 1);
+  }
+
+  // Partition along one dimension per level (round-robin), into up to
+  // `fanout` equal slices: a sort-tile-recursive style pack.
+  const int dim = depth % Synopsis::kNumFields;
+  std::sort(ids.begin(), ids.end(), [this, dim](uint32_t a, uint32_t b) {
+    if (points_[a].f[dim] != points_[b].f[dim]) {
+      return points_[a].f[dim] < points_[b].f[dim];
+    }
+    return a < b;
+  });
+
+  const size_t slices =
+      std::min<size_t>(options.fanout,
+                       (ids.size() + options.leaf_capacity - 1) /
+                           options.leaf_capacity);
+  const size_t per_slice = (ids.size() + slices - 1) / slices;
+
+  std::vector<uint32_t> children;
+  for (size_t begin = 0; begin < ids.size(); begin += per_slice) {
+    size_t end = std::min(ids.size(), begin + per_slice);
+    children.push_back(
+        BuildNode(ids.subspan(begin, end - begin), depth + 1, options));
+  }
+
+  for (uint32_t child : children) {
+    const Node& c = nodes_[child];
+    for (int i = 0; i < Synopsis::kNumFields; ++i) {
+      node.mbr_min[i] = std::min(node.mbr_min[i], c.mbr_min[i]);
+      node.mbr_max[i] = std::max(node.mbr_max[i], c.mbr_max[i]);
+    }
+  }
+  node.entry_end = static_cast<uint32_t>(entries_.size());
+  node.children_begin = static_cast<uint32_t>(child_pool_.size());
+  node.children_count = static_cast<uint32_t>(children.size());
+  child_pool_.insert(child_pool_.end(), children.begin(), children.end());
+  nodes_.push_back(node);
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void SynopsisRTree::CollectRange(uint32_t begin, uint32_t end,
+                                 std::vector<uint32_t>* out) const {
+  out->insert(out->end(), entries_.begin() + begin, entries_.begin() + end);
+}
+
+void SynopsisRTree::QueryDominating(const Synopsis& q,
+                                    std::vector<uint32_t>* out) const {
+  const size_t out_start = out->size();
+  if (nodes_.empty()) return;
+
+  std::vector<uint32_t> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+
+    bool prune = false;
+    bool all_inside = true;
+    for (int i = 0; i < Synopsis::kNumFields; ++i) {
+      if (q.f[i] > node.mbr_max[i]) {
+        prune = true;
+        break;
+      }
+      if (q.f[i] > node.mbr_min[i]) all_inside = false;
+    }
+    if (prune) continue;
+    if (all_inside) {
+      // Every point in the subtree dominates q.
+      CollectRange(node.entry_begin, node.entry_end, out);
+      continue;
+    }
+    if (node.children_count == 0) {
+      for (uint32_t e = node.entry_begin; e < node.entry_end; ++e) {
+        if (points_[entries_[e]].Dominates(q)) out->push_back(entries_[e]);
+      }
+      continue;
+    }
+    for (uint32_t c = 0; c < node.children_count; ++c) {
+      stack.push_back(child_pool_[node.children_begin + c]);
+    }
+  }
+  std::sort(out->begin() + out_start, out->end());
+}
+
+void SynopsisRTree::Save(std::ostream& os) const {
+  serde::WriteHeader(os, kRTreeMagic, kRTreeVersion);
+  serde::WritePod<uint64_t>(os, points_.size());
+  for (const Synopsis& p : points_) {
+    for (int32_t v : p.f) serde::WritePod(os, v);
+  }
+  serde::WritePod<uint64_t>(os, nodes_.size());
+  for (const Node& n : nodes_) {
+    serde::WritePod(os, n);
+  }
+  serde::WriteVector(os, entries_);
+  serde::WriteVector(os, child_pool_);
+  serde::WritePod(os, root_);
+}
+
+Status SynopsisRTree::Load(std::istream& is) {
+  AMBER_RETURN_IF_ERROR(serde::CheckHeader(is, kRTreeMagic, kRTreeVersion));
+  uint64_t n = 0;
+  AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &n));
+  points_.resize(n);
+  for (Synopsis& p : points_) {
+    for (int32_t& v : p.f) {
+      AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &v));
+    }
+  }
+  AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &n));
+  nodes_.resize(n);
+  for (Node& node : nodes_) {
+    AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &node));
+  }
+  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &entries_));
+  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &child_pool_));
+  return serde::ReadPod(is, &root_);
+}
+
+}  // namespace amber

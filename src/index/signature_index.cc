@@ -1,0 +1,12 @@
+#include "index/signature_index.h"
+
+namespace amber {
+
+SignatureIndex SignatureIndex::Build(const Multigraph& g) {
+  SignatureIndex index;
+  std::vector<Synopsis> synopses = ComputeAllSynopses(g);
+  index.tree_ = SynopsisRTree::Build(synopses);
+  return index;
+}
+
+}  // namespace amber

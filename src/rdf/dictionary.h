@@ -1,0 +1,105 @@
+// String dictionaries: the key/value look-up tables of Table 2 in the paper.
+//
+// AMbER keeps three dictionaries (vertices, edge types, attributes); all are
+// instances of StringDictionary, which maps strings to dense uint32 ids and
+// back. Ids are assigned in first-seen order starting at 0.
+
+#ifndef AMBER_RDF_DICTIONARY_H_
+#define AMBER_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// Dense id assigned to a dictionary entry.
+using DictId = uint32_t;
+
+/// Sentinel for "no id".
+inline constexpr DictId kInvalidDictId = 0xFFFFFFFFu;
+
+/// \brief Bidirectional string <-> dense-id dictionary.
+///
+/// Strings are stored once (in a deque, so references stay stable) and the
+/// reverse map keys are string_views into that storage. Lookup is O(1)
+/// expected; memory is one string copy plus hash-table overhead per entry.
+class StringDictionary {
+ public:
+  StringDictionary() = default;
+
+  // Movable but not copyable: the map holds views into our own storage.
+  StringDictionary(StringDictionary&&) = default;
+  StringDictionary& operator=(StringDictionary&&) = default;
+  StringDictionary(const StringDictionary&) = delete;
+  StringDictionary& operator=(const StringDictionary&) = delete;
+
+  /// Returns the id of `key`, inserting it if absent.
+  DictId GetOrAdd(std::string_view key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    DictId id = static_cast<DictId>(items_.size());
+    items_.emplace_back(key);
+    index_.emplace(std::string_view(items_.back()), id);
+    return id;
+  }
+
+  /// Returns the id of `key` if present.
+  std::optional<DictId> Find(std::string_view key) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(std::string_view key) const {
+    return index_.find(key) != index_.end();
+  }
+
+  /// Inverse mapping M^-1: id -> string. `id` must be < size().
+  const std::string& Lookup(DictId id) const { return items_.at(id); }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Approximate heap footprint in bytes (strings + hash table).
+  uint64_t ByteSize() const {
+    uint64_t total = 0;
+    for (const auto& s : items_) total += s.capacity() + sizeof(std::string);
+    total += index_.size() *
+             (sizeof(std::string_view) + sizeof(DictId) + 2 * sizeof(void*));
+    return total;
+  }
+
+  void Save(std::ostream& os) const {
+    serde::WritePod<uint64_t>(os, items_.size());
+    for (const auto& s : items_) serde::WriteString(os, s);
+  }
+
+  Status Load(std::istream& is) {
+    items_.clear();
+    index_.clear();
+    uint64_t n = 0;
+    AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &n));
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string s;
+      AMBER_RETURN_IF_ERROR(serde::ReadString(is, &s));
+      if (Contains(s)) return Status::Corruption("duplicate dictionary key");
+      GetOrAdd(s);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::deque<std::string> items_;  // deque: stable references on push_back
+  std::unordered_map<std::string_view, DictId> index_;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_RDF_DICTIONARY_H_

@@ -1,0 +1,75 @@
+#include "rdf/encoded_dataset.h"
+
+namespace amber {
+
+namespace {
+// Separator between predicate IRI and literal token in attribute keys.
+// \x1f (ASCII unit separator) cannot appear in an IRI.
+constexpr char kAttrSep = '\x1f';
+}  // namespace
+
+std::string RdfDictionaries::AttributeKey(const Term& predicate,
+                                          const Term& literal) {
+  std::string key = predicate.value;
+  key += kAttrSep;
+  key += literal.ToNTriples();
+  return key;
+}
+
+std::string RdfDictionaries::AttributeDescription(AttributeId a) const {
+  const std::string& key = attributes_.Lookup(a);
+  size_t pos = key.find(kAttrSep);
+  if (pos == std::string::npos) return key;
+  std::string out;
+  out.reserve(key.size() + 8);
+  out += '<';
+  out.append(key, 0, pos);
+  out += "> -> ";
+  out.append(key, pos + 1, std::string::npos);
+  return out;
+}
+
+void RdfDictionaries::Save(std::ostream& os) const {
+  vertices_.Save(os);
+  edge_types_.Save(os);
+  attributes_.Save(os);
+}
+
+Status RdfDictionaries::Load(std::istream& is) {
+  AMBER_RETURN_IF_ERROR(vertices_.Load(is));
+  AMBER_RETURN_IF_ERROR(edge_types_.Load(is));
+  return attributes_.Load(is);
+}
+
+Result<EncodedDataset> EncodedDataset::Encode(
+    const std::vector<Triple>& triples) {
+  EncodedDataset out;
+  out.edges.reserve(triples.size());
+  for (const Triple& t : triples) {
+    if (t.subject.is_literal()) {
+      return Status::InvalidArgument("literal in subject position: " +
+                                     t.ToNTriples());
+    }
+    if (!t.predicate.is_iri()) {
+      return Status::InvalidArgument("predicate must be an IRI: " +
+                                     t.ToNTriples());
+    }
+    VertexId s = out.dictionaries.vertices().GetOrAdd(
+        RdfDictionaries::VertexKey(t.subject));
+    if (t.object.is_literal()) {
+      AttributeId a = out.dictionaries.attributes().GetOrAdd(
+          RdfDictionaries::AttributeKey(t.predicate, t.object));
+      out.attributes.push_back(EncodedAttribute{s, a});
+    } else {
+      EdgeTypeId p = out.dictionaries.edge_types().GetOrAdd(
+          RdfDictionaries::PredicateKey(t.predicate));
+      VertexId o = out.dictionaries.vertices().GetOrAdd(
+          RdfDictionaries::VertexKey(t.object));
+      out.edges.push_back(EncodedEdge{s, p, o});
+    }
+    ++out.num_triples;
+  }
+  return out;
+}
+
+}  // namespace amber

@@ -1,0 +1,106 @@
+// The offline encoding step of Section 2.1.1: an RDF tripleset becomes
+//   * vertex ids        for subject / object IRIs and blank nodes,
+//   * edge-type ids     for predicates of IRI-object triples,
+//   * attribute ids     for <predicate, literal> pairs of literal-object
+//                       triples (assigned to the subject vertex).
+//
+// The three dictionaries correspond exactly to Table 2 of the paper.
+
+#ifndef AMBER_RDF_ENCODED_DATASET_H_
+#define AMBER_RDF_ENCODED_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// Vertex identifier in the data multigraph (maps to a subject/object IRI).
+using VertexId = uint32_t;
+/// Edge-type identifier (maps to a predicate IRI).
+using EdgeTypeId = uint32_t;
+/// Vertex-attribute identifier (maps to a <predicate, literal> pair).
+using AttributeId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/// One dictionary-encoded edge (triple with IRI/blank object).
+struct EncodedEdge {
+  VertexId subject;
+  EdgeTypeId predicate;
+  VertexId object;
+};
+
+/// One dictionary-encoded vertex attribute (triple with literal object).
+struct EncodedAttribute {
+  VertexId subject;
+  AttributeId attribute;
+};
+
+/// \brief The three mapping dictionaries Mv, Me, Ma of the paper (Table 2).
+class RdfDictionaries {
+ public:
+  RdfDictionaries() = default;
+  RdfDictionaries(RdfDictionaries&&) = default;
+  RdfDictionaries& operator=(RdfDictionaries&&) = default;
+
+  /// Canonical dictionary key of a vertex term (IRI or blank node).
+  static std::string VertexKey(const Term& term) { return term.ToNTriples(); }
+  /// Canonical dictionary key of a predicate term.
+  static std::string PredicateKey(const Term& term) { return term.value; }
+  /// Canonical dictionary key of a <predicate, literal> attribute pair.
+  static std::string AttributeKey(const Term& predicate, const Term& literal);
+
+  StringDictionary& vertices() { return vertices_; }
+  const StringDictionary& vertices() const { return vertices_; }
+  StringDictionary& edge_types() { return edge_types_; }
+  const StringDictionary& edge_types() const { return edge_types_; }
+  StringDictionary& attributes() { return attributes_; }
+  const StringDictionary& attributes() const { return attributes_; }
+
+  /// Inverse vertex mapping Mv^-1: vertex id -> N-Triples token.
+  const std::string& VertexToken(VertexId v) const {
+    return vertices_.Lookup(v);
+  }
+  /// Inverse edge-type mapping Me^-1: edge-type id -> predicate IRI.
+  const std::string& PredicateIri(EdgeTypeId t) const {
+    return edge_types_.Lookup(t);
+  }
+  /// Inverse attribute mapping Ma^-1, rendered "<pred> -> <literal token>".
+  std::string AttributeDescription(AttributeId a) const;
+
+  uint64_t ByteSize() const {
+    return vertices_.ByteSize() + edge_types_.ByteSize() +
+           attributes_.ByteSize();
+  }
+
+  void Save(std::ostream& os) const;
+  Status Load(std::istream& is);
+
+ private:
+  StringDictionary vertices_;
+  StringDictionary edge_types_;
+  StringDictionary attributes_;
+};
+
+/// \brief Dictionary-encoded RDF dataset: the input of multigraph
+/// construction (offline stage, Section 3).
+struct EncodedDataset {
+  RdfDictionaries dictionaries;
+  std::vector<EncodedEdge> edges;
+  std::vector<EncodedAttribute> attributes;
+  uint64_t num_triples = 0;
+
+  /// Encodes a tripleset. Every triple contributes either one edge (IRI /
+  /// blank object) or one vertex attribute (literal object). Literal
+  /// subjects are rejected (W3C forbids them).
+  static Result<EncodedDataset> Encode(const std::vector<Triple>& triples);
+};
+
+}  // namespace amber
+
+#endif  // AMBER_RDF_ENCODED_DATASET_H_

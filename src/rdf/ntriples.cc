@@ -1,0 +1,238 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace amber {
+namespace {
+
+// Cursor over one line of N-Triples input.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view s) : s_(s) {}
+
+  void SkipSpace() {
+    while (pos_ < s_.size() && IsSpaceAscii(s_[pos_])) ++pos_;
+  }
+
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  void Advance() { ++pos_; }
+  size_t pos() const { return pos_; }
+
+  /// Consumes characters until (excluding) the next unescaped `stop`.
+  /// Returns false if `stop` was not found.
+  bool TakeUntil(char stop, std::string_view* out) {
+    size_t start = pos_;
+    bool escaped = false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == stop) {
+        *out = s_.substr(start, pos_ - start);
+        ++pos_;  // consume the stop character
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  /// Consumes a run of non-space characters.
+  std::string_view TakeToken() {
+    size_t start = pos_;
+    while (pos_ < s_.size() && !IsSpaceAscii(s_[pos_]) && s_[pos_] != '.') {
+      ++pos_;
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+Status MalformedError(std::string_view what, std::string_view line) {
+  std::string msg = "malformed N-Triples (";
+  msg.append(what);
+  msg += "): ";
+  // Clip long lines in error messages.
+  msg.append(line.substr(0, 120));
+  return Status::InvalidArgument(msg);
+}
+
+// Parses one term starting at the cursor. `position` is 0/1/2 for s/p/o.
+Status ParseTerm(LineCursor* cur, int position, std::string_view line,
+                 Term* term) {
+  cur->SkipSpace();
+  if (cur->AtEnd()) return MalformedError("missing term", line);
+  char c = cur->Peek();
+
+  if (c == '<') {  // IRI
+    cur->Advance();
+    std::string_view raw;
+    if (!cur->TakeUntil('>', &raw)) {
+      return MalformedError("unterminated IRI", line);
+    }
+    std::string iri;
+    if (!UnescapeNTriples(raw, &iri)) {
+      return MalformedError("bad escape in IRI", line);
+    }
+    if (iri.empty()) return MalformedError("empty IRI", line);
+    *term = Term::Iri(std::move(iri));
+    return Status::OK();
+  }
+
+  if (c == '_') {  // blank node
+    cur->Advance();
+    if (cur->AtEnd() || cur->Peek() != ':') {
+      return MalformedError("bad blank node", line);
+    }
+    cur->Advance();
+    std::string_view label = cur->TakeToken();
+    if (label.empty()) return MalformedError("empty blank node label", line);
+    if (position == 1) {
+      return MalformedError("blank node in predicate position", line);
+    }
+    *term = Term::Blank(std::string(label));
+    return Status::OK();
+  }
+
+  if (c == '"') {  // literal
+    if (position != 2) {
+      return MalformedError("literal outside object position", line);
+    }
+    cur->Advance();
+    std::string_view raw;
+    if (!cur->TakeUntil('"', &raw)) {
+      return MalformedError("unterminated literal", line);
+    }
+    std::string lexical;
+    if (!UnescapeNTriples(raw, &lexical)) {
+      return MalformedError("bad escape in literal", line);
+    }
+    std::string datatype, lang;
+    if (!cur->AtEnd() && cur->Peek() == '@') {
+      cur->Advance();
+      std::string_view tag = cur->TakeToken();
+      if (tag.empty()) return MalformedError("empty language tag", line);
+      lang.assign(tag);
+    } else if (!cur->AtEnd() && cur->Peek() == '^') {
+      cur->Advance();
+      if (cur->AtEnd() || cur->Peek() != '^') {
+        return MalformedError("bad datatype marker", line);
+      }
+      cur->Advance();
+      if (cur->AtEnd() || cur->Peek() != '<') {
+        return MalformedError("datatype must be an IRI", line);
+      }
+      cur->Advance();
+      std::string_view raw_dt;
+      if (!cur->TakeUntil('>', &raw_dt)) {
+        return MalformedError("unterminated datatype IRI", line);
+      }
+      if (!UnescapeNTriples(raw_dt, &datatype)) {
+        return MalformedError("bad escape in datatype IRI", line);
+      }
+    }
+    *term = Term::Literal(std::move(lexical), std::move(datatype),
+                          std::move(lang));
+    return Status::OK();
+  }
+
+  return MalformedError("unexpected character", line);
+}
+
+}  // namespace
+
+Result<bool> NTriplesParser::ParseLine(std::string_view line, Triple* triple) {
+  std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty() || trimmed.front() == '#') return false;
+
+  LineCursor cur(trimmed);
+  AMBER_RETURN_IF_ERROR(ParseTerm(&cur, 0, trimmed, &triple->subject));
+  AMBER_RETURN_IF_ERROR(ParseTerm(&cur, 1, trimmed, &triple->predicate));
+  if (!triple->predicate.is_iri()) {
+    return MalformedError("predicate must be an IRI", trimmed);
+  }
+  AMBER_RETURN_IF_ERROR(ParseTerm(&cur, 2, trimmed, &triple->object));
+
+  cur.SkipSpace();
+  if (cur.AtEnd() || cur.Peek() != '.') {
+    return MalformedError("missing terminating '.'", trimmed);
+  }
+  cur.Advance();
+  cur.SkipSpace();
+  if (!cur.AtEnd() && cur.Peek() != '#') {
+    return MalformedError("trailing garbage after '.'", trimmed);
+  }
+  return true;
+}
+
+Result<std::vector<Triple>> NTriplesParser::ParseString(
+    std::string_view text) {
+  std::vector<Triple> out;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = (end == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    ++line_no;
+    Triple t;
+    Result<bool> parsed = ParseLine(line, &t);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     parsed.status().message());
+    }
+    if (*parsed) out.push_back(std::move(t));
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+Result<std::vector<Triple>> NTriplesParser::ParseFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<Triple> out;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    Triple t;
+    Result<bool> parsed = ParseLine(line, &t);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + parsed.status().message());
+    }
+    if (*parsed) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void NTriplesWriter::Write(std::ostream& os,
+                           const std::vector<Triple>& triples) {
+  for (const Triple& t : triples) {
+    os << t.ToNTriples() << '\n';
+  }
+}
+
+Status NTriplesWriter::WriteFile(const std::string& path,
+                                 const std::vector<Triple>& triples) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  Write(out, triples);
+  out.flush();
+  if (!out.good()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace amber

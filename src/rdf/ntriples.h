@@ -1,0 +1,48 @@
+// N-Triples reader and writer (the on-disk format the paper's datasets ship
+// in). The parser is line-oriented and handles IRIs, blank nodes, plain /
+// typed / language-tagged literals, escape sequences including \uXXXX and
+// \UXXXXXXXX, comments and blank lines. Errors carry the offending line
+// number.
+
+#ifndef AMBER_RDF_NTRIPLES_H_
+#define AMBER_RDF_NTRIPLES_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// \brief Parser for the N-Triples serialization of RDF.
+class NTriplesParser {
+ public:
+  /// Parses one N-Triples line. Returns true and fills `*triple` when the
+  /// line holds a statement; returns false for blank/comment lines; returns
+  /// an error Status on malformed input.
+  static Result<bool> ParseLine(std::string_view line, Triple* triple);
+
+  /// Parses a whole document held in memory.
+  static Result<std::vector<Triple>> ParseString(std::string_view text);
+
+  /// Parses an N-Triples file from disk.
+  static Result<std::vector<Triple>> ParseFile(const std::string& path);
+};
+
+/// \brief Writer emitting canonical N-Triples.
+class NTriplesWriter {
+ public:
+  /// Serializes `triples` to `os`, one statement per line.
+  static void Write(std::ostream& os, const std::vector<Triple>& triples);
+
+  /// Serializes `triples` to `path`. Overwrites the file.
+  static Status WriteFile(const std::string& path,
+                          const std::vector<Triple>& triples);
+};
+
+}  // namespace amber
+
+#endif  // AMBER_RDF_NTRIPLES_H_

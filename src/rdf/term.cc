@@ -1,0 +1,31 @@
+#include "rdf/term.h"
+
+#include "util/string_util.h"
+
+namespace amber {
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + EscapeNTriples(value) + ">";
+    case TermKind::kBlank:
+      return "_:" + value;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeNTriples(value) + "\"";
+      if (!lang.empty()) {
+        out += "@" + lang;
+      } else if (!datatype.empty()) {
+        out += "^^<" + EscapeNTriples(datatype) + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string Triple::ToNTriples() const {
+  return subject.ToNTriples() + " " + predicate.ToNTriples() + " " +
+         object.ToNTriples() + " .";
+}
+
+}  // namespace amber

@@ -1,0 +1,113 @@
+// RDF term and triple model (Section 2.1 of the paper).
+//
+// A term is an IRI, a literal (with optional datatype or language tag), or a
+// blank node. Triples are <subject, predicate, object> with the W3C
+// restrictions: subjects are IRIs or blank nodes, predicates are IRIs,
+// objects are any term.
+
+#ifndef AMBER_RDF_TERM_H_
+#define AMBER_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+namespace amber {
+
+/// Kind of an RDF term.
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// \brief An RDF term: IRI, literal, or blank node.
+///
+/// For IRIs, `value` is the IRI string without angle brackets. For literals,
+/// `value` is the lexical form, `datatype` the (optional) datatype IRI and
+/// `lang` the (optional) language tag; at most one of the two is non-empty.
+/// For blank nodes, `value` is the label without the "_:" prefix.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string value;
+  std::string datatype;
+  std::string lang;
+
+  Term() = default;
+
+  static Term Iri(std::string iri) {
+    Term t;
+    t.kind = TermKind::kIri;
+    t.value = std::move(iri);
+    return t;
+  }
+
+  static Term Literal(std::string lexical, std::string datatype_iri = "",
+                      std::string lang_tag = "") {
+    Term t;
+    t.kind = TermKind::kLiteral;
+    t.value = std::move(lexical);
+    t.datatype = std::move(datatype_iri);
+    t.lang = std::move(lang_tag);
+    return t;
+  }
+
+  static Term Blank(std::string label) {
+    Term t;
+    t.kind = TermKind::kBlank;
+    t.value = std::move(label);
+    return t;
+  }
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+
+  /// True for IRIs and blank nodes — the terms that become multigraph
+  /// vertices (literals become vertex attributes instead, Section 2.1.1).
+  bool is_resource() const { return !is_literal(); }
+
+  /// Canonical N-Triples token: `<iri>`, `"lit"@en`, `"90000"^^<dt>`,
+  /// `_:b0`. Used both for output and as the canonical dictionary key.
+  std::string ToNTriples() const;
+
+  bool operator==(const Term& o) const {
+    return kind == o.kind && value == o.value && datatype == o.datatype &&
+           lang == o.lang;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+  bool operator<(const Term& o) const {
+    return std::tie(kind, value, datatype, lang) <
+           std::tie(o.kind, o.value, o.datatype, o.lang);
+  }
+};
+
+/// \brief One RDF statement <subject, predicate, object>.
+struct Triple {
+  Term subject;
+  Term predicate;
+  Term object;
+
+  Triple() = default;
+  Triple(Term s, Term p, Term o)
+      : subject(std::move(s)),
+        predicate(std::move(p)),
+        object(std::move(o)) {}
+
+  /// One N-Triples line, including the terminating " ."
+  std::string ToNTriples() const;
+
+  bool operator==(const Triple& o) const {
+    return subject == o.subject && predicate == o.predicate &&
+           object == o.object;
+  }
+  bool operator<(const Triple& o) const {
+    return std::tie(subject, predicate, object) <
+           std::tie(o.subject, o.predicate, o.object);
+  }
+};
+
+}  // namespace amber
+
+#endif  // AMBER_RDF_TERM_H_

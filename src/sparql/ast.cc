@@ -1,0 +1,24 @@
+#include "sparql/ast.h"
+
+namespace amber {
+
+Term PatternTerm::ToTerm() const {
+  switch (kind) {
+    case Kind::kIri:
+      return Term::Iri(value);
+    case Kind::kLiteral:
+      return Term::Literal(value, datatype, lang);
+    case Kind::kBlank:
+      return Term::Blank(value);
+    case Kind::kVariable:
+      break;
+  }
+  return Term();  // variables have no term form
+}
+
+std::string PatternTerm::ToString() const {
+  if (is_variable()) return "?" + value;
+  return ToTerm().ToNTriples();
+}
+
+}  // namespace amber

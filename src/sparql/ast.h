@@ -1,0 +1,101 @@
+// Abstract syntax for the SPARQL fragment the paper targets:
+// SELECT [DISTINCT] vars WHERE { basic graph pattern } [LIMIT n],
+// i.e. SELECT/WHERE with conjunctive triple patterns. FILTER, UNION,
+// OPTIONAL and GROUP BY are explicitly out of scope (Section 1).
+
+#ifndef AMBER_SPARQL_AST_H_
+#define AMBER_SPARQL_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace amber {
+
+/// One slot of a triple pattern: a variable or a concrete RDF term.
+struct PatternTerm {
+  enum class Kind : uint8_t { kVariable, kIri, kLiteral, kBlank };
+
+  Kind kind = Kind::kVariable;
+  std::string value;     // variable name (no '?'), IRI, lexical form, label
+  std::string datatype;  // literals only
+  std::string lang;      // literals only
+
+  static PatternTerm Variable(std::string name) {
+    PatternTerm t;
+    t.kind = Kind::kVariable;
+    t.value = std::move(name);
+    return t;
+  }
+  static PatternTerm Iri(std::string iri) {
+    PatternTerm t;
+    t.kind = Kind::kIri;
+    t.value = std::move(iri);
+    return t;
+  }
+  static PatternTerm Literal(std::string lexical, std::string datatype = "",
+                             std::string lang = "") {
+    PatternTerm t;
+    t.kind = Kind::kLiteral;
+    t.value = std::move(lexical);
+    t.datatype = std::move(datatype);
+    t.lang = std::move(lang);
+    return t;
+  }
+  static PatternTerm Blank(std::string label) {
+    PatternTerm t;
+    t.kind = Kind::kBlank;
+    t.value = std::move(label);
+    return t;
+  }
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_iri() const { return kind == Kind::kIri; }
+  bool is_literal() const { return kind == Kind::kLiteral; }
+
+  /// The concrete RDF term for non-variable slots.
+  Term ToTerm() const;
+
+  /// SPARQL surface form ("?x", "<iri>", literal token).
+  std::string ToString() const;
+
+  bool operator==(const PatternTerm& o) const {
+    return kind == o.kind && value == o.value && datatype == o.datatype &&
+           lang == o.lang;
+  }
+};
+
+/// One triple pattern of the WHERE clause.
+struct TriplePattern {
+  PatternTerm subject;
+  PatternTerm predicate;
+  PatternTerm object;
+
+  std::string ToString() const {
+    return subject.ToString() + " " + predicate.ToString() + " " +
+           object.ToString() + " .";
+  }
+
+  bool operator==(const TriplePattern& o) const {
+    return subject == o.subject && predicate == o.predicate &&
+           object == o.object;
+  }
+};
+
+/// A parsed SELECT query.
+struct SelectQuery {
+  bool select_all = false;                 // SELECT *
+  bool distinct = false;                   // SELECT DISTINCT
+  std::vector<std::string> projection;     // variable names, '?' stripped
+  std::vector<TriplePattern> patterns;     // the basic graph pattern
+  uint64_t limit = 0;                      // 0 = no LIMIT clause
+
+  /// Query size in the paper's sense: the number of triple patterns.
+  size_t size() const { return patterns.size(); }
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SPARQL_AST_H_

@@ -1,0 +1,26 @@
+#include "sparql/formatter.h"
+
+namespace amber {
+
+std::string FormatQuery(const SelectQuery& query) {
+  std::string out = "SELECT";
+  if (query.distinct) out += " DISTINCT";
+  if (query.select_all) {
+    out += " *";
+  } else {
+    for (const std::string& v : query.projection) {
+      out += " ?" + v;
+    }
+  }
+  out += " WHERE {\n";
+  for (const TriplePattern& p : query.patterns) {
+    out += "  " + p.ToString() + "\n";
+  }
+  out += "}";
+  if (query.limit != 0) {
+    out += " LIMIT " + std::to_string(query.limit);
+  }
+  return out;
+}
+
+}  // namespace amber

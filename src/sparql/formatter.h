@@ -1,0 +1,20 @@
+// SPARQL pretty-printer: renders a parsed SelectQuery back to canonical
+// query text. Round-trip stable (Parse(Format(q)) == q), which the tests
+// exploit as a property; used by tooling to normalize machine-generated
+// queries and by EXPLAIN output.
+
+#ifndef AMBER_SPARQL_FORMATTER_H_
+#define AMBER_SPARQL_FORMATTER_H_
+
+#include <string>
+
+#include "sparql/ast.h"
+
+namespace amber {
+
+/// Canonical text form of `query` (full IRIs, one pattern per line).
+std::string FormatQuery(const SelectQuery& query);
+
+}  // namespace amber
+
+#endif  // AMBER_SPARQL_FORMATTER_H_

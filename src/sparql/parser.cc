@@ -1,0 +1,451 @@
+#include "sparql/parser.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace amber {
+namespace {
+
+constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+constexpr std::string_view kXsdDecimal =
+    "http://www.w3.org/2001/XMLSchema#decimal";
+
+enum class TokenKind {
+  kEof,
+  kIdent,    // bare word: SELECT, WHERE, a, ...
+  kVar,      // ?name or $name
+  kIriRef,   // <...> (value = unescaped IRI)
+  kPName,    // prefix:local (value = "prefix:local", colon position kept)
+  kLiteral,  // "..." with optional @lang / ^^type (handled by parser)
+  kNumber,   // bare numeric literal
+  kPunct,    // one of { } . ; , * ( )
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string value;
+  char punct = 0;
+  size_t offset = 0;  // for error messages
+};
+
+bool IsPNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) break;
+      size_t start = pos_;
+      char c = text_[pos_];
+
+      if (c == '?' || c == '$') {
+        ++pos_;
+        std::string name = TakeWhile(
+            [](char ch) { return IsPNameChar(ch) && ch != '.' && ch != '-'; });
+        if (name.empty()) {
+          return Error(start, "empty variable name");
+        }
+        out->push_back({TokenKind::kVar, std::move(name), 0, start});
+      } else if (c == '<') {
+        ++pos_;
+        size_t end = text_.find('>', pos_);
+        if (end == std::string_view::npos) {
+          return Error(start, "unterminated IRI");
+        }
+        std::string iri;
+        if (!UnescapeNTriples(text_.substr(pos_, end - pos_), &iri)) {
+          return Error(start, "bad escape in IRI");
+        }
+        pos_ = end + 1;
+        out->push_back({TokenKind::kIriRef, std::move(iri), 0, start});
+      } else if (c == '"') {
+        ++pos_;
+        std::string raw;
+        bool closed = false;
+        bool escaped = false;
+        while (pos_ < text_.size()) {
+          char ch = text_[pos_];
+          if (escaped) {
+            raw += ch;
+            escaped = false;
+          } else if (ch == '\\') {
+            raw += ch;
+            escaped = true;
+          } else if (ch == '"') {
+            closed = true;
+            ++pos_;
+            break;
+          } else {
+            raw += ch;
+          }
+          ++pos_;
+        }
+        if (!closed) return Error(start, "unterminated literal");
+        std::string lexical;
+        if (!UnescapeNTriples(raw, &lexical)) {
+          return Error(start, "bad escape in literal");
+        }
+        out->push_back({TokenKind::kLiteral, std::move(lexical), 0, start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        std::string num;
+        if (c == '-') {
+          num += c;
+          ++pos_;
+        }
+        num += TakeWhile([](char ch) {
+          return std::isdigit(static_cast<unsigned char>(ch)) || ch == '.';
+        });
+        // A trailing '.' is the statement terminator, not part of the number.
+        while (!num.empty() && num.back() == '.') {
+          num.pop_back();
+          --pos_;
+        }
+        out->push_back({TokenKind::kNumber, std::move(num), 0, start});
+      } else if (c == '{' || c == '}' || c == '.' || c == ';' || c == ',' ||
+                 c == '*' || c == '(' || c == ')' || c == '>' || c == '=' ||
+                 c == '!' || c == '&' || c == '|' || c == '+' || c == '/') {
+        // Operator characters only occur inside FILTER expressions, which
+        // the parser rejects as Unimplemented; lex them as punctuation so
+        // the diagnostic names the operator instead of the character.
+        ++pos_;
+        out->push_back({TokenKind::kPunct, std::string(1, c), c, start});
+      } else if (c == '^') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '^') {
+          pos_ += 2;
+          out->push_back({TokenKind::kPunct, "^^", '^', start});
+        } else {
+          return Error(start, "stray '^'");
+        }
+      } else if (c == '@') {
+        ++pos_;
+        std::string tag = TakeWhile([](char ch) {
+          return std::isalnum(static_cast<unsigned char>(ch)) || ch == '-';
+        });
+        if (tag.empty()) return Error(start, "empty language tag");
+        out->push_back({TokenKind::kPunct, "@" + tag, '@', start});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                 c == ':') {
+        // Bare word, possibly a prefixed name (contains ':').
+        std::string word = TakeWhile(
+            [](char ch) { return IsPNameChar(ch) || ch == ':'; });
+        // A trailing '.' terminates the statement rather than the name.
+        while (!word.empty() && word.back() == '.') {
+          word.pop_back();
+          --pos_;
+        }
+        if (word.find(':') != std::string::npos) {
+          out->push_back({TokenKind::kPName, std::move(word), 0, start});
+        } else {
+          out->push_back({TokenKind::kIdent, std::move(word), 0, start});
+        }
+      } else {
+        return Error(start, std::string("unexpected character '") + c + "'");
+      }
+    }
+    out->push_back({TokenKind::kEof, "", 0, text_.size()});
+    return Status::OK();
+  }
+
+ private:
+  template <typename Pred>
+  std::string TakeWhile(Pred pred) {
+    size_t start = pos_;
+    while (pos_ < text_.size() && pred(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (IsSpaceAscii(c)) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(size_t offset, std::string_view what) const {
+    return Status::InvalidArgument("SPARQL lex error at offset " +
+                                   std::to_string(offset) + ": " +
+                                   std::string(what));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> Run() {
+    SelectQuery query;
+    AMBER_RETURN_IF_ERROR(ParsePrologue());
+    AMBER_RETURN_IF_ERROR(ParseSelectClause(&query));
+    AMBER_RETURN_IF_ERROR(ParseWhereClause(&query));
+    AMBER_RETURN_IF_ERROR(ParseModifiers(&query));
+    if (Peek().kind != TokenKind::kEof) {
+      return Error("trailing input after query");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Next() {
+    const Token& t = tokens_[std::min(pos_, tokens_.size() - 1)];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool ConsumePunct(char p) {
+    if (Peek().kind == TokenKind::kPunct && Peek().punct == p) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().kind == TokenKind::kIdent &&
+        EqualsIgnoreCase(Peek().value, kw)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status Error(std::string_view what) const {
+    return Status::InvalidArgument("SPARQL parse error near offset " +
+                                   std::to_string(Peek().offset) + ": " +
+                                   std::string(what));
+  }
+
+  Status ParsePrologue() {
+    while (ConsumeKeyword("PREFIX")) {
+      const Token& name = Peek();
+      std::string prefix;
+      if (name.kind == TokenKind::kPName && name.value.back() == ':') {
+        prefix = name.value.substr(0, name.value.size() - 1);
+        Next();
+      } else if (name.kind == TokenKind::kPName) {
+        return Error("prefix declaration must end with ':'");
+      } else {
+        return Error("expected prefix name after PREFIX");
+      }
+      if (Peek().kind != TokenKind::kIriRef) {
+        return Error("expected <iri> in prefix declaration");
+      }
+      prefixes_[prefix] = Next().value;
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectClause(SelectQuery* query) {
+    if (!ConsumeKeyword("SELECT")) return Error("expected SELECT");
+    if (ConsumeKeyword("DISTINCT")) query->distinct = true;
+    if (ConsumePunct('*')) {
+      query->select_all = true;
+      return Status::OK();
+    }
+    while (Peek().kind == TokenKind::kVar) {
+      query->projection.push_back(Next().value);
+    }
+    if (query->projection.empty()) {
+      return Error("SELECT needs at least one variable or '*'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseWhereClause(SelectQuery* query) {
+    ConsumeKeyword("WHERE");  // WHERE keyword is optional in SPARQL
+    if (!ConsumePunct('{')) return Error("expected '{'");
+
+    while (!ConsumePunct('}')) {
+      if (Peek().kind == TokenKind::kEof) return Error("unterminated '{'");
+      if (Peek().kind == TokenKind::kIdent &&
+          (EqualsIgnoreCase(Peek().value, "FILTER") ||
+           EqualsIgnoreCase(Peek().value, "OPTIONAL") ||
+           EqualsIgnoreCase(Peek().value, "UNION") ||
+           EqualsIgnoreCase(Peek().value, "GRAPH") ||
+           EqualsIgnoreCase(Peek().value, "MINUS"))) {
+        return Status::Unimplemented(
+            "SPARQL operator not supported by AMbER (paper scope is "
+            "SELECT/WHERE basic graph patterns): " +
+            Peek().value);
+      }
+      AMBER_RETURN_IF_ERROR(ParseTriplesSameSubject(query));
+      // Optional '.' separators (possibly several) between blocks.
+      while (ConsumePunct('.')) {
+      }
+    }
+    if (query->patterns.empty()) {
+      return Error("empty WHERE clause");
+    }
+    return Status::OK();
+  }
+
+  Status ParseTriplesSameSubject(SelectQuery* query) {
+    PatternTerm subject;
+    AMBER_RETURN_IF_ERROR(ParseTermSlot(/*predicate_position=*/false,
+                                        &subject));
+    while (true) {
+      PatternTerm predicate;
+      AMBER_RETURN_IF_ERROR(ParseTermSlot(/*predicate_position=*/true,
+                                          &predicate));
+      while (true) {
+        PatternTerm object;
+        AMBER_RETURN_IF_ERROR(ParseTermSlot(/*predicate_position=*/false,
+                                            &object));
+        query->patterns.push_back(TriplePattern{subject, predicate, object});
+        if (!ConsumePunct(',')) break;  // same subject + predicate
+      }
+      if (!ConsumePunct(';')) break;  // same subject
+      // Permit a dangling ';' before '.' or '}' (common in the wild).
+      if (Peek().kind == TokenKind::kPunct &&
+          (Peek().punct == '.' || Peek().punct == '}')) {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ResolvePName(const std::string& pname, std::string* iri) const {
+    size_t colon = pname.find(':');
+    std::string prefix = pname.substr(0, colon);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Status::InvalidArgument("undeclared prefix '" + prefix + ":'");
+    }
+    *iri = it->second + pname.substr(colon + 1);
+    return Status::OK();
+  }
+
+  Status ParseTermSlot(bool predicate_position, PatternTerm* out) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVar:
+        *out = PatternTerm::Variable(Next().value);
+        return Status::OK();
+      case TokenKind::kIriRef:
+        *out = PatternTerm::Iri(Next().value);
+        return Status::OK();
+      case TokenKind::kPName: {
+        if (t.value.compare(0, 2, "_:") == 0) {
+          if (predicate_position) {
+            return Error("blank node cannot be a predicate");
+          }
+          *out = PatternTerm::Blank(Next().value.substr(2));
+          return Status::OK();
+        }
+        std::string iri;
+        AMBER_RETURN_IF_ERROR(ResolvePName(t.value, &iri));
+        Next();
+        *out = PatternTerm::Iri(std::move(iri));
+        return Status::OK();
+      }
+      case TokenKind::kIdent:
+        if (t.value == "a" && predicate_position) {
+          Next();
+          *out = PatternTerm::Iri(std::string(kRdfType));
+          return Status::OK();
+        }
+        return Error("unexpected identifier '" + t.value + "'");
+      case TokenKind::kLiteral: {
+        if (predicate_position) return Error("literal cannot be a predicate");
+        std::string lexical = Next().value;
+        std::string datatype, lang;
+        if (Peek().kind == TokenKind::kPunct && Peek().punct == '@') {
+          lang = Next().value.substr(1);
+        } else if (Peek().kind == TokenKind::kPunct && Peek().punct == '^') {
+          Next();
+          if (Peek().kind == TokenKind::kIriRef) {
+            datatype = Next().value;
+          } else if (Peek().kind == TokenKind::kPName) {
+            AMBER_RETURN_IF_ERROR(ResolvePName(Peek().value, &datatype));
+            Next();
+          } else {
+            return Error("expected datatype IRI after '^^'");
+          }
+        }
+        *out = PatternTerm::Literal(std::move(lexical), std::move(datatype),
+                                    std::move(lang));
+        return Status::OK();
+      }
+      case TokenKind::kNumber: {
+        if (predicate_position) return Error("number cannot be a predicate");
+        std::string lexical = Next().value;
+        bool decimal = lexical.find('.') != std::string::npos;
+        *out = PatternTerm::Literal(
+            std::move(lexical),
+            std::string(decimal ? kXsdDecimal : kXsdInteger));
+        return Status::OK();
+      }
+      default:
+        return Error("expected term");
+    }
+  }
+
+  Status ParseModifiers(SelectQuery* query) {
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected integer after LIMIT");
+      }
+      const std::string& num = Next().value;
+      uint64_t limit = 0;
+      for (char c : num) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return Error("LIMIT must be a non-negative integer");
+        }
+        limit = limit * 10 + static_cast<uint64_t>(c - '0');
+      }
+      query->limit = limit;
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<SelectQuery> SparqlParser::Parse(std::string_view text) {
+  std::vector<Token> tokens;
+  Lexer lexer(text);
+  AMBER_RETURN_IF_ERROR(lexer.Tokenize(&tokens));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace amber

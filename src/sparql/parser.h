@@ -1,0 +1,35 @@
+// Recursive-descent parser for the paper's SPARQL fragment.
+//
+// Supported surface syntax:
+//   PREFIX ns: <iri>            (any number, before SELECT)
+//   SELECT [DISTINCT] (?v ... | *) [WHERE] { patterns } [LIMIT n]
+//   triple patterns with '.' separators, plus the ';' (same subject) and
+//   ',' (same subject+predicate) abbreviations,
+//   'a' as rdf:type, prefixed names, <iri>s, _:blank nodes,
+//   "literal", "literal"@lang, "literal"^^<dt>, "lit"^^ns:dt,
+//   bare integer / decimal literals (xsd:integer / xsd:decimal).
+//
+// Unsupported constructs return Status::Unimplemented where they are part of
+// SPARQL (FILTER, OPTIONAL, UNION, variable predicates are rejected later by
+// the planner) and InvalidArgument where they are syntax errors.
+
+#ifndef AMBER_SPARQL_PARSER_H_
+#define AMBER_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// \brief Parser entry point.
+class SparqlParser {
+ public:
+  /// Parses `text` into a SelectQuery.
+  static Result<SelectQuery> Parse(std::string_view text);
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SPARQL_PARSER_H_

@@ -1,0 +1,238 @@
+#include "sparql/query_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace amber {
+
+namespace {
+
+void SortDedup(std::vector<EdgeTypeId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+void QueryGraph::AddEdgeType(uint32_t from, uint32_t to, EdgeTypeId type) {
+  for (QueryEdge& e : edges_) {
+    if (e.from == from && e.to == to) {
+      e.types.push_back(type);
+      return;
+    }
+  }
+  edges_.push_back(QueryEdge{from, to, {type}});
+}
+
+Result<QueryGraph> QueryGraph::Build(const SelectQuery& query,
+                                     const RdfDictionaries& dicts) {
+  QueryGraph q;
+  q.distinct_ = query.distinct;
+  q.limit_ = query.limit;
+
+  auto mark_unsat = [&q](const std::string& reason) {
+    if (!q.unsatisfiable_) {
+      q.unsatisfiable_ = true;
+      q.unsat_reason_ = reason;
+    }
+  };
+
+  std::unordered_map<std::string, uint32_t> var_index;
+  auto vertex_of = [&](const std::string& name) -> uint32_t {
+    auto it = var_index.find(name);
+    if (it != var_index.end()) return it->second;
+    uint32_t idx = static_cast<uint32_t>(q.vertices_.size());
+    q.vertices_.push_back(QueryVertex{name, {}, {}, {}});
+    var_index.emplace(name, idx);
+    return idx;
+  };
+
+  // Constant (IRI / blank) terms resolve through the vertex dictionary.
+  auto resolve_vertex = [&](const PatternTerm& t) -> VertexId {
+    auto id = dicts.vertices().Find(RdfDictionaries::VertexKey(t.ToTerm()));
+    if (!id) {
+      mark_unsat("unknown resource " + t.ToString());
+      return kInvalidId;
+    }
+    return *id;
+  };
+
+  // IRI-constraint accumulation keyed by (variable, anchor).
+  std::map<std::pair<uint32_t, VertexId>, IriConstraint> iri_constraints;
+
+  for (const TriplePattern& p : query.patterns) {
+    if (p.predicate.is_variable()) {
+      return Status::Unimplemented(
+          "variable predicates are outside the paper's query model: " +
+          p.ToString());
+    }
+    if (p.subject.is_literal()) {
+      return Status::InvalidArgument("literal subject in pattern: " +
+                                     p.ToString());
+    }
+
+    // Literal object: attribute on the subject (Section 2.2.1).
+    if (p.object.is_literal()) {
+      auto attr_id = dicts.attributes().Find(RdfDictionaries::AttributeKey(
+          p.predicate.ToTerm(), p.object.ToTerm()));
+      if (p.subject.is_variable()) {
+        uint32_t u = vertex_of(p.subject.value);
+        if (!attr_id) {
+          mark_unsat("unknown <predicate, literal> pair in " + p.ToString());
+          continue;
+        }
+        q.vertices_[u].attrs.push_back(*attr_id);
+      } else {
+        VertexId s = resolve_vertex(p.subject);
+        if (s == kInvalidId) continue;
+        if (!attr_id) {
+          mark_unsat("unknown <predicate, literal> pair in " + p.ToString());
+          continue;
+        }
+        q.ground_attrs_.push_back(GroundAttribute{s, *attr_id});
+      }
+      continue;
+    }
+
+    // IRI/blank object: an edge. The predicate must be a known edge type.
+    auto type_id = dicts.edge_types().Find(
+        RdfDictionaries::PredicateKey(p.predicate.ToTerm()));
+    const bool s_var = p.subject.is_variable();
+    const bool o_var = p.object.is_variable();
+
+    if (s_var && o_var) {
+      uint32_t us = vertex_of(p.subject.value);
+      uint32_t uo = vertex_of(p.object.value);
+      if (!type_id) {
+        mark_unsat("unknown predicate in " + p.ToString());
+        continue;
+      }
+      if (us == uo) {
+        q.vertices_[us].self_types.push_back(*type_id);
+      } else {
+        q.AddEdgeType(us, uo, *type_id);
+      }
+    } else if (s_var && !o_var) {
+      uint32_t u = vertex_of(p.subject.value);
+      VertexId anchor = resolve_vertex(p.object);
+      if (anchor == kInvalidId) continue;
+      if (!type_id) {
+        mark_unsat("unknown predicate in " + p.ToString());
+        continue;
+      }
+      iri_constraints[{u, anchor}].out_types.push_back(*type_id);
+    } else if (!s_var && o_var) {
+      uint32_t u = vertex_of(p.object.value);
+      VertexId anchor = resolve_vertex(p.subject);
+      if (anchor == kInvalidId) continue;
+      if (!type_id) {
+        mark_unsat("unknown predicate in " + p.ToString());
+        continue;
+      }
+      iri_constraints[{u, anchor}].in_types.push_back(*type_id);
+    } else {
+      VertexId s = resolve_vertex(p.subject);
+      VertexId o = resolve_vertex(p.object);
+      if (s == kInvalidId || o == kInvalidId) continue;
+      if (!type_id) {
+        mark_unsat("unknown predicate in " + p.ToString());
+        continue;
+      }
+      q.ground_edges_.push_back(GroundEdge{s, *type_id, o});
+    }
+  }
+
+  // Attach accumulated IRI constraints to their vertices.
+  for (auto& [key, constraint] : iri_constraints) {
+    constraint.anchor = key.second;
+    SortDedup(&constraint.out_types);
+    SortDedup(&constraint.in_types);
+    q.vertices_[key.first].iris.push_back(std::move(constraint));
+  }
+
+  // Projection: SELECT * keeps all variables in first-appearance order.
+  if (query.select_all) {
+    for (uint32_t u = 0; u < q.vertices_.size(); ++u) {
+      q.projection_.push_back(u);
+    }
+    if (q.projection_.empty()) {
+      return Status::InvalidArgument("SELECT * with no variables in WHERE");
+    }
+  } else {
+    for (const std::string& name : query.projection) {
+      auto it = var_index.find(name);
+      if (it == var_index.end()) {
+        return Status::InvalidArgument("projected variable ?" + name +
+                                       " does not occur in WHERE clause");
+      }
+      q.projection_.push_back(it->second);
+    }
+  }
+
+  q.Finalize();
+  return q;
+}
+
+void QueryGraph::Finalize() {
+  for (QueryVertex& v : vertices_) {
+    std::sort(v.attrs.begin(), v.attrs.end());
+    v.attrs.erase(std::unique(v.attrs.begin(), v.attrs.end()), v.attrs.end());
+    SortDedup(&v.self_types);
+  }
+  for (QueryEdge& e : edges_) {
+    SortDedup(&e.types);
+  }
+
+  incident_.assign(vertices_.size(), {});
+  neighbors_.assign(vertices_.size(), {});
+  for (uint32_t i = 0; i < edges_.size(); ++i) {
+    incident_[edges_[i].from].emplace_back(i, true);
+    incident_[edges_[i].to].emplace_back(i, false);
+    neighbors_[edges_[i].from].push_back(edges_[i].to);
+    neighbors_[edges_[i].to].push_back(edges_[i].from);
+  }
+  for (auto& nbrs : neighbors_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+}
+
+Synopsis QueryGraph::VertexSynopsis(uint32_t u) const {
+  SynopsisBuilder builder;
+  for (const auto& [edge_idx, is_from] : incident_[u]) {
+    const QueryEdge& e = edges_[edge_idx];
+    // u --types--> other is outgoing for u; other --types--> u incoming.
+    builder.AddMultiEdge(is_from ? Direction::kOut : Direction::kIn, e.types);
+  }
+  const QueryVertex& v = vertices_[u];
+  for (const IriConstraint& c : v.iris) {
+    if (!c.out_types.empty()) {
+      builder.AddMultiEdge(Direction::kOut, c.out_types);
+    }
+    if (!c.in_types.empty()) {
+      builder.AddMultiEdge(Direction::kIn, c.in_types);
+    }
+  }
+  if (!v.self_types.empty()) {
+    builder.AddMultiEdge(Direction::kOut, v.self_types);
+    builder.AddMultiEdge(Direction::kIn, v.self_types);
+  }
+  // Query synopses must not constrain empty sides (see Synopsis docs).
+  return builder.Build().NormalizedForQuery();
+}
+
+size_t QueryGraph::SignatureEdgeCount(uint32_t u) const {
+  size_t count = 0;
+  for (const auto& [edge_idx, is_from] : incident_[u]) {
+    (void)is_from;
+    count += edges_[edge_idx].types.size();
+  }
+  for (const IriConstraint& c : vertices_[u].iris) {
+    count += c.out_types.size() + c.in_types.size();
+  }
+  count += 2 * vertices_[u].self_types.size();
+  return count;
+}
+
+}  // namespace amber

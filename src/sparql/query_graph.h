@@ -1,0 +1,142 @@
+// The query multigraph Q of Section 2.2.1.
+//
+// Mapping from a parsed SELECT query (against the data dictionaries):
+//   * each variable                  -> a query vertex u_i,
+//   * predicate IRIs                 -> edge-type ids (Me),
+//   * literal objects                -> vertex attributes on the subject
+//                                       variable (Ma of <predicate,literal>),
+//   * constant subject/object IRIs   -> IRI anchor constraints u.R: the
+//                                       anchor's unique data vertex plus the
+//                                       multi-edge connecting it to u,
+//   * patterns between two constants -> ground checks evaluated once.
+//
+// Any constant that is missing from a dictionary makes the query
+// *unsatisfiable*: it provably has zero results on this dataset, which the
+// engines report without running the matcher.
+
+#ifndef AMBER_SPARQL_QUERY_GRAPH_H_
+#define AMBER_SPARQL_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/synopsis.h"
+#include "rdf/encoded_dataset.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// Constraint tying a query vertex to a constant IRI neighbour (u.R in the
+/// paper). `out_types` are edge types on u -> anchor, `in_types` on
+/// anchor -> u; both sorted ascending.
+struct IriConstraint {
+  VertexId anchor = kInvalidId;
+  std::vector<EdgeTypeId> out_types;
+  std::vector<EdgeTypeId> in_types;
+};
+
+/// One query vertex (an unknown variable ?X_i).
+struct QueryVertex {
+  std::string name;                      // variable name without '?'
+  std::vector<AttributeId> attrs;        // sorted, deduped (u.A)
+  std::vector<EdgeTypeId> self_types;    // self-loop types u -> u, sorted
+  std::vector<IriConstraint> iris;       // anchors (u.R)
+
+  bool HasLocalConstraints() const { return !attrs.empty() || !iris.empty(); }
+};
+
+/// Directed multi-edge between two distinct query vertices.
+struct QueryEdge {
+  uint32_t from = 0;  // query-vertex index
+  uint32_t to = 0;
+  std::vector<EdgeTypeId> types;  // sorted, deduped
+};
+
+/// A fully ground pattern (both endpoints constant): verified directly
+/// against the data multigraph before matching starts.
+struct GroundEdge {
+  VertexId subject;
+  EdgeTypeId predicate;
+  VertexId object;
+};
+
+/// A ground attribute check: constant subject with a literal object.
+struct GroundAttribute {
+  VertexId subject;
+  AttributeId attribute;
+};
+
+/// \brief The query multigraph plus projection/modifier info.
+class QueryGraph {
+ public:
+  /// Builds Q from a parsed query against the data dictionaries. Fails with
+  /// Unimplemented for variable predicates (outside the paper's scope) and
+  /// InvalidArgument for projected variables that never occur in the WHERE
+  /// clause.
+  static Result<QueryGraph> Build(const SelectQuery& query,
+                                  const RdfDictionaries& dicts);
+
+  /// True when some constant is absent from the data dictionaries: the
+  /// query has zero solutions on this dataset.
+  bool unsatisfiable() const { return unsatisfiable_; }
+  const std::string& unsatisfiable_reason() const { return unsat_reason_; }
+
+  const std::vector<QueryVertex>& vertices() const { return vertices_; }
+  const std::vector<QueryEdge>& edges() const { return edges_; }
+  const std::vector<GroundEdge>& ground_edges() const { return ground_edges_; }
+  const std::vector<GroundAttribute>& ground_attributes() const {
+    return ground_attrs_;
+  }
+
+  /// Projected query-vertex indices, in SELECT order.
+  const std::vector<uint32_t>& projection() const { return projection_; }
+  bool distinct() const { return distinct_; }
+  uint64_t limit() const { return limit_; }
+
+  /// Edges incident to vertex `u` as (edge index, u-is-from) pairs.
+  const std::vector<std::pair<uint32_t, bool>>& IncidentEdges(
+      uint32_t u) const {
+    return incident_[u];
+  }
+
+  /// Distinct variable neighbours of `u` (sorted; excludes u itself).
+  const std::vector<uint32_t>& Neighbors(uint32_t u) const {
+    return neighbors_[u];
+  }
+
+  /// Degree in the paper's sense: number of distinct variable neighbours.
+  size_t Degree(uint32_t u) const { return neighbors_[u].size(); }
+
+  /// The synopsis of query vertex `u`, over its *full* signature: edges to
+  /// variables, edges to IRI anchors, and self-loops (Section 4.2).
+  Synopsis VertexSynopsis(uint32_t u) const;
+
+  /// Total number of edge types over all multi-edges incident to `u`
+  /// (the ranking function r2 of Section 5.3).
+  size_t SignatureEdgeCount(uint32_t u) const;
+
+  size_t NumVertices() const { return vertices_.size(); }
+
+ private:
+  void AddEdgeType(uint32_t from, uint32_t to, EdgeTypeId type);
+  void Finalize();
+
+  std::vector<QueryVertex> vertices_;
+  std::vector<QueryEdge> edges_;
+  std::vector<GroundEdge> ground_edges_;
+  std::vector<GroundAttribute> ground_attrs_;
+  std::vector<uint32_t> projection_;
+  std::vector<std::vector<std::pair<uint32_t, bool>>> incident_;
+  std::vector<std::vector<uint32_t>> neighbors_;
+  bool distinct_ = false;
+  uint64_t limit_ = 0;
+  bool unsatisfiable_ = false;
+  std::string unsat_reason_;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SPARQL_QUERY_GRAPH_H_

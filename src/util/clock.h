@@ -1,0 +1,77 @@
+// Wall-clock helpers: Stopwatch for timing and Deadline for cooperative
+// cancellation of long-running query evaluation (the paper's 60 s per-query
+// budget in Section 7.2).
+
+#ifndef AMBER_UTIL_CLOCK_H_
+#define AMBER_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace amber {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  std::chrono::microseconds Elapsed() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_);
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(Elapsed().count()) / 1e6;
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(Elapsed().count()) / 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief A point in time after which work should stop.
+///
+/// Deadline::Infinite() never expires. Checking is cheap (one clock read);
+/// callers in tight loops should check every few hundred iterations.
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// A deadline `budget` from now; a non-positive budget never expires.
+  static Deadline After(std::chrono::milliseconds budget) {
+    if (budget.count() <= 0) return Infinite();
+    Deadline d;
+    d.infinite_ = false;
+    d.when_ = Clock::now() + budget;
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool Expired() const {
+    if (infinite_) return false;
+    return Clock::now() >= when_;
+  }
+
+  /// Default-constructed deadlines never expire.
+  Deadline() = default;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
+}  // namespace amber
+
+#endif  // AMBER_UTIL_CLOCK_H_

@@ -1,0 +1,98 @@
+// Minimal binary serialization helpers for the offline-stage artifacts
+// (multigraph + indexes). Format: little-endian PODs, length-prefixed
+// strings/vectors, with a per-file magic number and version checked on load.
+
+#ifndef AMBER_UTIL_SERDE_H_
+#define AMBER_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace amber {
+namespace serde {
+
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::istream& is, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!is.good()) return Status::Corruption("truncated stream reading POD");
+  return Status::OK();
+}
+
+inline void WriteString(std::ostream& os, const std::string& s) {
+  WritePod<uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline Status ReadString(std::istream& is, std::string* s) {
+  uint64_t n = 0;
+  AMBER_RETURN_IF_ERROR(ReadPod(is, &n));
+  if (n > (1ULL << 40)) return Status::Corruption("implausible string length");
+  s->resize(n);
+  is.read(s->data(), static_cast<std::streamsize>(n));
+  if (!is.good() && n > 0) {
+    return Status::Corruption("truncated stream reading string");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+void WriteVector(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WritePod<uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+Status ReadVector(std::istream& is, std::vector<T>* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t n = 0;
+  AMBER_RETURN_IF_ERROR(ReadPod(is, &n));
+  if (n > (1ULL << 40) / sizeof(T)) {
+    return Status::Corruption("implausible vector length");
+  }
+  v->resize(n);
+  is.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!is.good() && n > 0) {
+    return Status::Corruption("truncated stream reading vector");
+  }
+  return Status::OK();
+}
+
+/// Writes a file-format header (magic + version).
+inline void WriteHeader(std::ostream& os, uint32_t magic, uint32_t version) {
+  WritePod(os, magic);
+  WritePod(os, version);
+}
+
+/// Validates a file-format header written by WriteHeader.
+inline Status CheckHeader(std::istream& is, uint32_t expected_magic,
+                          uint32_t expected_version) {
+  uint32_t magic = 0, version = 0;
+  AMBER_RETURN_IF_ERROR(ReadPod(is, &magic));
+  AMBER_RETURN_IF_ERROR(ReadPod(is, &version));
+  if (magic != expected_magic) return Status::Corruption("bad magic number");
+  if (version != expected_version) {
+    return Status::Corruption("unsupported format version");
+  }
+  return Status::OK();
+}
+
+}  // namespace serde
+}  // namespace amber
+
+#endif  // AMBER_UTIL_SERDE_H_

@@ -1,0 +1,185 @@
+#include "util/string_util.h"
+
+#include <cstdio>
+#include <cstdint>
+
+namespace amber {
+
+bool IsSpaceAscii(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+         c == '\v';
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsSpaceAscii(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsSpaceAscii(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> StrSplit(std::string_view s, char delim) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      pieces.push_back(s.substr(start));
+      break;
+    }
+    pieces.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string EscapeNTriples(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+bool AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp <= 0x7F) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7FF) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0xFFFF) {
+    if (cp >= 0xD800 && cp <= 0xDFFF) return false;  // surrogate range
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0x10FFFF) {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool ParseHex(std::string_view s, uint32_t* value) {
+  uint32_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+bool UnescapeNTriples(std::string_view s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (i + 1 >= s.size()) return false;
+    char e = s[++i];
+    switch (e) {
+      case 't':
+        out->push_back('\t');
+        break;
+      case 'b':
+        out->push_back('\b');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      case 'f':
+        out->push_back('\f');
+        break;
+      case '"':
+        out->push_back('"');
+        break;
+      case '\'':
+        out->push_back('\'');
+        break;
+      case '\\':
+        out->push_back('\\');
+        break;
+      case 'u': {
+        if (i + 4 >= s.size()) return false;
+        uint32_t cp = 0;
+        if (!ParseHex(s.substr(i + 1, 4), &cp)) return false;
+        if (!AppendUtf8(cp, out)) return false;
+        i += 4;
+        break;
+      }
+      case 'U': {
+        if (i + 8 >= s.size()) return false;
+        uint32_t cp = 0;
+        if (!ParseHex(s.substr(i + 1, 8), &cp)) return false;
+        if (!AppendUtf8(cp, out)) return false;
+        i += 8;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace amber

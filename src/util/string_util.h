@@ -1,0 +1,41 @@
+// Small string helpers shared by the parsers and writers.
+
+#ifndef AMBER_UTIL_STRING_UTIL_H_
+#define AMBER_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amber {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits `s` on `delim`; empty pieces are kept.
+std::vector<std::string_view> StrSplit(std::string_view s, char delim);
+
+/// True if `c` is ASCII whitespace (space, tab, CR, LF, FF, VT).
+bool IsSpaceAscii(char c);
+
+/// Escapes a string for use inside an N-Triples literal or IRI: backslash,
+/// quote, newline, carriage return and tab are escaped.
+std::string EscapeNTriples(std::string_view s);
+
+/// Reverses EscapeNTriples, also decoding \uXXXX and \UXXXXXXXX sequences to
+/// UTF-8. Returns false on a malformed escape.
+bool UnescapeNTriples(std::string_view s, std::string* out);
+
+/// Appends the UTF-8 encoding of `code_point` to `out`. Returns false if the
+/// code point is out of Unicode range.
+bool AppendUtf8(uint32_t code_point, std::string* out);
+
+/// Renders `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Renders a byte count as a human-friendly string ("1.5 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace amber
+
+#endif  // AMBER_UTIL_STRING_UTIL_H_

@@ -1,0 +1,112 @@
+// Tests for the SPARQL formatter (round-trip property) and the EXPLAIN
+// facility (decomposition and candidate counts surfaced correctly).
+
+#include <gtest/gtest.h>
+
+#include "core/amber_engine.h"
+#include "core/explain.h"
+#include "gen/paper_example.h"
+#include "sparql/formatter.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace amber {
+namespace {
+
+TEST(FormatterTest, RoundTripSimple) {
+  auto q = SparqlParser::Parse(
+      "SELECT DISTINCT ?x ?y WHERE { ?x <urn:p> ?y . "
+      "?x <urn:q> \"lit\"@en . ?y <urn:r> \"5\"^^<urn:dt> . } LIMIT 9");
+  ASSERT_TRUE(q.ok());
+  std::string text = FormatQuery(*q);
+  auto q2 = SparqlParser::Parse(text);
+  ASSERT_TRUE(q2.ok()) << q2.status() << "\n" << text;
+  EXPECT_EQ(q2->patterns, q->patterns);
+  EXPECT_EQ(q2->projection, q->projection);
+  EXPECT_EQ(q2->distinct, q->distinct);
+  EXPECT_EQ(q2->limit, q->limit);
+}
+
+TEST(FormatterTest, RoundTripSelectStar) {
+  auto q = SparqlParser::Parse("SELECT * WHERE { ?a <urn:p> _:b . }");
+  ASSERT_TRUE(q.ok());
+  auto q2 = SparqlParser::Parse(FormatQuery(*q));
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->select_all);
+  EXPECT_EQ(q2->patterns, q->patterns);
+}
+
+class FormatterRoundTripProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(FormatterRoundTripProperty, ParseFormatParseIsIdentity) {
+  auto data = testutil::RandomDataset(GetParam(), 12, 50, 3);
+  for (int i = 0; i < 10; ++i) {
+    std::string text =
+        testutil::RandomQueryFromData(data, GetParam() * 100 + i, 4);
+    auto q1 = SparqlParser::Parse(text);
+    ASSERT_TRUE(q1.ok()) << text;
+    auto q2 = SparqlParser::Parse(FormatQuery(*q1));
+    ASSERT_TRUE(q2.ok()) << FormatQuery(*q1);
+    EXPECT_EQ(q2->patterns, q1->patterns);
+    EXPECT_EQ(q2->projection, q1->projection);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatterRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 4),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(ExplainTest, PaperQueryPlan) {
+  auto triples = testutil::MustParse(kPaperExampleNTriples);
+  auto engine = AmberEngine::Build(triples);
+  ASSERT_TRUE(engine.ok());
+  auto parsed = SparqlParser::Parse(kPaperExampleQuery);
+  ASSERT_TRUE(parsed.ok());
+
+  auto explained = ExplainQuery(*parsed, engine->dictionaries(),
+                                &engine->indexes());
+  ASSERT_TRUE(explained.ok()) << explained.status();
+  const std::string& text = *explained;
+  // Decomposition of Figure 4: 3 core, 4 satellites, one component.
+  EXPECT_NE(text.find("3 core, 4 satellite, 1 component(s)"),
+            std::string::npos)
+      << text;
+  // The initial vertex is ?X1 and the S index yields exactly one candidate
+  // (London).
+  EXPECT_NE(text.find("[init] ?X1"), std::string::npos) << text;
+  EXPECT_NE(text.find("|C^S| = 1"), std::string::npos) << text;
+  // Satellites listed with their host.
+  EXPECT_NE(text.find("satellites:"), std::string::npos);
+}
+
+TEST(ExplainTest, UnsatisfiableIsReported) {
+  auto triples = testutil::MustParse(kPaperExampleNTriples);
+  auto engine = AmberEngine::Build(triples);
+  ASSERT_TRUE(engine.ok());
+  auto parsed = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x <urn:nope> ?y . }");
+  ASSERT_TRUE(parsed.ok());
+  auto explained =
+      ExplainQuery(*parsed, engine->dictionaries(), &engine->indexes());
+  ASSERT_TRUE(explained.ok());
+  EXPECT_NE(explained->find("UNSATISFIABLE"), std::string::npos);
+}
+
+TEST(ExplainTest, WorksWithoutIndexes) {
+  auto triples = testutil::MustParse(kPaperExampleNTriples);
+  auto engine = AmberEngine::Build(triples);
+  ASSERT_TRUE(engine.ok());
+  auto parsed = SparqlParser::Parse(kPaperExampleQuery);
+  ASSERT_TRUE(parsed.ok());
+  auto explained =
+      ExplainQuery(*parsed, engine->dictionaries(), /*indexes=*/nullptr);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_EQ(explained->find("|C^S|"), std::string::npos);
+  EXPECT_NE(explained->find("anchor="), std::string::npos);  // ?X3's anchor
+}
+
+}  // namespace
+}  // namespace amber

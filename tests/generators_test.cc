@@ -1,0 +1,154 @@
+// Tests for the synthetic dataset generators: determinism, schema shape,
+// statistics matching the paper's dataset profiles (Table 4 analogues).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "gen/lubm.h"
+#include "gen/scale_free.h"
+#include "rdf/encoded_dataset.h"
+
+namespace amber {
+namespace {
+
+TEST(LubmGeneratorTest, Deterministic) {
+  LubmOptions options;
+  options.universities = 1;
+  options.seed = 9;
+  auto a = GenerateLubm(options);
+  auto b = GenerateLubm(options);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(LubmGeneratorTest, ThirteenResourcePredicates) {
+  LubmOptions options;
+  options.universities = 1;
+  auto triples = GenerateLubm(options);
+  std::set<std::string> edge_preds, literal_preds;
+  for (const Triple& t : triples) {
+    if (t.object.is_literal()) {
+      literal_preds.insert(t.predicate.value);
+    } else {
+      edge_preds.insert(t.predicate.value);
+    }
+  }
+  // The paper's Table 4 reports 13 edge types for LUBM.
+  EXPECT_EQ(edge_preds.size(), 13u);
+  EXPECT_GE(literal_preds.size(), 3u);
+  // Literal and edge predicates are disjoint by construction.
+  for (const auto& p : literal_preds) {
+    EXPECT_FALSE(edge_preds.count(p)) << p;
+  }
+}
+
+TEST(LubmGeneratorTest, ScalesWithUniversities) {
+  LubmOptions one;
+  one.universities = 1;
+  LubmOptions two;
+  two.universities = 2;
+  auto t1 = GenerateLubm(one);
+  auto t2 = GenerateLubm(two);
+  EXPECT_GT(t2.size(), t1.size() * 3 / 2);
+  // Roughly LUBM-like magnitude: tens of thousands of triples per
+  // university.
+  EXPECT_GT(t1.size(), 20000u);
+  EXPECT_LT(t1.size(), 400000u);
+}
+
+TEST(LubmGeneratorTest, EncodesCleanly) {
+  LubmOptions options;
+  options.universities = 1;
+  auto triples = GenerateLubm(options);
+  auto encoded = EncodedDataset::Encode(triples);
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
+  EXPECT_EQ(encoded->dictionaries.edge_types().size(), 13u);
+  EXPECT_GT(encoded->edges.size(), 0u);
+  EXPECT_GT(encoded->attributes.size(), 0u);
+}
+
+TEST(ScaleFreeGeneratorTest, Deterministic) {
+  ScaleFreeOptions options;
+  options.num_entities = 500;
+  options.num_edge_triples = 2000;
+  options.num_predicates = 20;
+  auto a = GenerateScaleFree(options);
+  auto b = GenerateScaleFree(options);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScaleFreeGeneratorTest, RespectsPredicateBudget) {
+  ScaleFreeOptions options;
+  options.num_entities = 2000;
+  options.num_edge_triples = 20000;
+  options.num_predicates = 44;
+  options.num_literal_predicates = 6;
+  auto triples = GenerateScaleFree(options);
+  std::set<std::string> edge_preds;
+  uint64_t literal_triples = 0;
+  for (const Triple& t : triples) {
+    if (t.object.is_literal()) {
+      ++literal_triples;
+    } else {
+      edge_preds.insert(t.predicate.value);
+    }
+  }
+  EXPECT_LE(edge_preds.size(), 44u);
+  EXPECT_GE(edge_preds.size(), 30u);  // Zipf covers most of the budget
+  EXPECT_NEAR(static_cast<double>(literal_triples),
+              20000 * options.attr_fraction, 20000 * 0.05);
+}
+
+TEST(ScaleFreeGeneratorTest, DegreeSkewIsHeavyTailed) {
+  ScaleFreeOptions options;
+  options.num_entities = 3000;
+  options.num_edge_triples = 15000;
+  options.num_predicates = 50;
+  auto triples = GenerateScaleFree(options);
+  std::unordered_map<std::string, int> degree;
+  for (const Triple& t : triples) {
+    if (!t.object.is_literal()) {
+      ++degree[t.subject.value];
+      ++degree[t.object.value];
+    }
+  }
+  int max_degree = 0;
+  uint64_t total = 0;
+  for (const auto& [e, d] : degree) {
+    max_degree = std::max(max_degree, d);
+    total += d;
+  }
+  double avg = static_cast<double>(total) / degree.size();
+  // Preferential attachment: hub degree far above the mean.
+  EXPECT_GT(max_degree, avg * 10);
+}
+
+TEST(ScaleFreeGeneratorTest, ProfilesMatchPaperShapes) {
+  // DBpedia-like: 676 predicates; YAGO-like: 44 predicates (Table 4).
+  auto dbp = DbpediaProfile(0.05);
+  auto yago = YagoProfile(0.05);
+  EXPECT_EQ(dbp.num_predicates, 676u);
+  EXPECT_EQ(yago.num_predicates, 44u);
+  auto dbp_triples = GenerateScaleFree(dbp);
+  EXPECT_NEAR(static_cast<double>(dbp_triples.size()),
+              static_cast<double>(dbp.num_edge_triples) *
+                  (1.0 + dbp.attr_fraction),
+              dbp.num_edge_triples * 0.05);
+}
+
+TEST(ScaleFreeGeneratorTest, EncodesCleanly) {
+  ScaleFreeOptions options;
+  options.num_entities = 300;
+  options.num_edge_triples = 1200;
+  options.num_predicates = 30;
+  auto triples = GenerateScaleFree(options);
+  auto encoded = EncodedDataset::Encode(triples);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_LE(encoded->dictionaries.vertices().size(), 300u);
+  EXPECT_GT(encoded->dictionaries.attributes().size(), 0u);
+}
+
+}  // namespace
+}  // namespace amber

@@ -1,0 +1,157 @@
+// Unit tests for the N-Triples parser/writer, including escape handling,
+// malformed-input rejection and file round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "rdf/ntriples.h"
+
+namespace amber {
+namespace {
+
+Triple MustParseLine(std::string_view line) {
+  Triple t;
+  auto r = NTriplesParser::ParseLine(line, &t);
+  EXPECT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r.ok() && *r) << "expected a statement";
+  return t;
+}
+
+TEST(NTriplesTest, BasicIriTriple) {
+  Triple t = MustParseLine("<urn:s> <urn:p> <urn:o> .");
+  EXPECT_TRUE(t.subject.is_iri());
+  EXPECT_EQ(t.subject.value, "urn:s");
+  EXPECT_EQ(t.predicate.value, "urn:p");
+  EXPECT_EQ(t.object.value, "urn:o");
+}
+
+TEST(NTriplesTest, PlainLiteral) {
+  Triple t = MustParseLine("<urn:s> <urn:p> \"hello world\" .");
+  ASSERT_TRUE(t.object.is_literal());
+  EXPECT_EQ(t.object.value, "hello world");
+  EXPECT_TRUE(t.object.datatype.empty());
+  EXPECT_TRUE(t.object.lang.empty());
+}
+
+TEST(NTriplesTest, TypedLiteral) {
+  Triple t = MustParseLine(
+      "<urn:s> <urn:p> \"90000\"^^<http://www.w3.org/2001/XMLSchema#int> .");
+  ASSERT_TRUE(t.object.is_literal());
+  EXPECT_EQ(t.object.value, "90000");
+  EXPECT_EQ(t.object.datatype, "http://www.w3.org/2001/XMLSchema#int");
+}
+
+TEST(NTriplesTest, LanguageTaggedLiteral) {
+  Triple t = MustParseLine("<urn:s> <urn:p> \"bonjour\"@fr .");
+  ASSERT_TRUE(t.object.is_literal());
+  EXPECT_EQ(t.object.lang, "fr");
+}
+
+TEST(NTriplesTest, BlankNodes) {
+  Triple t = MustParseLine("_:b0 <urn:p> _:b1 .");
+  EXPECT_TRUE(t.subject.is_blank());
+  EXPECT_EQ(t.subject.value, "b0");
+  EXPECT_TRUE(t.object.is_blank());
+}
+
+TEST(NTriplesTest, EscapesInsideLiteral) {
+  Triple t = MustParseLine(R"(<urn:s> <urn:p> "line\nwith \"quote\" \\ end" .)");
+  EXPECT_EQ(t.object.value, "line\nwith \"quote\" \\ end");
+}
+
+TEST(NTriplesTest, UnicodeEscapeInLiteral) {
+  Triple t = MustParseLine(R"(<urn:s> <urn:p> "café" .)");
+  EXPECT_EQ(t.object.value, "caf\xC3\xA9");
+}
+
+TEST(NTriplesTest, CommentsAndBlankLinesSkipped) {
+  auto r = NTriplesParser::ParseString(
+      "# a comment\n\n<urn:s> <urn:p> <urn:o> . # trailing\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(NTriplesTest, MalformedInputsRejectedWithLineNumbers) {
+  const char* bad[] = {
+      "<urn:s> <urn:p> <urn:o>",             // missing dot
+      "<urn:s> <urn:p> .",                   // missing object
+      "<urn:s> \"lit\" <urn:o> .",           // literal predicate
+      "\"lit\" <urn:p> <urn:o> .",           // literal subject
+      "<urn:s> <urn:p <urn:o> .",            // unterminated IRI
+      "<urn:s> <urn:p> \"unterminated .",    // unterminated literal
+      "<urn:s> <urn:p> <urn:o> . garbage",   // trailing garbage
+      "<urn:s> _:b <urn:o> .",               // blank predicate
+      "<urn:s> <urn:p> \"x\"^^bad .",        // datatype not an IRI
+      "<> <urn:p> <urn:o> .",                // empty IRI
+  };
+  for (const char* line : bad) {
+    Triple t;
+    auto r = NTriplesParser::ParseLine(line, &t);
+    EXPECT_FALSE(r.ok()) << "should reject: " << line;
+  }
+  auto doc = NTriplesParser::ParseString("<urn:s> <urn:p> <urn:o> .\nbad\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 2"), std::string::npos)
+      << doc.status();
+}
+
+TEST(NTriplesTest, WriterRoundTrip) {
+  std::vector<Triple> triples = {
+      {Term::Iri("urn:s"), Term::Iri("urn:p"), Term::Iri("urn:o")},
+      {Term::Iri("urn:s"), Term::Iri("urn:p"),
+       Term::Literal("tricky\n\"value\"\\", "urn:dt")},
+      {Term::Blank("node1"), Term::Iri("urn:p"), Term::Literal("x", "", "en")},
+  };
+  std::ostringstream os;
+  NTriplesWriter::Write(os, triples);
+  auto parsed = NTriplesParser::ParseString(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) {
+    EXPECT_EQ((*parsed)[i], triples[i]) << "triple " << i;
+  }
+}
+
+TEST(NTriplesTest, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "amber_nt_test.nt").string();
+  std::vector<Triple> triples = {
+      {Term::Iri("urn:a"), Term::Iri("urn:p"), Term::Literal("1994")},
+      {Term::Iri("urn:b"), Term::Iri("urn:q"), Term::Iri("urn:a")},
+  };
+  ASSERT_TRUE(NTriplesWriter::WriteFile(path, triples).ok());
+  auto parsed = NTriplesParser::ParseFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, triples);
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesTest, MissingFileIsIOError) {
+  auto r = NTriplesParser::ParseFile("/nonexistent/amber/file.nt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(TermTest, NTriplesTokens) {
+  EXPECT_EQ(Term::Iri("urn:x").ToNTriples(), "<urn:x>");
+  EXPECT_EQ(Term::Blank("b").ToNTriples(), "_:b");
+  EXPECT_EQ(Term::Literal("v").ToNTriples(), "\"v\"");
+  EXPECT_EQ(Term::Literal("v", "urn:dt").ToNTriples(), "\"v\"^^<urn:dt>");
+  EXPECT_EQ(Term::Literal("v", "", "en").ToNTriples(), "\"v\"@en");
+  EXPECT_EQ(Term::Literal("a\"b").ToNTriples(), "\"a\\\"b\"");
+}
+
+TEST(TermTest, OrderingAndEquality) {
+  Term a = Term::Iri("urn:a");
+  Term b = Term::Literal("urn:a");
+  EXPECT_NE(a, b);  // same value, different kind
+  EXPECT_TRUE(a < b);
+  EXPECT_EQ(Term::Literal("x", "dt"), Term::Literal("x", "dt"));
+  EXPECT_NE(Term::Literal("x", "dt"), Term::Literal("x"));
+}
+
+}  // namespace
+}  // namespace amber

@@ -1,0 +1,183 @@
+// Unit tests for the query-multigraph builder (Section 2.2.1): variable
+// mapping, attribute/IRI-anchor constraints, multi-edge merging, ground
+// patterns, unsatisfiability, projection validation, synopses.
+
+#include <gtest/gtest.h>
+
+#include "rdf/encoded_dataset.h"
+#include "sparql/parser.h"
+#include "sparql/query_graph.h"
+#include "test_util.h"
+
+namespace amber {
+namespace {
+
+class QueryGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<Triple> triples = {
+        {Term::Iri("urn:a"), Term::Iri("urn:p"), Term::Iri("urn:b")},
+        {Term::Iri("urn:a"), Term::Iri("urn:q"), Term::Iri("urn:b")},
+        {Term::Iri("urn:b"), Term::Iri("urn:p"), Term::Iri("urn:c")},
+        {Term::Iri("urn:a"), Term::Iri("urn:age"), Term::Literal("30")},
+        {Term::Iri("urn:a"), Term::Iri("urn:name"), Term::Literal("Ann")},
+        {Term::Iri("urn:c"), Term::Iri("urn:p"), Term::Iri("urn:c")},
+    };
+    auto encoded = EncodedDataset::Encode(triples);
+    ASSERT_TRUE(encoded.ok());
+    dicts_ = std::move(encoded->dictionaries);
+  }
+
+  QueryGraph MustBuild(std::string_view text) {
+    auto parsed = SparqlParser::Parse(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    auto qg = QueryGraph::Build(*parsed, dicts_);
+    EXPECT_TRUE(qg.ok()) << qg.status();
+    return std::move(qg).value();
+  }
+
+  RdfDictionaries dicts_;
+};
+
+TEST_F(QueryGraphTest, VariablesBecomeVerticesInFirstUseOrder) {
+  QueryGraph q = MustBuild(
+      "SELECT ?y ?x WHERE { ?x <urn:p> ?y . ?y <urn:p> ?z . }");
+  ASSERT_EQ(q.NumVertices(), 3u);
+  EXPECT_EQ(q.vertices()[0].name, "x");
+  EXPECT_EQ(q.vertices()[1].name, "y");
+  EXPECT_EQ(q.vertices()[2].name, "z");
+  // Projection follows SELECT order, not vertex order.
+  ASSERT_EQ(q.projection().size(), 2u);
+  EXPECT_EQ(q.projection()[0], 1u);
+  EXPECT_EQ(q.projection()[1], 0u);
+}
+
+TEST_F(QueryGraphTest, ParallelPatternsMergeIntoOneMultiEdge) {
+  QueryGraph q = MustBuild(
+      "SELECT ?x WHERE { ?x <urn:p> ?y . ?x <urn:q> ?y . ?x <urn:p> ?y . }");
+  ASSERT_EQ(q.edges().size(), 1u);
+  EXPECT_EQ(q.edges()[0].types.size(), 2u);  // {p, q}, deduped
+}
+
+TEST_F(QueryGraphTest, OppositeDirectionsStayDistinctEdges) {
+  QueryGraph q = MustBuild(
+      "SELECT ?x WHERE { ?x <urn:p> ?y . ?y <urn:q> ?x . }");
+  ASSERT_EQ(q.edges().size(), 2u);
+  // Degree counts distinct neighbours, so both endpoints have degree 1.
+  EXPECT_EQ(q.Degree(0), 1u);
+  EXPECT_EQ(q.Degree(1), 1u);
+}
+
+TEST_F(QueryGraphTest, LiteralObjectBecomesAttribute) {
+  QueryGraph q = MustBuild(
+      "SELECT ?x WHERE { ?x <urn:age> \"30\" . ?x <urn:name> \"Ann\" . }");
+  ASSERT_EQ(q.NumVertices(), 1u);
+  EXPECT_EQ(q.vertices()[0].attrs.size(), 2u);
+  EXPECT_TRUE(q.edges().empty());
+  EXPECT_FALSE(q.unsatisfiable());
+}
+
+TEST_F(QueryGraphTest, UnknownLiteralMakesQueryUnsatisfiable) {
+  QueryGraph q = MustBuild("SELECT ?x WHERE { ?x <urn:age> \"99\" . }");
+  EXPECT_TRUE(q.unsatisfiable());
+  QueryGraph q2 = MustBuild("SELECT ?x WHERE { ?x <urn:nope> \"30\" . }");
+  EXPECT_TRUE(q2.unsatisfiable());
+}
+
+TEST_F(QueryGraphTest, ConstantObjectBecomesIriAnchor) {
+  QueryGraph q = MustBuild("SELECT ?x WHERE { ?x <urn:p> <urn:b> . }");
+  ASSERT_EQ(q.NumVertices(), 1u);
+  ASSERT_EQ(q.vertices()[0].iris.size(), 1u);
+  const IriConstraint& c = q.vertices()[0].iris[0];
+  EXPECT_EQ(c.out_types.size(), 1u);
+  EXPECT_TRUE(c.in_types.empty());
+  EXPECT_EQ(dicts_.VertexToken(c.anchor), "<urn:b>");
+}
+
+TEST_F(QueryGraphTest, ConstantSubjectBecomesReverseIriAnchor) {
+  QueryGraph q = MustBuild("SELECT ?x WHERE { <urn:a> <urn:p> ?x . }");
+  ASSERT_EQ(q.vertices()[0].iris.size(), 1u);
+  const IriConstraint& c = q.vertices()[0].iris[0];
+  EXPECT_TRUE(c.out_types.empty());
+  EXPECT_EQ(c.in_types.size(), 1u);
+}
+
+TEST_F(QueryGraphTest, AnchorsToSameConstantMerge) {
+  QueryGraph q = MustBuild(
+      "SELECT ?x WHERE { ?x <urn:p> <urn:b> . ?x <urn:q> <urn:b> . "
+      "<urn:b> <urn:p> ?x . }");
+  ASSERT_EQ(q.vertices()[0].iris.size(), 1u);
+  const IriConstraint& c = q.vertices()[0].iris[0];
+  EXPECT_EQ(c.out_types.size(), 2u);
+  EXPECT_EQ(c.in_types.size(), 1u);
+}
+
+TEST_F(QueryGraphTest, UnknownConstantIriIsUnsatisfiable) {
+  QueryGraph q = MustBuild("SELECT ?x WHERE { ?x <urn:p> <urn:missing> . }");
+  EXPECT_TRUE(q.unsatisfiable());
+  EXPECT_FALSE(q.unsatisfiable_reason().empty());
+}
+
+TEST_F(QueryGraphTest, SelfLoopPattern) {
+  QueryGraph q = MustBuild("SELECT ?x WHERE { ?x <urn:p> ?x . }");
+  ASSERT_EQ(q.NumVertices(), 1u);
+  EXPECT_TRUE(q.edges().empty());
+  ASSERT_EQ(q.vertices()[0].self_types.size(), 1u);
+  EXPECT_EQ(q.Degree(0), 0u);  // self loops do not create neighbours
+}
+
+TEST_F(QueryGraphTest, GroundPatternsCollected) {
+  QueryGraph q = MustBuild(
+      "SELECT ?x WHERE { <urn:a> <urn:p> <urn:b> . "
+      "<urn:a> <urn:age> \"30\" . ?x <urn:p> ?y . }");
+  EXPECT_EQ(q.ground_edges().size(), 1u);
+  EXPECT_EQ(q.ground_attributes().size(), 1u);
+  EXPECT_FALSE(q.unsatisfiable());
+}
+
+TEST_F(QueryGraphTest, VariablePredicateIsUnimplemented) {
+  auto parsed = SparqlParser::Parse("SELECT ?x WHERE { ?x ?p ?y . }");
+  ASSERT_TRUE(parsed.ok());
+  auto qg = QueryGraph::Build(*parsed, dicts_);
+  ASSERT_FALSE(qg.ok());
+  EXPECT_TRUE(qg.status().IsUnimplemented());
+}
+
+TEST_F(QueryGraphTest, ProjectionMustOccurInWhere) {
+  auto parsed = SparqlParser::Parse("SELECT ?nope WHERE { ?x <urn:p> ?y . }");
+  ASSERT_TRUE(parsed.ok());
+  auto qg = QueryGraph::Build(*parsed, dicts_);
+  ASSERT_FALSE(qg.ok());
+  EXPECT_TRUE(qg.status().IsInvalidArgument());
+}
+
+TEST_F(QueryGraphTest, SelectStarProjectsAllVariables) {
+  QueryGraph q = MustBuild("SELECT * WHERE { ?a <urn:p> ?b . ?b <urn:q> ?c }");
+  EXPECT_EQ(q.projection().size(), 3u);
+}
+
+TEST_F(QueryGraphTest, SynopsisIncludesAnchorsAndSelfLoops) {
+  QueryGraph q = MustBuild(
+      "SELECT ?x WHERE { ?x <urn:p> ?y . ?x <urn:q> <urn:b> . "
+      "?x <urn:p> ?x . }");
+  Synopsis s = q.VertexSynopsis(0);
+  // Out side: multi-edges {p}(to y), {q}(to anchor), {p}(self) -> f1-=1,
+  // f2- counts distinct {p,q} = 2.
+  EXPECT_EQ(s.f[4], 1);
+  EXPECT_EQ(s.f[5], 2);
+  // In side: the self loop only -> f1+=1.
+  EXPECT_EQ(s.f[0], 1);
+  // r2 counts each type instance: p + q + 2*self.
+  EXPECT_EQ(q.SignatureEdgeCount(0), 4u);
+}
+
+TEST_F(QueryGraphTest, EmptySideSynopsisIsNormalized) {
+  QueryGraph q = MustBuild("SELECT ?x WHERE { ?x <urn:p> ?y . }");
+  Synopsis s = q.VertexSynopsis(0);  // x has only an outgoing edge
+  EXPECT_EQ(s.f[2], Synopsis::kEmptySideQueryF3);
+  Synopsis sy = q.VertexSynopsis(1);  // y has only an incoming edge
+  EXPECT_EQ(sy.f[6], Synopsis::kEmptySideQueryF3);
+}
+
+}  // namespace
+}  // namespace amber

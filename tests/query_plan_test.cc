@@ -1,0 +1,162 @@
+// Unit tests for query decomposition and vertex ordering (Sections 3, 5.3):
+// core/satellite classification, r1/r2 ranking, connectivity constraint,
+// component handling and the ordering-ablation flag.
+
+#include <gtest/gtest.h>
+
+#include "core/query_plan.h"
+#include "rdf/encoded_dataset.h"
+#include "sparql/parser.h"
+#include "sparql/query_graph.h"
+
+namespace amber {
+namespace {
+
+class QueryPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Dictionaries with predicates p,q,r and a literal attribute.
+    std::vector<Triple> triples = {
+        {Term::Iri("urn:a"), Term::Iri("urn:p"), Term::Iri("urn:b")},
+        {Term::Iri("urn:a"), Term::Iri("urn:q"), Term::Iri("urn:b")},
+        {Term::Iri("urn:a"), Term::Iri("urn:r"), Term::Iri("urn:b")},
+        {Term::Iri("urn:a"), Term::Iri("urn:k"), Term::Literal("1")},
+    };
+    auto encoded = EncodedDataset::Encode(triples);
+    ASSERT_TRUE(encoded.ok());
+    dicts_ = std::move(encoded->dictionaries);
+  }
+
+  QueryGraph MustBuild(std::string_view text) {
+    auto parsed = SparqlParser::Parse(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    auto qg = QueryGraph::Build(*parsed, dicts_);
+    EXPECT_TRUE(qg.ok()) << qg.status();
+    return std::move(qg).value();
+  }
+
+  RdfDictionaries dicts_;
+};
+
+TEST_F(QueryPlanTest, StarQueryHasOneCoreVertex) {
+  QueryGraph q = MustBuild(
+      "SELECT ?c WHERE { ?c <urn:p> ?l1 . ?c <urn:q> ?l2 . ?l3 <urn:r> ?c }");
+  QueryPlan plan = PlanQuery(q);
+  ASSERT_EQ(plan.components.size(), 1u);
+  EXPECT_EQ(plan.components[0].core_order.size(), 1u);
+  EXPECT_EQ(plan.components[0].core_order[0], 0u);  // the center ?c
+  EXPECT_EQ(plan.components[0].satellites[0].size(), 3u);
+  EXPECT_EQ(plan.NumSatelliteVertices(), 3u);
+}
+
+TEST_F(QueryPlanTest, SingleVertexQuery) {
+  QueryGraph q = MustBuild("SELECT ?x WHERE { ?x <urn:k> \"1\" . }");
+  QueryPlan plan = PlanQuery(q);
+  ASSERT_EQ(plan.components.size(), 1u);
+  EXPECT_EQ(plan.components[0].core_order.size(), 1u);
+  EXPECT_TRUE(plan.components[0].satellites[0].empty());
+  EXPECT_TRUE(plan.is_core[0]);
+}
+
+TEST_F(QueryPlanTest, SingleEdgePairPromotesRicherVertex) {
+  // ?y carries an extra anchor edge -> higher r2 -> promoted to core.
+  QueryGraph q = MustBuild(
+      "SELECT ?x WHERE { ?x <urn:p> ?y . ?y <urn:q> <urn:b> . }");
+  QueryPlan plan = PlanQuery(q);
+  ASSERT_EQ(plan.components.size(), 1u);
+  ASSERT_EQ(plan.components[0].core_order.size(), 1u);
+  EXPECT_EQ(q.vertices()[plan.components[0].core_order[0]].name, "y");
+  ASSERT_EQ(plan.components[0].satellites[0].size(), 1u);
+  EXPECT_EQ(q.vertices()[plan.components[0].satellites[0][0]].name, "x");
+}
+
+TEST_F(QueryPlanTest, PathQueryCoreIsInterior) {
+  QueryGraph q = MustBuild(
+      "SELECT ?a WHERE { ?a <urn:p> ?b . ?b <urn:p> ?c . ?c <urn:p> ?d . }");
+  QueryPlan plan = PlanQuery(q);
+  const ComponentPlan& cp = plan.components[0];
+  // b and c have degree 2 (core); a and d are satellites.
+  ASSERT_EQ(cp.core_order.size(), 2u);
+  EXPECT_TRUE(plan.is_core[1]);
+  EXPECT_TRUE(plan.is_core[2]);
+  EXPECT_FALSE(plan.is_core[0]);
+  EXPECT_FALSE(plan.is_core[3]);
+  // Connectivity: the two core vertices are adjacent; any order works, but
+  // each must host its own satellite.
+  EXPECT_EQ(cp.satellites[0].size(), 1u);
+  EXPECT_EQ(cp.satellites[1].size(), 1u);
+}
+
+TEST_F(QueryPlanTest, OrderingPrefersMoreSatellites) {
+  // hub1 has 3 satellites, hub2 has 1; hubs are connected.
+  QueryGraph q = MustBuild(
+      "SELECT ?h1 WHERE { ?h1 <urn:p> ?s1 . ?h1 <urn:p> ?s2 . "
+      "?h1 <urn:q> ?s3 . ?h1 <urn:p> ?h2 . ?h2 <urn:q> ?s4 . "
+      "?h2 <urn:r> ?h3 . ?h3 <urn:p> ?h1 . }");
+  QueryPlan plan = PlanQuery(q);
+  const ComponentPlan& cp = plan.components[0];
+  ASSERT_GE(cp.core_order.size(), 2u);
+  EXPECT_EQ(q.vertices()[cp.core_order[0]].name, "h1");  // r1 = 3 wins
+}
+
+TEST_F(QueryPlanTest, ConnectivityConstraintHolds) {
+  QueryGraph q = MustBuild(
+      "SELECT ?a WHERE { ?a <urn:p> ?b . ?b <urn:p> ?c . ?c <urn:p> ?d . "
+      "?d <urn:p> ?a . ?a <urn:q> ?b . }");
+  QueryPlan plan = PlanQuery(q);
+  const ComponentPlan& cp = plan.components[0];
+  // Every core vertex after the first must neighbour an earlier one.
+  for (size_t i = 1; i < cp.core_order.size(); ++i) {
+    bool connected = false;
+    for (size_t j = 0; j < i; ++j) {
+      const auto& nbrs = q.Neighbors(cp.core_order[i]);
+      if (std::find(nbrs.begin(), nbrs.end(), cp.core_order[j]) !=
+          nbrs.end()) {
+        connected = true;
+      }
+    }
+    EXPECT_TRUE(connected) << "position " << i;
+  }
+}
+
+TEST_F(QueryPlanTest, DisconnectedQueryYieldsMultipleComponents) {
+  QueryGraph q = MustBuild(
+      "SELECT ?a ?x WHERE { ?a <urn:p> ?b . ?x <urn:q> ?y . }");
+  QueryPlan plan = PlanQuery(q);
+  EXPECT_EQ(plan.components.size(), 2u);
+  EXPECT_EQ(plan.NumCoreVertices(), 2u);
+  EXPECT_EQ(plan.NumSatelliteVertices(), 2u);
+}
+
+TEST_F(QueryPlanTest, OrderingAblationKeepsDecomposition) {
+  QueryGraph q = MustBuild(
+      "SELECT ?a WHERE { ?a <urn:p> ?b . ?b <urn:p> ?c . ?c <urn:p> ?a . "
+      "?a <urn:q> ?s . }");
+  PlanOptions options;
+  options.use_ordering_heuristics = false;
+  QueryPlan plan = PlanQuery(q, options);
+  // Same core set, order by index but still connectivity-constrained.
+  EXPECT_EQ(plan.components[0].core_order.size(), 3u);
+  EXPECT_EQ(plan.components[0].core_order[0], 0u);
+  EXPECT_EQ(plan.NumSatelliteVertices(), 1u);
+}
+
+TEST_F(QueryPlanTest, EveryVertexAppearsExactlyOnce) {
+  QueryGraph q = MustBuild(
+      "SELECT ?a WHERE { ?a <urn:p> ?b . ?b <urn:q> ?c . ?c <urn:r> ?a . "
+      "?b <urn:p> ?d . ?x <urn:p> ?y . ?y <urn:q> ?x . }");
+  QueryPlan plan = PlanQuery(q);
+  std::vector<int> seen(q.NumVertices(), 0);
+  for (const ComponentPlan& cp : plan.components) {
+    for (size_t i = 0; i < cp.core_order.size(); ++i) {
+      ++seen[cp.core_order[i]];
+      for (uint32_t s : cp.satellites[i]) ++seen[s];
+    }
+  }
+  for (uint32_t u = 0; u < q.NumVertices(); ++u) {
+    EXPECT_EQ(seen[u], 1) << "vertex " << q.vertices()[u].name;
+  }
+}
+
+}  // namespace
+}  // namespace amber

@@ -1,0 +1,117 @@
+// Unit and property tests for vertex signatures/synopses (Section 4.2):
+// field semantics, dominance, and the Lemma 1 completeness guarantee that
+// synopsis dominance never prunes a true homomorphic candidate.
+
+#include <gtest/gtest.h>
+
+#include "graph/multigraph.h"
+#include "graph/synopsis.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace amber {
+namespace {
+
+TEST(SynopsisTest, EmptyVertexIsAllZero) {
+  Multigraph::Builder b;
+  b.EnsureVertexCount(1);
+  Multigraph g = std::move(b).Build();
+  Synopsis s = ComputeVertexSynopsis(g, 0);
+  for (int32_t f : s.f) EXPECT_EQ(f, 0);
+}
+
+TEST(SynopsisTest, FieldSemantics) {
+  // Vertex 0: out-groups {1:{2,5}}, {2:{3}}; in-groups {3:{0}}.
+  Multigraph::Builder b;
+  b.AddEdge(0, 2, 1);
+  b.AddEdge(0, 5, 1);
+  b.AddEdge(0, 3, 2);
+  b.AddEdge(3, 0, 0);
+  Multigraph g = std::move(b).Build();
+  Synopsis s = ComputeVertexSynopsis(g, 0);
+  // In side: one multi-edge {0}: f1=1, f2=1, f3=-0, f4=0.
+  EXPECT_EQ(s.f[0], 1);
+  EXPECT_EQ(s.f[1], 1);
+  EXPECT_EQ(s.f[2], 0);
+  EXPECT_EQ(s.f[3], 0);
+  // Out side: max cardinality 2, distinct types {2,3,5}, min 2, max 5.
+  EXPECT_EQ(s.f[4], 2);
+  EXPECT_EQ(s.f[5], 3);
+  EXPECT_EQ(s.f[6], -2);
+  EXPECT_EQ(s.f[7], 5);
+}
+
+TEST(SynopsisTest, DominanceIsComponentWise) {
+  Synopsis big, small;
+  big.f = {2, 4, -1, 6, 1, 2, 0, 2};
+  small.f = {1, 1, -3, 3, 0, 0, 0, 0};
+  EXPECT_TRUE(big.Dominates(small));
+  EXPECT_FALSE(small.Dominates(big));
+  EXPECT_TRUE(big.Dominates(big));
+  // One violated field suffices.
+  Synopsis q = small;
+  q.f[3] = 7;  // requires max in-type >= 7
+  EXPECT_FALSE(big.Dominates(q));
+}
+
+TEST(SynopsisTest, SelfLoopCountsOnBothSides) {
+  Multigraph::Builder b;
+  b.AddEdge(0, 4, 0);
+  Multigraph g = std::move(b).Build();
+  Synopsis s = ComputeVertexSynopsis(g, 0);
+  EXPECT_EQ(s.f[0], 1);  // in
+  EXPECT_EQ(s.f[4], 1);  // out
+  EXPECT_EQ(s.f[3], 4);
+  EXPECT_EQ(s.f[7], 4);
+}
+
+TEST(SynopsisTest, ComputeAllMatchesPerVertex) {
+  auto triples = testutil::RandomDataset(/*seed=*/3, 40, 120, 6);
+  auto encoded = EncodedDataset::Encode(triples);
+  ASSERT_TRUE(encoded.ok());
+  Multigraph g = Multigraph::FromDataset(*encoded);
+  std::vector<Synopsis> all = ComputeAllSynopses(g);
+  ASSERT_EQ(all.size(), g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(all[v], ComputeVertexSynopsis(g, v)) << "vertex " << v;
+  }
+}
+
+// Lemma 1 (completeness): if there is a homomorphism mapping query vertex u
+// to data vertex v, then v's synopsis dominates u's. We verify the
+// contrapositive construction: embed a random sub-multigraph of the data
+// around a vertex v as a "query" signature; v must dominate it.
+TEST(SynopsisTest, Lemma1CompletenessProperty) {
+  auto triples = testutil::RandomDataset(/*seed=*/17, 30, 150, 5);
+  auto encoded = EncodedDataset::Encode(triples);
+  ASSERT_TRUE(encoded.ok());
+  Multigraph g = Multigraph::FromDataset(*encoded);
+  Rng rng(99);
+
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    // Build a query signature that drops random groups / random types from
+    // v's signature — any homomorphic image of such a query fits v.
+    SynopsisBuilder qb;
+    for (Direction d : {Direction::kIn, Direction::kOut}) {
+      const size_t n = g.GroupCount(v, d);
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.Chance(0.4)) continue;  // drop the whole multi-edge
+        GroupView view = g.Group(v, d, i);
+        std::vector<EdgeTypeId> subset;
+        for (EdgeTypeId t : view.types) {
+          if (rng.Chance(0.7)) subset.push_back(t);
+        }
+        if (subset.empty()) subset.push_back(view.types[0]);
+        qb.AddMultiEdge(d, subset);
+      }
+    }
+    Synopsis query = qb.Build().NormalizedForQuery();
+    Synopsis data = ComputeVertexSynopsis(g, v);
+    EXPECT_TRUE(data.Dominates(query))
+        << "v=" << v << " data=" << data.ToString()
+        << " query=" << query.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace amber

@@ -1,0 +1,152 @@
+// Unit tests for the six-permutation triple-store baseline: pattern range
+// scans, join ordering, paper-model semantics (variables never bind
+// literals), timeouts and naive-order mode.
+
+#include <gtest/gtest.h>
+
+#include "baseline/triple_store.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace amber {
+namespace {
+
+std::vector<Triple> SocialData() {
+  return {
+      {Term::Iri("urn:alice"), Term::Iri("urn:knows"), Term::Iri("urn:bob")},
+      {Term::Iri("urn:bob"), Term::Iri("urn:knows"), Term::Iri("urn:carol")},
+      {Term::Iri("urn:alice"), Term::Iri("urn:likes"), Term::Iri("urn:carol")},
+      {Term::Iri("urn:carol"), Term::Iri("urn:knows"), Term::Iri("urn:alice")},
+      {Term::Iri("urn:alice"), Term::Iri("urn:age"), Term::Literal("30")},
+      {Term::Iri("urn:bob"), Term::Iri("urn:age"), Term::Literal("30")},
+  };
+}
+
+TripleStoreEngine MustBuild(const std::vector<Triple>& data,
+                            bool reorder = true) {
+  TripleStoreEngine::Options options;
+  options.reorder_patterns = reorder;
+  auto store = TripleStoreEngine::Build(data, options);
+  EXPECT_TRUE(store.ok()) << store.status();
+  return std::move(store).value();
+}
+
+TEST(TripleStoreTest, SingleEdgePattern) {
+  TripleStoreEngine store = MustBuild(SocialData());
+  auto count = store.CountSparql(
+      "SELECT ?x ?y WHERE { ?x <urn:knows> ?y . }", {});
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(count->count, 3u);
+  EXPECT_EQ(store.NumTriples(), 6u);
+}
+
+TEST(TripleStoreTest, BoundSubjectAndObject) {
+  TripleStoreEngine store = MustBuild(SocialData());
+  auto c1 = store.CountSparql(
+      "SELECT ?y WHERE { <urn:alice> <urn:knows> ?y . }", {});
+  EXPECT_EQ(c1->count, 1u);
+  auto c2 = store.CountSparql(
+      "SELECT ?x WHERE { ?x <urn:knows> <urn:alice> . }", {});
+  EXPECT_EQ(c2->count, 1u);
+  auto c3 = store.CountSparql(
+      "SELECT ?p WHERE { ?p <urn:age> \"30\" . }", {});
+  EXPECT_EQ(c3->count, 2u);
+}
+
+TEST(TripleStoreTest, VariablesNeverBindLiterals) {
+  // ?y ranges over resources only (paper model): the age triples with
+  // literal objects must not contribute.
+  TripleStoreEngine store = MustBuild(SocialData());
+  auto count = store.CountSparql("SELECT ?x ?y WHERE { ?x <urn:age> ?y . }",
+                                 {});
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->count, 0u);
+}
+
+TEST(TripleStoreTest, JoinAcrossPatterns) {
+  TripleStoreEngine store = MustBuild(SocialData());
+  // Friend-of-friend cycle: alice->bob->carol->alice.
+  auto rows = store.MaterializeSparql(
+      "SELECT ?a ?b ?c WHERE { ?a <urn:knows> ?b . ?b <urn:knows> ?c . "
+      "?c <urn:knows> ?a . }",
+      {});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->rows.size(), 3u);  // three rotations of the cycle
+}
+
+TEST(TripleStoreTest, NaiveOrderSameResults) {
+  TripleStoreEngine fast = MustBuild(SocialData(), /*reorder=*/true);
+  TripleStoreEngine naive = MustBuild(SocialData(), /*reorder=*/false);
+  EXPECT_EQ(naive.name(), "TripleStore");
+  const char* query =
+      "SELECT ?a ?c WHERE { ?a <urn:knows> ?b . ?b <urn:knows> ?c . "
+      "?a <urn:age> \"30\" . }";
+  auto f = fast.CountSparql(query, {});
+  auto n = naive.CountSparql(query, {});
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(f->count, n->count);
+}
+
+TEST(TripleStoreTest, UnknownConstantsGiveZero) {
+  TripleStoreEngine store = MustBuild(SocialData());
+  auto c = store.CountSparql(
+      "SELECT ?x WHERE { ?x <urn:nope> ?y . }", {});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->count, 0u);
+  auto c2 = store.CountSparql(
+      "SELECT ?x WHERE { ?x <urn:knows> <urn:nobody> . }", {});
+  EXPECT_EQ(c2->count, 0u);
+}
+
+TEST(TripleStoreTest, VariablePredicateUnimplemented) {
+  TripleStoreEngine store = MustBuild(SocialData());
+  auto c = store.CountSparql("SELECT ?x WHERE { ?x ?p ?y . }", {});
+  ASSERT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsUnimplemented());
+}
+
+TEST(TripleStoreTest, LimitAndDistinct) {
+  TripleStoreEngine store = MustBuild(SocialData());
+  auto rows = store.MaterializeSparql(
+      "SELECT ?x ?y WHERE { ?x <urn:knows> ?y . } LIMIT 2", {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 2u);
+  auto d = store.CountSparql(
+      "SELECT DISTINCT ?x WHERE { ?x <urn:knows> ?y . }", {});
+  EXPECT_EQ(d->count, 3u);  // alice, bob, carol
+}
+
+TEST(TripleStoreTest, DuplicateInputTriplesDeduped) {
+  auto data = SocialData();
+  data.push_back(data[0]);
+  data.push_back(data[0]);
+  TripleStoreEngine store = MustBuild(data);
+  EXPECT_EQ(store.NumTriples(), 6u);
+  auto count = store.CountSparql(
+      "SELECT ?x ?y WHERE { ?x <urn:knows> ?y . }", {});
+  EXPECT_EQ(count->count, 3u);
+}
+
+TEST(TripleStoreTest, TimeoutReported) {
+  auto data = testutil::RandomDataset(3, 80, 4000, 2);
+  TripleStoreEngine store = MustBuild(data);
+  ExecOptions options;
+  options.timeout = std::chrono::milliseconds(1);
+  auto count = store.CountSparql(
+      "SELECT ?a WHERE { ?a <urn:p0> ?b . ?b <urn:p0> ?c . ?c <urn:p0> ?d . "
+      "?d <urn:p0> ?e . ?e <urn:p0> ?f . ?f <urn:p0> ?g . }",
+      options);
+  ASSERT_TRUE(count.ok());
+  if (count->stats.timed_out) {
+    EXPECT_LT(count->stats.elapsed_ms, 1000.0);
+  }
+}
+
+TEST(TripleStoreTest, ByteSizeNonZero) {
+  TripleStoreEngine store = MustBuild(SocialData());
+  EXPECT_GT(store.ByteSize(), 0u);
+}
+
+}  // namespace
+}  // namespace amber

@@ -1,0 +1,137 @@
+// Tests for the Section 7.2 workload generator: query sizes, shapes,
+// parseability, guaranteed answerability (the source entities are a
+// homomorphism witness), and constant injection.
+
+#include <gtest/gtest.h>
+
+#include "core/amber_engine.h"
+#include "gen/scale_free.h"
+#include "gen/workload.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace amber {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScaleFreeOptions options;
+    options.seed = 77;
+    options.num_entities = 800;
+    options.num_edge_triples = 6000;
+    options.num_predicates = 25;
+    options.attr_fraction = 0.3;
+    data_ = GenerateScaleFree(options);
+  }
+  std::vector<Triple> data_;
+};
+
+TEST_F(WorkloadTest, StarQueriesHaveRequestedSizeAndShape) {
+  WorkloadGenerator gen(data_);
+  WorkloadOptions options;
+  options.query_size = 8;
+  options.count = 20;
+  auto queries = gen.Generate(QueryShape::kStar, options);
+  ASSERT_EQ(queries.size(), 20u);
+  for (const std::string& text : queries) {
+    auto parsed = SparqlParser::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+    EXPECT_EQ(parsed->size(), 8u) << text;
+    // Star shape: ?X0 occurs in every pattern.
+    for (const TriplePattern& p : parsed->patterns) {
+      bool touches_center =
+          (p.subject.is_variable() && p.subject.value == "X0") ||
+          (p.object.is_variable() && p.object.value == "X0");
+      EXPECT_TRUE(touches_center) << text;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ComplexQueriesParseAndConnect) {
+  WorkloadGenerator gen(data_);
+  WorkloadOptions options;
+  options.query_size = 10;
+  options.count = 20;
+  auto queries = gen.Generate(QueryShape::kComplex, options);
+  ASSERT_EQ(queries.size(), 20u);
+  for (const std::string& text : queries) {
+    auto parsed = SparqlParser::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+    EXPECT_EQ(parsed->size(), 10u);
+  }
+}
+
+TEST_F(WorkloadTest, QueriesAreAnswerable) {
+  // Grown-from-data queries always admit at least one homomorphic
+  // embedding (the source entities themselves).
+  auto engine = AmberEngine::Build(data_);
+  ASSERT_TRUE(engine.ok());
+  WorkloadGenerator gen(data_);
+  WorkloadOptions options;
+  options.query_size = 6;
+  options.count = 15;
+  for (QueryShape shape : {QueryShape::kStar, QueryShape::kComplex}) {
+    auto queries = gen.Generate(shape, options);
+    ASSERT_GE(queries.size(), 10u);
+    for (const std::string& text : queries) {
+      auto count = engine->CountSparql(text, {});
+      ASSERT_TRUE(count.ok()) << count.status() << "\n" << text;
+      EXPECT_GE(count->count, 1u) << text;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicPerSeed) {
+  WorkloadGenerator gen(data_);
+  WorkloadOptions options;
+  options.query_size = 5;
+  options.count = 10;
+  auto a = gen.Generate(QueryShape::kStar, options);
+  auto b = gen.Generate(QueryShape::kStar, options);
+  EXPECT_EQ(a, b);
+  options.seed = 8;
+  auto c = gen.Generate(QueryShape::kStar, options);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(WorkloadTest, ConstantInjection) {
+  WorkloadGenerator gen(data_);
+  WorkloadOptions options;
+  options.query_size = 10;
+  options.count = 30;
+  options.constant_iri_probability = 0.4;
+  options.literal_fraction = 0.4;
+  auto queries = gen.Generate(QueryShape::kComplex, options);
+  int with_constants = 0, with_literals = 0;
+  for (const std::string& text : queries) {
+    auto parsed = SparqlParser::Parse(text);
+    ASSERT_TRUE(parsed.ok());
+    bool has_const = false, has_lit = false;
+    for (const TriplePattern& p : parsed->patterns) {
+      if (p.subject.is_iri() || p.object.is_iri()) has_const = true;
+      if (p.object.is_literal()) has_lit = true;
+    }
+    with_constants += has_const;
+    with_literals += has_lit;
+  }
+  EXPECT_GT(with_constants, 10);
+  EXPECT_GT(with_literals, 10);
+}
+
+TEST_F(WorkloadTest, OversizedRequestReturnsFewerQueries) {
+  // Ask for stars larger than any entity's neighbourhood.
+  std::vector<Triple> tiny = {
+      {Term::Iri("urn:a"), Term::Iri("urn:p"), Term::Iri("urn:b")},
+      {Term::Iri("urn:b"), Term::Iri("urn:p"), Term::Iri("urn:c")},
+  };
+  WorkloadGenerator gen(tiny);
+  WorkloadOptions options;
+  options.query_size = 50;
+  options.count = 5;
+  auto queries = gen.Generate(QueryShape::kStar, options);
+  EXPECT_TRUE(queries.empty());
+}
+
+}  // namespace
+}  // namespace amber
