@@ -1,4 +1,4 @@
-// Ablation B (DESIGN.md §5): value of the index ensemble and the satellite
+// Ablation B (docs/BENCHMARKS.md): value of the index ensemble and the satellite
 // decomposition. Compares
 //   * AMbER               (S + A + N, core/satellite decomposition),
 //   * AMbER-noS           (initial candidates by full synopsis scan),

@@ -1,4 +1,4 @@
-// Ablation A (DESIGN.md §5): value of the Section 5.3 vertex-ordering
+// Ablation A (docs/BENCHMARKS.md): value of the Section 5.3 vertex-ordering
 // heuristics r1/r2. Runs AMbER on complex queries with the heuristics on
 // vs off (index-order, still connectivity-constrained).
 

@@ -1,7 +1,9 @@
 #include "common/bench_common.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "baseline/graph_backtrack.h"
 #include "baseline/triple_store.h"
@@ -185,6 +187,54 @@ void PrintFigure(const std::string& figure_title,
   std::fflush(stdout);
 }
 
+void WriteSeriesJson(const std::string& figure_title,
+                     const std::vector<QueryEngine*>& engines,
+                     const std::vector<std::vector<SeriesPoint>>& series,
+                     const BenchConfig& config) {
+  const char* dir = std::getenv("AMBER_BENCH_JSON_DIR");
+  if (!dir || !*dir) return;
+
+  std::string slug;
+  for (char c : figure_title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+
+  std::string path = std::string(dir) + "/BENCH_" + slug + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+
+  // EscapeNTriples escapes backslash, quote, \n, \r, \t — the same
+  // sequences JSON needs for these characters.
+  os << "{\n  \"figure\": \"" << EscapeNTriples(figure_title) << "\",\n";
+  os << "  \"config\": {\"scale\": " << config.scale
+     << ", \"queries_per_point\": " << config.queries_per_point
+     << ", \"timeout_ms\": " << config.timeout_ms << "},\n";
+  os << "  \"engines\": [\n";
+  for (size_t e = 0; e < engines.size(); ++e) {
+    os << "    {\"name\": \"" << EscapeNTriples(engines[e]->name())
+       << "\", \"series\": [";
+    for (size_t i = 0; i < series[e].size(); ++i) {
+      const SeriesPoint& p = series[e][i];
+      os << (i ? ", " : "") << "{\"size\": " << p.size << ", \"avg_ms\": "
+         << p.avg_ms << ", \"unanswered_pct\": " << p.unanswered_pct
+         << ", \"answered\": " << p.answered << ", \"total\": " << p.total
+         << "}";
+    }
+    os << "]}" << (e + 1 < engines.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::fprintf(stderr, "  wrote %s\n", path.c_str());
+}
+
 void RunShapeFigure(const std::string& figure_title,
                     const std::string& dataset_name, QueryShape shape) {
   BenchConfig config = BenchConfig::FromEnv();
@@ -205,9 +255,11 @@ void RunShapeFigure(const std::string& figure_title,
         RunSeries(engine, workloads, config.sizes, config.timeout_ms));
   }
   std::printf(
-      "\nEngine analogues (DESIGN.md 2): TripleStore ~ Virtuoso/x-RDF-3X, "
-      "TS-naive ~ Jena, GraphBT ~ gStore/TurboHom++ (no AMbER indexes)\n");
+      "\nEngine analogues (docs/ARCHITECTURE.md, \"Baselines\"): "
+      "TripleStore ~ Virtuoso/x-RDF-3X, TS-naive ~ Jena, "
+      "GraphBT ~ gStore/TurboHom++ (no AMbER indexes)\n");
   PrintFigure(figure_title, engines, series, config.sizes);
+  WriteSeriesJson(figure_title, engines, series, config);
 }
 
 }  // namespace bench

@@ -1,5 +1,5 @@
 // Shared benchmark harness for the paper-reproduction binaries (one binary
-// per table/figure; see DESIGN.md §4).
+// per table/figure; see docs/BENCHMARKS.md for the full catalogue).
 //
 // Protocol (Section 7.2 of the paper): per (dataset, shape, size) point,
 // generate N queries grown from the data, run each engine with a per-query
@@ -13,6 +13,10 @@
 //   AMBER_BENCH_QUERIES     queries per point           (default 12)
 //   AMBER_BENCH_TIMEOUT_MS  per-query budget            (default 1000)
 //   AMBER_BENCH_SIZES       comma list of query sizes   (default 10..50)
+//   AMBER_BENCH_JSON_DIR    if set, additionally write a machine-readable
+//                           BENCH_<slug>.json result file into this
+//                           directory (the perf-trajectory convention of
+//                           docs/BENCHMARKS.md)
 
 #ifndef AMBER_BENCH_COMMON_BENCH_COMMON_H_
 #define AMBER_BENCH_COMMON_BENCH_COMMON_H_
@@ -50,7 +54,7 @@ struct DatasetBundle {
 DatasetBundle MakeDataset(const std::string& name, double scale);
 
 /// All engines under comparison, built on one dataset. The display names
-/// carry the paper-competitor analogue (DESIGN.md §2).
+/// carry the paper-competitor analogue (docs/ARCHITECTURE.md, "Baselines").
 struct EngineSuite {
   std::unique_ptr<QueryEngine> amber;
   std::unique_ptr<QueryEngine> triple_store;        // RDF-3X/Virtuoso-like
@@ -90,6 +94,15 @@ void PrintFigure(const std::string& figure_title,
                  const std::vector<QueryEngine*>& engines,
                  const std::vector<std::vector<SeriesPoint>>& series,
                  const std::vector<int>& sizes);
+
+/// Writes BENCH_<slug>.json (slug derived from `figure_title`) into
+/// `AMBER_BENCH_JSON_DIR` if that env var is set; no-op otherwise. The JSON
+/// schema is documented in docs/BENCHMARKS.md and is the interchange format
+/// for tracking perf across PRs.
+void WriteSeriesJson(const std::string& figure_title,
+                     const std::vector<QueryEngine*>& engines,
+                     const std::vector<std::vector<SeriesPoint>>& series,
+                     const BenchConfig& config);
 
 /// Full driver for one of Figures 6-11.
 void RunShapeFigure(const std::string& figure_title,

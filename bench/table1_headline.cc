@@ -25,10 +25,12 @@ int main() {
               config.timeout_ms);
   std::printf("%-14s %14s %14s %12s\n", "engine", "avg time (ms)",
               "% unanswered", "answered");
-  for (QueryEngine* engine : suite.All()) {
-    auto series =
-        RunSeries(engine, workloads, config.sizes, config.timeout_ms);
-    const SeriesPoint& p = series[0];
+  std::vector<QueryEngine*> engines = suite.All();
+  std::vector<std::vector<SeriesPoint>> all_series;
+  for (QueryEngine* engine : engines) {
+    all_series.push_back(
+        RunSeries(engine, workloads, config.sizes, config.timeout_ms));
+    const SeriesPoint& p = all_series.back()[0];
     if (p.answered > 0) {
       std::printf("%-14s %14.3f %13.1f%% %8d/%d\n", engine->name().c_str(),
                   p.avg_ms, p.unanswered_pct, p.answered, p.total);
@@ -40,5 +42,6 @@ int main() {
   std::printf("\nExpected shape (paper Table 1): AMbER fastest by a wide "
               "margin; graph baseline next; join-based stores slowest or "
               "timing out.\n");
+  WriteSeriesJson("Table 1 headline", engines, all_series, config);
   return 0;
 }

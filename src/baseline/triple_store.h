@@ -11,7 +11,8 @@
 // pattern order).
 //
 // Semantics match AMbER's query model: variables bind resources only
-// (never literals), literals occur as constants. See DESIGN.md §2.
+// (never literals), literals occur as constants. See docs/ARCHITECTURE.md,
+// "Baselines".
 
 #ifndef AMBER_BASELINE_TRIPLE_STORE_H_
 #define AMBER_BASELINE_TRIPLE_STORE_H_

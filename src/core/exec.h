@@ -1,4 +1,7 @@
-// Execution options, statistics and result sinks shared by all engines.
+// Execution options, statistics and result sinks shared by all engines:
+// the per-query timeout budget of Section 7.2, row caps (LIMIT), DISTINCT
+// handling, and the counters (embeddings, candidates, recursion) that the
+// benches and EXPLAIN report.
 
 #ifndef AMBER_CORE_EXEC_H_
 #define AMBER_CORE_EXEC_H_

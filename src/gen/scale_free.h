@@ -1,8 +1,9 @@
 // Scale-free RDF generator: preferential-attachment topology with
 // Zipf-skewed predicate usage and a pool of shared literal values.
 //
-// This stands in for the real-world DBPEDIA and YAGO dumps (see DESIGN.md
-// §2): the properties AMbER's evaluation depends on — predicate diversity,
+// This stands in for the real-world DBPEDIA and YAGO dumps (see
+// docs/BENCHMARKS.md, "Datasets"): the properties AMbER's evaluation
+// depends on — predicate diversity,
 // heavy-tailed vertex degrees, star-rich neighbourhoods, selective literal
 // attributes — are reproduced at configurable scale.
 

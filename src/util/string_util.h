@@ -1,4 +1,6 @@
-// Small string helpers shared by the parsers and writers.
+// Small string helpers (trim/split/prefix tests) shared by the N-Triples
+// and SPARQL parsers, the writers, and the benchmark config parsing. No
+// paper counterpart; pure substrate.
 
 #ifndef AMBER_UTIL_STRING_UTIL_H_
 #define AMBER_UTIL_STRING_UTIL_H_

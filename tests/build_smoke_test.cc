@@ -1,0 +1,48 @@
+// Build smoke test: guards the public surface documented in README.md.
+//
+// Exercises only the published entry points — AmberEngine::Build over parsed
+// N-Triples, then the QueryEngine interface (CountSparql / MaterializeSparql)
+// on the paper's Figure 2 running-example query. Deliberately avoids every
+// internal header so that a change breaking the public API fails here even
+// if the internal suites still compile.
+
+#include <gtest/gtest.h>
+
+#include "core/amber_engine.h"
+#include "core/query_engine.h"
+#include "gen/paper_example.h"
+#include "rdf/ntriples.h"
+
+namespace amber {
+namespace {
+
+TEST(BuildSmokeTest, PaperExampleThroughPublicApi) {
+  auto triples = NTriplesParser::ParseString(kPaperExampleNTriples);
+  ASSERT_TRUE(triples.ok()) << triples.status();
+
+  auto engine = AmberEngine::Build(triples.value());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  QueryEngine& public_api = engine.value();
+  EXPECT_EQ(public_api.name(), "AMbER");
+
+  auto count = public_api.CountSparql(kPaperExampleQuery);
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(count.value().count, 2u);
+
+  auto rows = public_api.MaterializeSparql(kPaperExampleQuery);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows.value().var_names.size(), 7u);
+  EXPECT_EQ(rows.value().rows.size(), 2u);
+}
+
+TEST(BuildSmokeTest, ParseErrorsSurfaceAsStatus) {
+  auto engine = AmberEngine::Build({});
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  auto bad = engine.value().CountSparql("SELECT WHERE { this is not sparql");
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace amber
