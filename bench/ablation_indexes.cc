@@ -4,9 +4,11 @@
 //   * AMbER-noS           (initial candidates by full synopsis scan),
 //   * GraphBT             (no indexes, no decomposition)
 // on star queries, where satellite batching matters most. Also reports the
-// CandInit sizes that the S index produces.
+// CandInit sizes that the S index produces. With AMBER_BENCH_JSON_DIR set,
+// the three series are written as BENCH_ablation_b_index_ensemble.json.
 
 #include <cstdio>
+#include <vector>
 
 #include "baseline/graph_backtrack.h"
 #include "common/bench_common.h"
@@ -23,41 +25,63 @@ int main() {
   if (!graph_bt.ok()) return 1;
   auto workloads = MakeWorkloads(dataset, QueryShape::kStar, config);
 
+  // One mode per series, same protocol as RunSeries: unanswered = failed
+  // or timed out, averages over answered only, and a mode that answers
+  // nothing at one size is skipped for larger ones ("fails from size k
+  // onwards").
+  const std::vector<std::string> modes = {"AMbER", "AMbER-noS", "GraphBT"};
+  std::vector<std::vector<SeriesPoint>> series(modes.size());
+  std::vector<bool> dead(modes.size(), false);
+  std::vector<double> cand_init(config.sizes.size(), 0.0);
+
+  for (size_t i = 0; i < config.sizes.size(); ++i) {
+    for (size_t m = 0; m < modes.size(); ++m) {
+      SeriesPoint point;
+      point.size = config.sizes[i];
+      point.total = static_cast<int>(workloads[i].size());
+      if (dead[m] || workloads[i].empty()) {
+        point.unanswered_pct = 100.0;
+        series[m].push_back(point);
+        continue;
+      }
+      double total_ms = 0.0;
+      for (const std::string& text : workloads[i]) {
+        ExecOptions options;
+        options.timeout = std::chrono::milliseconds(config.timeout_ms);
+        options.use_signature_index = (m != 1);
+        QueryEngine* engine = (m == 2)
+                                  ? static_cast<QueryEngine*>(&*graph_bt)
+                                  : static_cast<QueryEngine*>(&*amber_engine);
+        auto r = engine->CountSparql(text, options);
+        if (!r.ok() || r->stats.timed_out) continue;
+        ++point.answered;
+        total_ms += r->stats.elapsed_ms;
+        if (m == 0) {
+          cand_init[i] += static_cast<double>(r->stats.initial_candidates);
+        }
+      }
+      point.avg_ms = point.answered > 0 ? total_ms / point.answered : 0.0;
+      point.unanswered_pct = 100.0 * (point.total - point.answered) /
+                             std::max(1, point.total);
+      if (point.answered == 0) dead[m] = true;
+      series[m].push_back(point);
+    }
+  }
+
   std::printf("\nAblation B: index ensemble + satellite decomposition "
               "(YAGO star queries)\n");
   std::printf("%-8s %14s %14s %14s %18s\n", "size", "AMbER (ms)",
               "AMbER-noS (ms)", "GraphBT (ms)", "avg |CandInit|");
   for (size_t i = 0; i < config.sizes.size(); ++i) {
-    double full_ms = 0, nos_ms = 0, bt_ms = 0, cand = 0;
-    int full_n = 0, nos_n = 0, bt_n = 0;
-    for (const std::string& text : workloads[i]) {
-      ExecOptions options;
-      options.timeout = std::chrono::milliseconds(config.timeout_ms);
-      if (auto r = amber_engine->CountSparql(text, options);
-          r.ok() && !r->stats.timed_out) {
-        ++full_n;
-        full_ms += r->stats.elapsed_ms;
-        cand += static_cast<double>(r->stats.initial_candidates);
-      }
-      ExecOptions no_sig = options;
-      no_sig.use_signature_index = false;
-      if (auto r = amber_engine->CountSparql(text, no_sig);
-          r.ok() && !r->stats.timed_out) {
-        ++nos_n;
-        nos_ms += r->stats.elapsed_ms;
-      }
-      if (auto r = graph_bt->CountSparql(text, options);
-          r.ok() && !r->stats.timed_out) {
-        ++bt_n;
-        bt_ms += r->stats.elapsed_ms;
-      }
-    }
+    const int answered = series[0][i].answered;
     std::printf("%-8d %14.3f %14.3f %14.3f %18.1f\n", config.sizes[i],
-                full_n ? full_ms / full_n : -1.0,
-                nos_n ? nos_ms / nos_n : -1.0, bt_n ? bt_ms / bt_n : -1.0,
-                full_n ? cand / full_n : -1.0);
+                answered ? series[0][i].avg_ms : -1.0,
+                series[1][i].answered ? series[1][i].avg_ms : -1.0,
+                series[2][i].answered ? series[2][i].avg_ms : -1.0,
+                answered ? cand_init[i] / answered : -1.0);
   }
   std::printf("\nExpected shape: AMbER <= AMbER-noS << GraphBT; CandInit "
               "stays small thanks to the S index + ProcessVertex.\n");
+  WriteSeriesJson("Ablation B index ensemble", modes, series, config);
   return 0;
 }

@@ -1,8 +1,11 @@
 // Ablation A (docs/BENCHMARKS.md): value of the Section 5.3 vertex-ordering
 // heuristics r1/r2. Runs AMbER on complex queries with the heuristics on
-// vs off (index-order, still connectivity-constrained).
+// vs off (index-order, still connectivity-constrained). With
+// AMBER_BENCH_JSON_DIR set, both series are written as
+// BENCH_ablation_a_ordering_heuristics.json.
 
 #include <cstdio>
+#include <vector>
 
 #include "common/bench_common.h"
 
@@ -16,32 +19,52 @@ int main() {
   if (!engine.ok()) return 1;
   auto workloads = MakeWorkloads(dataset, QueryShape::kComplex, config);
 
+  // Same protocol as RunSeries, including the dead-mode skip rule ("fails
+  // from size k onwards").
+  const std::vector<std::string> modes = {"AMbER-ordered", "AMbER-unordered"};
+  std::vector<std::vector<SeriesPoint>> series(modes.size());
+  std::vector<bool> dead(modes.size(), false);
+
+  for (size_t i = 0; i < config.sizes.size(); ++i) {
+    for (size_t m = 0; m < modes.size(); ++m) {
+      SeriesPoint point;
+      point.size = config.sizes[i];
+      point.total = static_cast<int>(workloads[i].size());
+      if (dead[m] || workloads[i].empty()) {
+        point.unanswered_pct = 100.0;
+        series[m].push_back(point);
+        continue;
+      }
+      double total_ms = 0.0;
+      for (const std::string& text : workloads[i]) {
+        ExecOptions options;
+        options.timeout = std::chrono::milliseconds(config.timeout_ms);
+        options.plan.use_ordering_heuristics = (m == 0);
+        auto result = engine->CountSparql(text, options);
+        if (!result.ok() || result->stats.timed_out) continue;
+        ++point.answered;
+        total_ms += result->stats.elapsed_ms;
+      }
+      point.avg_ms = point.answered > 0 ? total_ms / point.answered : 0.0;
+      point.unanswered_pct = 100.0 * (point.total - point.answered) /
+                             std::max(1, point.total);
+      if (point.answered == 0) dead[m] = true;
+      series[m].push_back(point);
+    }
+  }
+
   std::printf("\nAblation A: vertex-ordering heuristics (r1/r2, Section 5.3) "
               "on DBPEDIA complex queries\n");
   std::printf("%-8s %18s %18s %14s %14s\n", "size", "ordered avg (ms)",
               "unordered avg (ms)", "ordered %TO", "unordered %TO");
   for (size_t i = 0; i < config.sizes.size(); ++i) {
-    double ms[2] = {0, 0};
-    int answered[2] = {0, 0};
-    for (int mode = 0; mode < 2; ++mode) {
-      for (const std::string& text : workloads[i]) {
-        ExecOptions options;
-        options.timeout = std::chrono::milliseconds(config.timeout_ms);
-        options.plan.use_ordering_heuristics = (mode == 0);
-        auto result = engine->CountSparql(text, options);
-        if (!result.ok() || result->stats.timed_out) continue;
-        ++answered[mode];
-        ms[mode] += result->stats.elapsed_ms;
-      }
-    }
-    const int total = static_cast<int>(workloads[i].size());
     std::printf("%-8d %18.3f %18.3f %13.1f%% %13.1f%%\n", config.sizes[i],
-                answered[0] ? ms[0] / answered[0] : -1.0,
-                answered[1] ? ms[1] / answered[1] : -1.0,
-                100.0 * (total - answered[0]) / std::max(1, total),
-                100.0 * (total - answered[1]) / std::max(1, total));
+                series[0][i].answered ? series[0][i].avg_ms : -1.0,
+                series[1][i].answered ? series[1][i].avg_ms : -1.0,
+                series[0][i].unanswered_pct, series[1][i].unanswered_pct);
   }
   std::printf("\nExpected shape: ordered never slower on average; the gap "
               "grows with query size.\n");
+  WriteSeriesJson("Ablation A ordering heuristics", modes, series, config);
   return 0;
 }

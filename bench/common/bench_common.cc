@@ -191,6 +191,16 @@ void WriteSeriesJson(const std::string& figure_title,
                      const std::vector<QueryEngine*>& engines,
                      const std::vector<std::vector<SeriesPoint>>& series,
                      const BenchConfig& config) {
+  std::vector<std::string> names;
+  names.reserve(engines.size());
+  for (QueryEngine* e : engines) names.push_back(e->name());
+  WriteSeriesJson(figure_title, names, series, config);
+}
+
+void WriteSeriesJson(const std::string& figure_title,
+                     const std::vector<std::string>& series_names,
+                     const std::vector<std::vector<SeriesPoint>>& series,
+                     const BenchConfig& config) {
   const char* dir = std::getenv("AMBER_BENCH_JSON_DIR");
   if (!dir || !*dir) return;
 
@@ -219,8 +229,8 @@ void WriteSeriesJson(const std::string& figure_title,
      << ", \"queries_per_point\": " << config.queries_per_point
      << ", \"timeout_ms\": " << config.timeout_ms << "},\n";
   os << "  \"engines\": [\n";
-  for (size_t e = 0; e < engines.size(); ++e) {
-    os << "    {\"name\": \"" << EscapeNTriples(engines[e]->name())
+  for (size_t e = 0; e < series_names.size(); ++e) {
+    os << "    {\"name\": \"" << EscapeNTriples(series_names[e])
        << "\", \"series\": [";
     for (size_t i = 0; i < series[e].size(); ++i) {
       const SeriesPoint& p = series[e][i];
@@ -229,7 +239,7 @@ void WriteSeriesJson(const std::string& figure_title,
          << ", \"answered\": " << p.answered << ", \"total\": " << p.total
          << "}";
     }
-    os << "]}" << (e + 1 < engines.size() ? "," : "") << "\n";
+    os << "]}" << (e + 1 < series_names.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   std::fprintf(stderr, "  wrote %s\n", path.c_str());

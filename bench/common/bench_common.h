@@ -104,6 +104,14 @@ void WriteSeriesJson(const std::string& figure_title,
                      const std::vector<std::vector<SeriesPoint>>& series,
                      const BenchConfig& config);
 
+/// Same, but with explicit series names — for drivers whose compared
+/// configurations are not distinct QueryEngine objects (the ablations run
+/// one engine under several option sets).
+void WriteSeriesJson(const std::string& figure_title,
+                     const std::vector<std::string>& series_names,
+                     const std::vector<std::vector<SeriesPoint>>& series,
+                     const BenchConfig& config);
+
 /// Full driver for one of Figures 6-11.
 void RunShapeFigure(const std::string& figure_title,
                     const std::string& dataset_name, QueryShape shape);

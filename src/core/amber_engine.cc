@@ -65,6 +65,9 @@ Result<uint64_t> AmberEngine::Execute(
       Matcher root_matcher(graph_, indexes_, qg, plan, options);
       std::vector<VertexId> root = root_matcher.ComputeRootCandidates();
       stats->initial_candidates = root.size();
+      // The CandInit work above accrued hot-path counters in root_matcher,
+      // which never Runs; flush them so serial and parallel stats agree.
+      root_matcher.FlushHotPathStats(stats);
       const size_t num_workers =
           std::min<size_t>(static_cast<size_t>(options.num_threads),
                            std::max<size_t>(root.size(), 1));

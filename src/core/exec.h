@@ -6,6 +6,7 @@
 #ifndef AMBER_CORE_EXEC_H_
 #define AMBER_CORE_EXEC_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -58,6 +59,23 @@ struct ExecStats {
   /// Solution records found (before Cartesian expansion of satellites).
   uint64_t embeddings_found = 0;
 
+  // -- Hot-path observability (docs/ARCHITECTURE.md, "The matching hot
+  // path"). These make the matcher's materialize-vs-probe cutover and the
+  // intersection kernels' adaptive strategy visible per query.
+
+  /// Neighbour/attribute lists fully materialized from the indexes.
+  uint64_t lists_materialized = 0;
+  /// Elements of long lists skipped by the galloping intersection kernels.
+  uint64_t galloped_elements = 0;
+  /// Elements visited one-by-one by the kernels' linear-merge strategy.
+  uint64_t scanned_elements = 0;
+  /// Candidates tested on the probe-without-materialize path.
+  uint64_t probe_checks = 0;
+  /// Of those, candidates that survived the probe.
+  uint64_t probe_hits = 0;
+  /// High-water scratch-arena footprint of one Matcher (max over workers).
+  uint64_t peak_arena_bytes = 0;
+
   void MergeFrom(const ExecStats& o) {
     rows += o.rows;
     timed_out = timed_out || o.timed_out;
@@ -65,6 +83,12 @@ struct ExecStats {
     recursion_calls += o.recursion_calls;
     initial_candidates += o.initial_candidates;
     embeddings_found += o.embeddings_found;
+    lists_materialized += o.lists_materialized;
+    galloped_elements += o.galloped_elements;
+    scanned_elements += o.scanned_elements;
+    probe_checks += o.probe_checks;
+    probe_hits += o.probe_hits;
+    peak_arena_bytes = std::max(peak_arena_bytes, o.peak_arena_bytes);
   }
 };
 

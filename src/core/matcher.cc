@@ -2,8 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 namespace amber {
+
+namespace {
+
+// Materialize-vs-probe cutover. A constraint's neighbour list is probed per
+// candidate instead of materialized when its O(1) size bound exceeds the
+// step's smallest bound by this factor — probing at most |smallest bound|
+// candidates (each an O(log) trie seek on the candidate's own small trie)
+// then beats walking and sorting a hub-sized list. Lists under the absolute
+// floor are always materialized: they are nearly free to build and the
+// galloping kernels handle them well.
+constexpr uint32_t kProbeSkewFactor = 8;
+constexpr uint32_t kProbeMinBound = 64;
+
+template <typename T>
+uint64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<uint64_t>(v.capacity()) * sizeof(T);
+}
+
+}  // namespace
 
 Matcher::Matcher(const Multigraph& g, const IndexSet& indexes,
                  const QueryGraph& q, const QueryPlan& plan,
@@ -11,12 +31,31 @@ Matcher::Matcher(const Multigraph& g, const IndexSet& indexes,
     : g_(g), indexes_(indexes), q_(q), plan_(plan), options_(options) {
   core_match_.assign(q_.NumVertices(), kInvalidId);
   sat_match_.assign(q_.NumVertices(), {});
+  size_t total_depth = 0;
   for (const ComponentPlan& cp : plan_.components) {
+    depth_base_.push_back(total_depth);
+    total_depth += cp.core_order.size();
     for (const auto& sats : cp.satellites) {
       satellite_list_.insert(satellite_list_.end(), sats.begin(), sats.end());
     }
   }
+  scratch_.resize(total_depth);
   row_buffer_.resize(q_.projection().size());
+
+  local_state_.assign(q_.NumVertices(), LocalState::kUnknown);
+  local_cache_.resize(q_.NumVertices());
+  comp_cand_cached_.assign(plan_.components.size(), false);
+  comp_cand_cache_.resize(plan_.components.size());
+
+  // Projected satellites (unique), in first-appearance order; Emit()'s
+  // odometer runs over these.
+  for (uint32_t u : q_.projection()) {
+    if (!plan_.is_core[u] &&
+        std::find(expand_.begin(), expand_.end(), u) == expand_.end()) {
+      expand_.push_back(u);
+    }
+  }
+  pick_.resize(expand_.size());
 }
 
 bool Matcher::DeadlineExpired() {
@@ -26,52 +65,76 @@ bool Matcher::DeadlineExpired() {
 }
 
 void Matcher::PairCandidates(const QueryEdge& e, bool u_is_from, VertexId vn,
-                             std::vector<VertexId>* out) const {
+                             std::vector<VertexId>* out) {
   // u --types--> un: candidates must appear among vn's in-neighbours with a
   // superset multi-edge; un --types--> u: among vn's out-neighbours.
   const Direction d = u_is_from ? Direction::kIn : Direction::kOut;
-  indexes_.neighborhood.SupersetNeighbors(vn, d, e.types, out);
+  indexes_.neighborhood.SupersetNeighbors(vn, d, e.types, out, &nbr_scratch_);
 }
 
-std::optional<std::vector<VertexId>> Matcher::LocalCandidates(uint32_t u) {
-  const QueryVertex& qv = q_.vertices()[u];
-  if (!qv.HasLocalConstraints()) return std::nullopt;
+void Matcher::ProbeFilter(const QueryEdge& e, bool u_is_from, VertexId vn,
+                          std::vector<VertexId>* cand) {
+  // Seen from a candidate c, the edge orientation flips: the query edge
+  // leaving u makes vn an out-neighbour of c. Probing c's trie instead of
+  // materializing vn's neighbour list is the whole point — c is one of few
+  // surviving candidates and usually low-degree, vn is the hub.
+  const Direction d = u_is_from ? Direction::kOut : Direction::kIn;
+  probe_checks_ += cand->size();
+  std::erase_if(*cand, [&](VertexId c) {
+    return !indexes_.neighborhood.Contains(c, d, e.types, vn, &nbr_scratch_);
+  });
+  probe_hits_ += cand->size();
+}
 
-  std::vector<VertexId> result;
+const std::vector<VertexId>* Matcher::CachedLocalCandidates(uint32_t u) {
+  if (local_state_[u] == LocalState::kNone) return nullptr;
+  if (local_state_[u] == LocalState::kCached) return &local_cache_[u];
+
+  const QueryVertex& qv = q_.vertices()[u];
+  if (!qv.HasLocalConstraints()) {
+    local_state_[u] = LocalState::kNone;
+    return nullptr;
+  }
+  // Cold path: computed once per query vertex per Matcher, then served from
+  // the cache for every subsequent refinement (RefineByVertex used to
+  // recompute this per satellite per embedding).
+  std::vector<VertexId>& result = local_cache_[u];
+  result.clear();
+  std::vector<VertexId> tmp;
   bool first = true;
 
   if (!qv.attrs.empty()) {
     result = indexes_.attribute.Candidates(qv.attrs);  // C^A_u
     first = false;
   }
+  auto refine = [&](VertexId anchor, Direction d,
+                    std::span<const EdgeTypeId> types) {
+    if (first) {
+      indexes_.neighborhood.SupersetNeighbors(anchor, d, types, &result,
+                                              &nbr_scratch_);
+      first = false;
+    } else if (!result.empty()) {
+      tmp.clear();
+      indexes_.neighborhood.SupersetNeighbors(anchor, d, types, &tmp,
+                                              &nbr_scratch_);
+      IntersectInPlace(&result, std::span<const VertexId>(tmp), &icounters_);
+    }
+  };
   for (const IriConstraint& c : qv.iris) {  // C^I_u
-    if (!c.out_types.empty()) {
-      // u --out_types--> anchor: u is an in-neighbour of the anchor.
-      std::vector<VertexId> list =
-          indexes_.neighborhood.Superset(c.anchor, Direction::kIn,
-                                         c.out_types);
-      result = first ? std::move(list) : IntersectSorted(result, list);
-      first = false;
-      if (result.empty()) return result;
-    }
-    if (!c.in_types.empty()) {
-      // anchor --in_types--> u: u is an out-neighbour of the anchor.
-      std::vector<VertexId> list =
-          indexes_.neighborhood.Superset(c.anchor, Direction::kOut,
-                                         c.in_types);
-      result = first ? std::move(list) : IntersectSorted(result, list);
-      first = false;
-      if (result.empty()) return result;
-    }
+    // u --out_types--> anchor: u is an in-neighbour of the anchor, and
+    // anchor --in_types--> u: u is an out-neighbour of the anchor.
+    if (!c.out_types.empty()) refine(c.anchor, Direction::kIn, c.out_types);
+    if (!c.in_types.empty()) refine(c.anchor, Direction::kOut, c.in_types);
   }
-  return result;
+  local_state_[u] = LocalState::kCached;
+  return &result;
 }
 
 void Matcher::RefineByVertex(uint32_t u, std::vector<VertexId>* cand) {
   if (cand->empty()) return;
-  std::optional<std::vector<VertexId>> local = LocalCandidates(u);
-  if (local.has_value()) {
-    *cand = IntersectSorted(*cand, *local);
+  const std::vector<VertexId>* local = CachedLocalCandidates(u);
+  if (local != nullptr) {
+    IntersectInPlace(cand, std::span<const VertexId>(*local), &icounters_);
   }
   const std::vector<EdgeTypeId>& self = q_.vertices()[u].self_types;
   if (!self.empty()) {
@@ -97,6 +160,18 @@ std::vector<VertexId> Matcher::InitialCandidates(uint32_t uinit) {
   return cand;
 }
 
+const std::vector<VertexId>& Matcher::CachedComponentCandidates(size_t ci) {
+  // Components after the first are re-entered once per upstream embedding;
+  // their CandInit does not depend on earlier assignments, so compute it
+  // once per run.
+  if (!comp_cand_cached_[ci]) {
+    comp_cand_cache_[ci] =
+        InitialCandidates(plan_.components[ci].core_order[0]);
+    comp_cand_cached_[ci] = true;
+  }
+  return comp_cand_cache_[ci];
+}
+
 std::vector<VertexId> Matcher::ComputeRootCandidates() {
   if (plan_.components.empty()) return {};
   return InitialCandidates(plan_.components[0].core_order[0]);
@@ -105,30 +180,62 @@ std::vector<VertexId> Matcher::ComputeRootCandidates() {
 bool Matcher::MatchSatellites(const std::vector<uint32_t>& sats, uint32_t uc,
                               VertexId vc) {
   for (uint32_t us : sats) {
-    std::vector<VertexId> cand;
-    bool first = true;
-    for (const auto& [edge_idx, us_is_from] : q_.IncidentEdges(us)) {
+    std::vector<VertexId>& cand = sat_match_[us];
+    cand.clear();
+    const std::vector<std::pair<uint32_t, bool>>& incident =
+        q_.IncidentEdges(us);
+
+    // Seed from the smallest-bound incident edge (same cutover as the core
+    // path), so a bidirectional satellite never materializes the hub side
+    // of vc just because it came first in edge order.
+    size_t seed = incident.size();
+    size_t seed_bound = SIZE_MAX;
+    for (size_t k = 0; k < incident.size(); ++k) {
+      const Direction d =
+          incident[k].second ? Direction::kIn : Direction::kOut;
+      const size_t bound = indexes_.neighborhood.NeighborCount(vc, d);
+      if (bound < seed_bound) {
+        seed_bound = bound;
+        seed = k;
+      }
+    }
+    if (seed == incident.size()) {
+      // Satellite without variable edges cannot occur (degree is 1), but
+      // guard against it: fall back to local constraints only.
+      const std::vector<VertexId>* local = CachedLocalCandidates(us);
+      if (local != nullptr) cand.assign(local->begin(), local->end());
+      if (cand.empty()) return false;
+      continue;
+    }
+
+    PairCandidates(q_.edges()[incident[seed].first], incident[seed].second,
+                   vc, &cand);
+    ++lists_materialized_;
+    for (size_t idx = 0; idx < incident.size() && !cand.empty(); ++idx) {
+      if (idx == seed) continue;
+      const auto& [edge_idx, us_is_from] = incident[idx];
       const QueryEdge& e = q_.edges()[edge_idx];
       const uint32_t other = us_is_from ? e.to : e.from;
       assert(other == uc);
       (void)uc;
       (void)other;
-      std::vector<VertexId> list;
-      PairCandidates(e, us_is_from, vc, &list);
-      cand = first ? std::move(list) : IntersectSorted(cand, list);
-      first = false;
-      if (cand.empty()) break;
+      // Further (bidirectional) satellite edges: probe the survivors when
+      // the list is hub-sized relative to them, else materialize and
+      // intersect in place.
+      const Direction d = us_is_from ? Direction::kIn : Direction::kOut;
+      const size_t bound = indexes_.neighborhood.NeighborCount(vc, d);
+      if (bound > kProbeMinBound && bound / kProbeSkewFactor > cand.size()) {
+        ProbeFilter(e, us_is_from, vc, &cand);
+      } else {
+        sat_tmp_.clear();
+        PairCandidates(e, us_is_from, vc, &sat_tmp_);
+        ++lists_materialized_;
+        IntersectInPlace(&cand, std::span<const VertexId>(sat_tmp_),
+                         &icounters_);
+      }
     }
-    if (first) {
-      // Satellite without variable edges cannot occur (degree is 1), but
-      // guard against it: fall back to local constraints only.
-      std::optional<std::vector<VertexId>> local = LocalCandidates(us);
-      if (local.has_value()) cand = std::move(*local);
-    } else {
-      RefineByVertex(us, &cand);
-    }
+    RefineByVertex(us, &cand);
     if (cand.empty()) return false;  // no solution possible for this vc
-    sat_match_[us] = std::move(cand);
   }
   return true;
 }
@@ -145,28 +252,21 @@ Matcher::Flow Matcher::Emit() {
     return sink_->OnCount(count) ? Flow::kContinue : Flow::kStop;
   }
 
-  // Cartesian expansion. Projected satellites enumerate their sets; the
-  // multiplicity of non-projected satellites repeats rows (bag semantics)
-  // unless the sink deduplicates (DISTINCT).
+  // Cartesian expansion. Projected satellites (expand_) enumerate their
+  // sets; the multiplicity of non-projected satellites repeats rows (bag
+  // semantics) unless the sink deduplicates (DISTINCT).
   const std::vector<uint32_t>& proj = q_.projection();
-  std::vector<uint32_t> expand;  // projected satellites (unique)
-  for (uint32_t u : proj) {
-    if (!plan_.is_core[u] &&
-        std::find(expand.begin(), expand.end(), u) == expand.end()) {
-      expand.push_back(u);
-    }
-  }
   uint64_t multiplicity = 1;
   if (bag_multiplicity_) {
     for (uint32_t us : satellite_list_) {
-      if (std::find(expand.begin(), expand.end(), us) == expand.end()) {
+      if (std::find(expand_.begin(), expand_.end(), us) == expand_.end()) {
         multiplicity = SaturatingMul(multiplicity, sat_match_[us].size());
       }
     }
   }
 
   // Odometer over the projected satellite sets.
-  std::vector<size_t> pick(expand.size(), 0);
+  pick_.assign(expand_.size(), 0);
   while (true) {
     for (size_t i = 0; i < proj.size(); ++i) {
       const uint32_t u = proj[i];
@@ -174,8 +274,8 @@ Matcher::Flow Matcher::Emit() {
         row_buffer_[i] = core_match_[u];
       } else {
         const size_t slot = static_cast<size_t>(
-            std::find(expand.begin(), expand.end(), u) - expand.begin());
-        row_buffer_[i] = sat_match_[u][pick[slot]];
+            std::find(expand_.begin(), expand_.end(), u) - expand_.begin());
+        row_buffer_[i] = sat_match_[u][pick_[slot]];
       }
     }
     for (uint64_t m = 0; m < multiplicity; ++m) {
@@ -183,12 +283,12 @@ Matcher::Flow Matcher::Emit() {
     }
     // Advance the odometer.
     size_t d = 0;
-    while (d < expand.size()) {
-      if (++pick[d] < sat_match_[expand[d]].size()) break;
-      pick[d] = 0;
+    while (d < expand_.size()) {
+      if (++pick_[d] < sat_match_[expand_[d]].size()) break;
+      pick_[d] = 0;
       ++d;
     }
-    if (d == expand.size()) break;
+    if (d == expand_.size()) break;
   }
   return Flow::kContinue;
 }
@@ -199,15 +299,9 @@ Matcher::Flow Matcher::MatchComponent(size_t ci,
   const ComponentPlan& cp = plan_.components[ci];
   const uint32_t uinit = cp.core_order[0];
 
-  std::vector<VertexId> local_cand;
-  const std::vector<VertexId>* cand = nullptr;
-  if (ci == 0 && root != nullptr) {
-    cand = root;
-  } else {
-    // CandInit for this component (Algorithm 3, lines 4-5).
-    local_cand = InitialCandidates(uinit);
-    cand = &local_cand;
-  }
+  const std::vector<VertexId>* cand = (ci == 0 && root != nullptr)
+                                          ? root
+                                          : &CachedComponentCandidates(ci);
   if (ci == 0) stats_->initial_candidates += cand->size();
 
   for (VertexId vinit : *cand) {
@@ -233,33 +327,67 @@ Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
   if (DeadlineExpired()) return Flow::kTimeout;
 
   const uint32_t unxt = cp.core_order[depth];
+  DepthScratch& ds = scratch_[depth_base_[ci] + depth];
 
-  // Candidates constrained by every already-matched core neighbour
-  // (Algorithm 4 lines 5-7). Lists are intersected smallest-first so a
-  // selective neighbour caps the work done on hub-sized lists.
-  std::vector<std::vector<VertexId>> lists;
+  // Constraints from every already-matched core neighbour (Algorithm 4
+  // lines 5-7), each with the O(1) neighbour-count upper bound on its
+  // candidate list.
+  ds.constraints.clear();
+  uint32_t min_bound = UINT32_MAX;
   for (const auto& [edge_idx, u_is_from] : q_.IncidentEdges(unxt)) {
     const QueryEdge& e = q_.edges()[edge_idx];
     const uint32_t other = u_is_from ? e.to : e.from;
     const VertexId vn = core_match_[other];
     if (vn == kInvalidId) continue;  // satellite or not yet matched
-    std::vector<VertexId> list;
-    PairCandidates(e, u_is_from, vn, &list);
+    const Direction d = u_is_from ? Direction::kIn : Direction::kOut;
+    const uint32_t bound =
+        static_cast<uint32_t>(indexes_.neighborhood.NeighborCount(vn, d));
+    if (bound == 0) return Flow::kContinue;
+    ds.constraints.push_back(Constraint{&e, vn, bound, u_is_from});
+    min_bound = std::min(min_bound, bound);
+  }
+  assert(!ds.constraints.empty() && "ordering guarantees a matched neighbour");
+
+  // Cutover: materialize the cheap lists into the arena, defer hub-sized
+  // ones (bound ≫ the smallest bound) to the probe path. The smallest-
+  // bound constraint always materializes, so there is always a seed.
+  ds.views.clear();
+  size_t used = 0;
+  for (Constraint& c : ds.constraints) {
+    c.probe =
+        c.bound > kProbeMinBound && c.bound / kProbeSkewFactor > min_bound;
+    if (c.probe) continue;
+    if (used == ds.lists.size()) ds.lists.emplace_back();
+    std::vector<VertexId>& list = ds.lists[used];
+    list.clear();
+    PairCandidates(*c.edge, c.u_is_from, c.vn, &list);
+    ++lists_materialized_;
     if (list.empty()) return Flow::kContinue;
-    lists.push_back(std::move(list));
+    ds.views.emplace_back(list.data(), list.size());
+    ++used;
   }
-  assert(!lists.empty() && "ordering guarantees a matched neighbour");
-  std::sort(lists.begin(), lists.end(),
-            [](const auto& a, const auto& b) { return a.size() < b.size(); });
-  std::vector<VertexId> cand = std::move(lists[0]);
-  for (size_t i = 1; i < lists.size() && !cand.empty(); ++i) {
-    cand = IntersectSorted(cand, lists[i]);
+
+  if (ds.views.size() == 1) {
+    // Single materialized list: adopt its buffer outright (both are arena
+    // storage, so this is a pointer swap, not a copy).
+    std::swap(ds.cand, ds.lists[0]);
+  } else {
+    IntersectKWay(std::span<const std::span<const VertexId>>(ds.views),
+                  &ds.cursors, &ds.cand, &icounters_);
   }
-  if (cand.empty()) return Flow::kContinue;
-  RefineByVertex(unxt, &cand);
+  if (ds.cand.empty()) return Flow::kContinue;
+  RefineByVertex(unxt, &ds.cand);
+
+  // Probe the deferred hub constraints against the (now small) survivor
+  // set — per-candidate trie seeks instead of hub-sized materialization.
+  for (const Constraint& c : ds.constraints) {
+    if (!c.probe || ds.cand.empty()) continue;
+    ProbeFilter(*c.edge, c.u_is_from, c.vn, &ds.cand);
+  }
+  if (ds.cand.empty()) return Flow::kContinue;
 
   const std::vector<uint32_t>& sats = cp.satellites[depth];
-  for (VertexId vnxt : cand) {
+  for (VertexId vnxt : ds.cand) {
     if (DeadlineExpired()) return Flow::kTimeout;
     if (!sats.empty() && !MatchSatellites(sats, unxt, vnxt)) continue;
     core_match_[unxt] = vnxt;
@@ -268,6 +396,43 @@ Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
     if (f != Flow::kContinue) return f;
   }
   return Flow::kContinue;
+}
+
+uint64_t Matcher::ArenaBytes() const {
+  uint64_t total = 0;
+  for (const DepthScratch& ds : scratch_) {
+    total += VectorBytes(ds.constraints) + VectorBytes(ds.views) +
+             VectorBytes(ds.cursors) + VectorBytes(ds.cand);
+    for (const std::vector<VertexId>& list : ds.lists) {
+      total += VectorBytes(list);
+    }
+  }
+  for (const std::vector<VertexId>& list : sat_match_) {
+    total += VectorBytes(list);
+  }
+  for (const std::vector<VertexId>& list : local_cache_) {
+    total += VectorBytes(list);
+  }
+  for (const std::vector<VertexId>& list : comp_cand_cache_) {
+    total += VectorBytes(list);
+  }
+  total += VectorBytes(sat_tmp_) + VectorBytes(core_match_) +
+           VectorBytes(row_buffer_) + VectorBytes(pick_) +
+           nbr_scratch_.ByteSize();
+  return total;
+}
+
+void Matcher::FlushHotPathStats(ExecStats* stats) {
+  stats->lists_materialized += lists_materialized_;
+  stats->galloped_elements += icounters_.galloped_elements;
+  stats->scanned_elements += icounters_.scanned_elements;
+  stats->probe_checks += probe_checks_;
+  stats->probe_hits += probe_hits_;
+  stats->peak_arena_bytes = std::max(stats->peak_arena_bytes, ArenaBytes());
+  lists_materialized_ = 0;
+  probe_checks_ = 0;
+  probe_hits_ = 0;
+  icounters_ = IntersectCounters{};
 }
 
 Status Matcher::Run(EmbeddingSink* sink, ExecStats* stats,
@@ -281,11 +446,15 @@ Status Matcher::Run(EmbeddingSink* sink, ExecStats* stats,
 
   // Ground checks (patterns without variables) gate the whole query.
   for (const GroundEdge& e : q_.ground_edges()) {
-    if (!g_.HasEdge(e.subject, e.predicate, e.object)) return Status::OK();
+    if (!g_.HasEdge(e.subject, e.predicate, e.object)) {
+      FlushHotPathStats(stats_);
+      return Status::OK();
+    }
   }
   for (const GroundAttribute& a : q_.ground_attributes()) {
     std::span<const AttributeId> attrs = g_.Attributes(a.subject);
     if (!std::binary_search(attrs.begin(), attrs.end(), a.attribute)) {
+      FlushHotPathStats(stats_);
       return Status::OK();
     }
   }
@@ -297,12 +466,14 @@ Status Matcher::Run(EmbeddingSink* sink, ExecStats* stats,
     } else {
       sink_->OnCount(1);
     }
+    FlushHotPathStats(stats_);
     return Status::OK();
   }
 
   Flow f = MatchComponent(0, root_candidates);
   if (f == Flow::kTimeout) stats_->timed_out = true;
   if (f == Flow::kStop) stats_->truncated = true;
+  FlushHotPathStats(stats_);
   return Status::OK();
 }
 

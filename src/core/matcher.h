@@ -8,11 +8,21 @@
 // satellite vertices are resolved independently, set-at-a-time (Lemma 2).
 // Each full assignment yields |sat set| products of embeddings via the
 // Cartesian expansion of GenEmb.
+//
+// Hot-path engineering (docs/ARCHITECTURE.md, "The matching hot path"): the
+// matcher owns a depth-indexed scratch arena — one reusable candidate
+// buffer and list workspace per core-order depth, plus per-query-vertex
+// satellite and local-candidate buffers — so steady-state recursion
+// performs zero heap allocations. Intersections go through the galloping
+// kernels of util/intersect.h, and hub-sized neighbour lists are probed
+// per candidate via NeighborhoodIndex::Contains instead of materialized
+// when an estimated-cost cutover says so.
 
 #ifndef AMBER_CORE_MATCHER_H_
 #define AMBER_CORE_MATCHER_H_
 
-#include <optional>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/exec.h"
@@ -21,6 +31,7 @@
 #include "index/index_set.h"
 #include "sparql/query_graph.h"
 #include "util/clock.h"
+#include "util/intersect.h"
 #include "util/status.h"
 
 namespace amber {
@@ -28,9 +39,10 @@ namespace amber {
 /// \brief One matching run of a query multigraph against a data multigraph.
 ///
 /// A Matcher holds per-run mutable state (current core assignment, satellite
-/// candidate sets); create one per execution (they are cheap). Thread-safety:
-/// none — the parallel mode creates one Matcher per worker over a slice of
-/// the root candidates.
+/// candidate sets, the scratch arena); create one per execution (they are
+/// cheap, and their buffers warm up over the run). Thread-safety: none — the
+/// parallel mode creates one Matcher per worker over a slice of the root
+/// candidates, so arenas are never shared.
 class Matcher {
  public:
   Matcher(const Multigraph& g, const IndexSet& indexes, const QueryGraph& q,
@@ -51,35 +63,84 @@ class Matcher {
              const std::vector<VertexId>* root_candidates = nullptr,
              bool bag_multiplicity = true);
 
+  /// Flushes hot-path counters accumulated outside Run into `stats` and
+  /// resets them. Run flushes automatically; the parallel mode calls this
+  /// on the root matcher, whose ComputeRootCandidates work would otherwise
+  /// be invisible in the merged stats.
+  void FlushHotPathStats(ExecStats* stats);
+
  private:
   enum class Flow { kContinue, kStop, kTimeout };
 
+  /// One core-extension constraint at a recursion step: query edge `e`
+  /// towards the already-matched data vertex `vn`, with the O(1) upper
+  /// bound on the neighbour list size that drives the cutover.
+  struct Constraint {
+    const QueryEdge* edge;
+    VertexId vn;
+    uint32_t bound;
+    bool u_is_from;
+    bool probe = false;  // deferred to the probe path by the cutover
+  };
+
+  /// Reusable per-depth workspace. Buffers only grow; after the first
+  /// descent to a given depth, revisiting it allocates nothing.
+  struct DepthScratch {
+    std::vector<Constraint> constraints;
+    std::vector<std::vector<VertexId>> lists;          // materialized lists
+    std::vector<std::span<const VertexId>> views;      // k-way input
+    std::vector<const VertexId*> cursors;              // k-way gallop state
+    std::vector<VertexId> cand;                        // intersection result
+  };
+
+  /// Lazily-computed C^A_u ∩ C^I_u cache state (LocalCandidates).
+  enum class LocalState : uint8_t { kUnknown, kNone, kCached };
+
   /// CandInit for an arbitrary component's initial vertex.
   std::vector<VertexId> InitialCandidates(uint32_t uinit);
+
+  /// InitialCandidates(ci's initial vertex), cached per component: it does
+  /// not depend on earlier components' assignments, so chained components
+  /// compute it once per run instead of once per upstream embedding.
+  const std::vector<VertexId>& CachedComponentCandidates(size_t ci);
 
   Flow MatchComponent(size_t ci, const std::vector<VertexId>* root);
   Flow Recurse(size_t ci, size_t depth);
   Flow Emit();
 
   /// Algorithm 2. Returns false when some satellite has no candidates for
-  /// this assignment of `vc` to `uc`.
+  /// this assignment of `vc` to `uc`. Candidate sets are written into the
+  /// reusable sat_match_ buffers.
   bool MatchSatellites(const std::vector<uint32_t>& sats, uint32_t uc,
                        VertexId vc);
 
-  /// Algorithm 1: candidates induced by u's attributes and IRI anchors;
-  /// nullopt when u has neither.
-  std::optional<std::vector<VertexId>> LocalCandidates(uint32_t u);
+  /// Algorithm 1, cached: candidates induced by u's attributes and IRI
+  /// anchors. Returns nullptr when u has neither; otherwise a pointer to
+  /// the per-vertex cached list, computed on first use and shared by every
+  /// subsequent refinement of u in this run.
+  const std::vector<VertexId>* CachedLocalCandidates(uint32_t u);
 
-  /// Intersects `cand` with LocalCandidates(u) and filters self-loop
-  /// constraints.
+  /// Intersects `cand` (in place) with CachedLocalCandidates(u) and filters
+  /// self-loop constraints.
   void RefineByVertex(uint32_t u, std::vector<VertexId>* cand);
 
   /// Candidates for `u` that respect the multi-edge of query edge `e`
-  /// towards the already-matched data vertex `vn` (one index N probe).
+  /// towards the already-matched data vertex `vn` (one index N walk).
+  /// Appends to `*out`.
   void PairCandidates(const QueryEdge& e, bool u_is_from, VertexId vn,
-                      std::vector<VertexId>* out) const;
+                      std::vector<VertexId>* out);
+
+  /// Probe-without-materialize: drops from `cand` every candidate whose
+  /// multi-edge towards `vn` (oriented by `e`) does not cover e.types,
+  /// checked per candidate from the *candidate's* (small) trie instead of
+  /// materializing vn's (hub-sized) neighbour list.
+  void ProbeFilter(const QueryEdge& e, bool u_is_from, VertexId vn,
+                   std::vector<VertexId>* cand);
 
   bool DeadlineExpired();
+
+  /// Current scratch-arena footprint (capacities of all reusable buffers).
+  uint64_t ArenaBytes() const;
 
   const Multigraph& g_;
   const IndexSet& indexes_;
@@ -97,6 +158,32 @@ class Matcher {
   std::vector<uint32_t> satellite_list_;          // all satellite vertices
   std::vector<VertexId> row_buffer_;
   uint32_t deadline_tick_ = 0;
+
+  // -- Scratch arena (sized once in the constructor, grown on first use).
+  std::vector<size_t> depth_base_;      // per component: global depth offset
+  std::vector<DepthScratch> scratch_;   // per global core-order depth
+  std::vector<VertexId> sat_tmp_;       // satellite second-list workspace
+  NeighborhoodIndex::Scratch nbr_scratch_;  // trie DFS stack
+
+  // Per-query-vertex LocalCandidates cache (immutable per run).
+  std::vector<LocalState> local_state_;
+  std::vector<std::vector<VertexId>> local_cache_;
+
+  // Per-component CandInit cache (components > 0 are re-entered once per
+  // upstream embedding; their seed candidates never change).
+  std::vector<bool> comp_cand_cached_;
+  std::vector<std::vector<VertexId>> comp_cand_cache_;
+
+  // Emit() workspace: projected satellites (unique) and the odometer.
+  std::vector<uint32_t> expand_;
+  std::vector<size_t> pick_;
+
+  // Hot-path counters, flushed into stats_ at the end of Run (some grow
+  // during ComputeRootCandidates, before stats_ is bound).
+  IntersectCounters icounters_;
+  uint64_t lists_materialized_ = 0;
+  uint64_t probe_checks_ = 0;
+  uint64_t probe_hits_ = 0;
 };
 
 }  // namespace amber

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/intersect.h"
 #include "util/serde.h"
 
 namespace amber {
@@ -39,26 +40,20 @@ std::vector<VertexId> IntersectSorted(std::span<const VertexId> a,
                                       std::span<const VertexId> b) {
   std::vector<VertexId> out;
   out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  IntersectSortedAppend(a, b, &out);
   return out;
 }
 
 std::vector<VertexId> AttributeIndex::Candidates(
     std::span<const AttributeId> attrs) const {
   if (attrs.empty()) return {};
-  // Start from the most selective (shortest) list.
-  AttributeId smallest = attrs[0];
-  for (AttributeId a : attrs) {
-    if (Vertices(a).size() < Vertices(smallest).size()) smallest = a;
-  }
-  std::span<const VertexId> seed = Vertices(smallest);
-  std::vector<VertexId> result(seed.begin(), seed.end());
-  for (AttributeId a : attrs) {
-    if (a == smallest) continue;
-    if (result.empty()) break;
-    result = IntersectSorted(result, Vertices(a));
-  }
+  std::vector<std::span<const VertexId>> lists;
+  lists.reserve(attrs.size());
+  for (AttributeId a : attrs) lists.push_back(Vertices(a));
+  std::vector<const VertexId*> cursors;
+  std::vector<VertexId> result;
+  IntersectKWay(std::span<const std::span<const VertexId>>(lists), &cursors,
+                &result);
   return result;
 }
 

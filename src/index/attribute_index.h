@@ -58,7 +58,9 @@ class AttributeIndex {
   std::vector<VertexId> pool_;     // sorted per attribute
 };
 
-/// Intersects two sorted id lists (helper shared with the matcher).
+/// Intersects two sorted id lists into a fresh vector. Cold-path
+/// convenience over the allocation-free kernels in util/intersect.h, which
+/// the hot path uses directly.
 std::vector<VertexId> IntersectSorted(std::span<const VertexId> a,
                                       std::span<const VertexId> b);
 

@@ -83,7 +83,8 @@ NeighborhoodIndex NeighborhoodIndex::Build(const Multigraph& g) {
 
 void NeighborhoodIndex::SupersetNeighbors(VertexId v, Direction d,
                                           std::span<const EdgeTypeId> types,
-                                          std::vector<VertexId>* out) const {
+                                          std::vector<VertexId>* out,
+                                          Scratch* scratch) const {
   const DirIndex& dir = dirs_[static_cast<int>(d)];
   if (v + 1 >= dir.node_offsets.size()) return;
   const size_t out_start = out->size();
@@ -101,16 +102,14 @@ void NeighborhoodIndex::SupersetNeighbors(VertexId v, Direction d,
 
   // Iterative DFS over (node, matched query prefix length). Sibling walks
   // stop early once a label exceeds the next unmatched query type.
-  struct Frame {
-    uint32_t node;
-    uint32_t limit;  // one past the last sibling in this chain
-    uint32_t qi;
-  };
-  std::vector<Frame> stack;
-  if (begin < end) stack.push_back(Frame{begin, end, 0});
+  Scratch local;
+  std::vector<Scratch::Frame>& stack =
+      (scratch != nullptr ? scratch->frames : local.frames);
+  stack.clear();
+  if (begin < end) stack.push_back(Scratch::Frame{begin, end, 0});
 
   while (!stack.empty()) {
-    Frame f = stack.back();
+    Scratch::Frame f = stack.back();
     stack.pop_back();
 
     uint32_t n = f.node;
@@ -129,12 +128,66 @@ void NeighborhoodIndex::SupersetNeighbors(VertexId v, Direction d,
         out->insert(out->end(), dir.pool.begin() + node.list_begin,
                     dir.pool.begin() + last.list_end);
       } else if (node.subtree_end > n + 1) {
-        stack.push_back(Frame{n + 1, node.subtree_end, qn});
+        stack.push_back(Scratch::Frame{n + 1, node.subtree_end, qn});
       }
       n = node.subtree_end;
     }
   }
   std::sort(out->begin() + out_start, out->end());
+}
+
+bool NeighborhoodIndex::Contains(VertexId v, Direction d,
+                                 std::span<const EdgeTypeId> types,
+                                 VertexId neighbor, Scratch* scratch) const {
+  const DirIndex& dir = dirs_[static_cast<int>(d)];
+  if (v + 1 >= dir.node_offsets.size()) return false;
+
+  if (types.empty()) {
+    // Any adjacency qualifies: scan the vertex's inverted-list range (it is
+    // contiguous but not globally sorted, so no binary search here).
+    const auto lo = dir.pool.begin() + dir.pool_offsets[v];
+    const auto hi = dir.pool.begin() + dir.pool_offsets[v + 1];
+    return std::find(lo, hi, neighbor) != hi;
+  }
+
+  const uint32_t begin = static_cast<uint32_t>(dir.node_offsets[v]);
+  const uint32_t end = static_cast<uint32_t>(dir.node_offsets[v + 1]);
+
+  // Same pruned DFS as SupersetNeighbors. Once every query type is matched
+  // the subtree is accepted; `neighbor` is then binary-searched in each of
+  // the subtree's per-node inverted lists (each list is sorted).
+  Scratch local;
+  std::vector<Scratch::Frame>& stack =
+      (scratch != nullptr ? scratch->frames : local.frames);
+  stack.clear();
+  if (begin < end) stack.push_back(Scratch::Frame{begin, end, 0});
+
+  while (!stack.empty()) {
+    Scratch::Frame f = stack.back();
+    stack.pop_back();
+
+    uint32_t n = f.node;
+    uint32_t qi = f.qi;
+    while (n < f.limit) {
+      const Node& node = dir.nodes[n];
+      if (qi < types.size() && node.type > types[qi]) break;
+      uint32_t qn = qi;
+      if (qi < types.size() && node.type == types[qi]) qn = qi + 1;
+
+      if (qn == types.size()) {
+        for (uint32_t m = n; m < node.subtree_end; ++m) {
+          const Node& sub = dir.nodes[m];
+          const auto lo = dir.pool.begin() + sub.list_begin;
+          const auto hi = dir.pool.begin() + sub.list_end;
+          if (std::binary_search(lo, hi, neighbor)) return true;
+        }
+      } else if (node.subtree_end > n + 1) {
+        stack.push_back(Scratch::Frame{n + 1, node.subtree_end, qn});
+      }
+      n = node.subtree_end;
+    }
+  }
+  return false;
 }
 
 uint64_t NeighborhoodIndex::ByteSize() const {

@@ -36,6 +36,29 @@ namespace amber {
 /// \brief OTIL-based neighbourhood index over a data multigraph.
 class NeighborhoodIndex {
  public:
+  /// Reusable workspace for the trie walks (the DFS frame stack). Callers
+  /// on the matching hot path keep one Scratch per Matcher so repeated
+  /// SupersetNeighbors/Contains calls perform no heap allocation once the
+  /// stack has grown to the deepest trie visited.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+    /// Heap footprint of the reusable stack (for arena accounting).
+    uint64_t ByteSize() const {
+      return static_cast<uint64_t>(frames.capacity()) * sizeof(Frame);
+    }
+
+   private:
+    friend class NeighborhoodIndex;
+    struct Frame {
+      uint32_t node;
+      uint32_t limit;  // one past the last sibling in this chain
+      uint32_t qi;     // matched query-prefix length
+    };
+    std::vector<Frame> frames;
+  };
+
   NeighborhoodIndex() = default;
 
   /// Builds N+ and N- for every vertex (offline stage).
@@ -44,10 +67,12 @@ class NeighborhoodIndex {
   /// Appends to `*out` every neighbour v' of `v` on side `d` whose
   /// multi-edge with `v` is a superset of `types` (sorted ascending).
   /// With empty `types`, all neighbours on that side are returned.
-  /// The appended range is sorted and duplicate-free.
+  /// The appended range is sorted and duplicate-free. When `scratch` is
+  /// non-null its stack is reused instead of allocating one per call.
   void SupersetNeighbors(VertexId v, Direction d,
                          std::span<const EdgeTypeId> types,
-                         std::vector<VertexId>* out) const;
+                         std::vector<VertexId>* out,
+                         Scratch* scratch = nullptr) const;
 
   /// Convenience wrapper returning a fresh vector.
   std::vector<VertexId> Superset(VertexId v, Direction d,
@@ -55,6 +80,25 @@ class NeighborhoodIndex {
     std::vector<VertexId> out;
     SupersetNeighbors(v, d, types, &out);
     return out;
+  }
+
+  /// True iff `neighbor` would appear in Superset(v, d, types): the
+  /// multi-edge between `v` and `neighbor` on side `d` covers `types`.
+  /// Seeks through the trie (pruned exactly like SupersetNeighbors, plus a
+  /// binary search of each accepted node's inverted list) without
+  /// materializing any neighbour list — the probe-without-materialize
+  /// primitive of the matcher's hot path.
+  bool Contains(VertexId v, Direction d, std::span<const EdgeTypeId> types,
+                VertexId neighbor, Scratch* scratch = nullptr) const;
+
+  /// Exact number of distinct neighbours of `v` on side `d`, in O(1); an
+  /// upper bound on |Superset(v, d, types)| for any `types`. The matcher's
+  /// materialize-vs-probe cutover is driven by this bound.
+  size_t NeighborCount(VertexId v, Direction d) const {
+    const DirIndex& dir = dirs_[static_cast<int>(d)];
+    if (v + 1 >= dir.pool_offsets.size()) return 0;
+    return static_cast<size_t>(dir.pool_offsets[v + 1] -
+                               dir.pool_offsets[v]);
   }
 
   size_t NumVertices() const {

@@ -1,0 +1,203 @@
+// Sorted-set intersection kernels for the matching hot path (Section 5).
+//
+// The online stage spends most of its time intersecting sorted vertex-id
+// lists coming out of the A and N indexes. Following the worst-case-optimal
+// join literature (Ngo et al.; EmptyHeaded, SIGMOD'16), the kernels here are
+// engineered around two ideas:
+//
+//   * *Galloping* (exponential search): when one list is much longer than
+//     the other, advancing through the long list by doubling steps costs
+//     O(short * log(long/short)) instead of O(short + long).
+//   * *Writing into caller-owned storage*: every kernel appends into or
+//     rewrites a caller-provided buffer, so a caller that reuses buffers
+//     (the Matcher's scratch arena) performs zero heap allocations in
+//     steady state.
+//
+// All inputs must be sorted ascending and duplicate-free; outputs preserve
+// that invariant.
+
+#ifndef AMBER_UTIL_INTERSECT_H_
+#define AMBER_UTIL_INTERSECT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace amber {
+
+/// Counters the kernels report so ExecStats can expose how the adaptive
+/// strategies behaved (docs/ARCHITECTURE.md, "The matching hot path").
+struct IntersectCounters {
+  /// Elements of the longer list skipped over by exponential search.
+  uint64_t galloped_elements = 0;
+  /// Elements visited one-by-one by the linear merge strategy.
+  uint64_t scanned_elements = 0;
+};
+
+/// Size ratio |long|/|short| above which the pairwise kernels switch from a
+/// linear merge to galloping through the longer list. Below this ratio the
+/// merge's sequential access pattern wins; above it the doubling search
+/// skips enough elements to pay for its branches.
+inline constexpr size_t kGallopSkewRatio = 8;
+
+/// First position in [first, last) not less than `key`, located by
+/// exponential search from `first`. Equivalent to std::lower_bound but
+/// O(log distance-to-result) when the result is near `first` — the common
+/// case when galloping through a list with a slowly-advancing cursor.
+template <typename T>
+const T* GallopLowerBound(const T* first, const T* last, const T& key) {
+  const size_t n = static_cast<size_t>(last - first);
+  if (n == 0 || !(first[0] < key)) return first;
+  // Invariant: first[prev] < key; the answer lies in (prev, n].
+  size_t prev = 0;
+  size_t step = 1;
+  while (step < n && first[step] < key) {
+    prev = step;
+    step <<= 1;
+  }
+  return std::lower_bound(first + prev + 1, first + std::min(step + 1, n),
+                          key);
+}
+
+/// Appends the intersection of sorted duplicate-free `a` and `b` to `*out`
+/// (existing contents are kept). Chooses linear merge vs galloping by
+/// kGallopSkewRatio.
+template <typename T>
+void IntersectSortedAppend(std::span<const T> a, std::span<const T> b,
+                           std::vector<T>* out,
+                           IntersectCounters* counters = nullptr) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return;
+  if (b.size() >= kGallopSkewRatio * a.size()) {
+    const T* cursor = b.data();
+    const T* const end = b.data() + b.size();
+    for (const T& x : a) {
+      const T* pos = GallopLowerBound(cursor, end, x);
+      if (counters != nullptr) {
+        counters->galloped_elements += static_cast<uint64_t>(pos - cursor);
+      }
+      cursor = pos;
+      if (cursor == end) break;
+      if (*cursor == x) {
+        out->push_back(x);
+        ++cursor;
+      }
+    }
+    return;
+  }
+  const T* ap = a.data();
+  const T* const aend = a.data() + a.size();
+  const T* bp = b.data();
+  const T* const bend = b.data() + b.size();
+  if (counters != nullptr) {
+    counters->scanned_elements += static_cast<uint64_t>(a.size() + b.size());
+  }
+  while (ap != aend && bp != bend) {
+    if (*ap < *bp) {
+      ++ap;
+    } else if (*bp < *ap) {
+      ++bp;
+    } else {
+      out->push_back(*ap);
+      ++ap;
+      ++bp;
+    }
+  }
+}
+
+/// Replaces `*a` with the intersection of `*a` and sorted duplicate-free
+/// `b`, writing into a's own storage (the result is a subsequence of `a`,
+/// so no scratch is needed and no allocation happens).
+template <typename T>
+void IntersectInPlace(std::vector<T>* a, std::span<const T> b,
+                      IntersectCounters* counters = nullptr) {
+  if (a->empty()) return;
+  if (b.empty()) {
+    a->clear();
+    return;
+  }
+  T* write = a->data();
+  const T* read = a->data();
+  const T* const aend = a->data() + a->size();
+  const T* cursor = b.data();
+  const T* const bend = b.data() + b.size();
+  const bool gallop = b.size() >= kGallopSkewRatio * a->size();
+  if (!gallop && counters != nullptr) {
+    counters->scanned_elements += static_cast<uint64_t>(a->size() + b.size());
+  }
+  while (read != aend && cursor != bend) {
+    if (gallop) {
+      const T* pos = GallopLowerBound(cursor, bend, *read);
+      if (counters != nullptr) {
+        counters->galloped_elements += static_cast<uint64_t>(pos - cursor);
+      }
+      cursor = pos;
+      if (cursor == bend) break;
+    } else {
+      while (cursor != bend && *cursor < *read) ++cursor;
+      if (cursor == bend) break;
+    }
+    if (*cursor == *read) {
+      *write++ = *read;
+      ++cursor;
+    }
+    ++read;
+  }
+  a->resize(static_cast<size_t>(write - a->data()));
+}
+
+/// K-way intersection: rewrites `*out` with the intersection of all of
+/// `lists` (each sorted ascending, duplicate-free). The smallest list
+/// drives; every other list keeps a galloping cursor, so the cost is
+/// O(|smallest| * sum log(|other|/|smallest|)) — the leapfrog pattern of
+/// worst-case-optimal joins. `*cursors` is caller-owned scratch (resized,
+/// never shrunk) so steady-state calls allocate nothing.
+template <typename T>
+void IntersectKWay(std::span<const std::span<const T>> lists,
+                   std::vector<const T*>* cursors, std::vector<T>* out,
+                   IntersectCounters* counters = nullptr) {
+  out->clear();
+  if (lists.empty()) return;
+  size_t smallest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[smallest].size()) smallest = i;
+  }
+  if (lists[smallest].empty()) return;
+  if (lists.size() == 1) {
+    out->assign(lists[0].begin(), lists[0].end());
+    return;
+  }
+  if (lists.size() == 2) {
+    // Two lists: the pairwise kernel's merge/gallop adaptivity beats an
+    // always-galloping leapfrog when sizes are similar.
+    IntersectSortedAppend(lists[0], lists[1], out, counters);
+    return;
+  }
+  cursors->assign(lists.size(), nullptr);
+  for (size_t i = 0; i < lists.size(); ++i) (*cursors)[i] = lists[i].data();
+  for (const T& x : lists[smallest]) {
+    bool in_all = true;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (i == smallest) continue;
+      const T* const end = lists[i].data() + lists[i].size();
+      const T* pos = GallopLowerBound((*cursors)[i], end, x);
+      if (counters != nullptr) {
+        counters->galloped_elements +=
+            static_cast<uint64_t>(pos - (*cursors)[i]);
+      }
+      (*cursors)[i] = pos;
+      if (pos == end) return;  // nothing >= x left: the result is complete
+      if (*pos != x) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) out->push_back(x);
+  }
+}
+
+}  // namespace amber
+
+#endif  // AMBER_UTIL_INTERSECT_H_

@@ -1,0 +1,231 @@
+// Fuzz-style property tests for the sorted-set intersection kernels
+// (util/intersect.h) against a naive std::set_intersection reference, over
+// randomized sorted lists with sizes 0–10k and skew ratios up to 1000x, and
+// for the OTIL probe primitives (NeighborhoodIndex::Contains/NeighborCount)
+// against fully materialized Superset lists.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "index/neighborhood_index.h"
+#include "rdf/encoded_dataset.h"
+#include "test_util.h"
+#include "util/intersect.h"
+#include "util/random.h"
+
+namespace amber {
+namespace {
+
+std::vector<VertexId> RandomSortedList(Rng* rng, size_t size,
+                                       uint64_t universe) {
+  std::vector<VertexId> out;
+  out.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    out.push_back(static_cast<VertexId>(rng->Uniform(universe)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<VertexId> NaiveIntersect(std::span<const VertexId> a,
+                                     std::span<const VertexId> b) {
+  std::vector<VertexId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(GallopLowerBoundTest, AgreesWithStdLowerBound) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto list = RandomSortedList(&rng, rng.Uniform(500), 2000);
+    const VertexId key = static_cast<VertexId>(rng.Uniform(2200));
+    const VertexId* expect =
+        std::lower_bound(list.data(), list.data() + list.size(), key);
+    // From every possible starting cursor, not just the front.
+    for (size_t start = 0; start <= list.size(); start += 7) {
+      const VertexId* got = GallopLowerBound(
+          list.data() + start, list.data() + list.size(), key);
+      const VertexId* expect_from = std::max(expect, list.data() + start);
+      EXPECT_EQ(got, expect_from) << "key=" << key << " start=" << start;
+    }
+  }
+}
+
+TEST(IntersectKernelsTest, PairwiseFuzzAgainstNaive) {
+  // Sizes 0..10k with skew up to 1000x, dense and sparse universes.
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t size_a = rng.Uniform(101);           // 0..100
+    const size_t skew = 1 + rng.Uniform(1000);        // up to 1000x
+    const size_t size_b = std::min<size_t>(size_a * skew + rng.Uniform(32),
+                                           10000);
+    const uint64_t universe = 1 + rng.Uniform(20000);
+    auto a = RandomSortedList(&rng, size_a, universe);
+    auto b = RandomSortedList(&rng, size_b, universe);
+    const auto expect = NaiveIntersect(a, b);
+
+    IntersectCounters counters;
+    std::vector<VertexId> out;
+    IntersectSortedAppend(std::span<const VertexId>(a),
+                          std::span<const VertexId>(b), &out, &counters);
+    EXPECT_EQ(out, expect) << "|a|=" << a.size() << " |b|=" << b.size();
+
+    // Symmetric arguments must agree.
+    out.clear();
+    IntersectSortedAppend(std::span<const VertexId>(b),
+                          std::span<const VertexId>(a), &out);
+    EXPECT_EQ(out, expect);
+
+    // In-place variant, both orientations.
+    std::vector<VertexId> in_place = a;
+    IntersectInPlace(&in_place, std::span<const VertexId>(b), &counters);
+    EXPECT_EQ(in_place, expect);
+    in_place = b;
+    IntersectInPlace(&in_place, std::span<const VertexId>(a));
+    EXPECT_EQ(in_place, expect);
+  }
+}
+
+TEST(IntersectKernelsTest, AppendPreservesExistingContents) {
+  std::vector<VertexId> a = {1, 3, 5};
+  std::vector<VertexId> b = {3, 5, 7};
+  std::vector<VertexId> out = {99};
+  IntersectSortedAppend(std::span<const VertexId>(a),
+                        std::span<const VertexId>(b), &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{99, 3, 5}));
+}
+
+TEST(IntersectKernelsTest, KWayFuzzAgainstIteratedNaive) {
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t k = 1 + rng.Uniform(5);  // 1..5 lists
+    const uint64_t universe = 1 + rng.Uniform(5000);
+    std::vector<std::vector<VertexId>> lists;
+    for (size_t i = 0; i < k; ++i) {
+      // Mix tiny and huge lists so the leapfrog cursors really gallop.
+      const size_t size =
+          rng.Uniform(2) == 0 ? rng.Uniform(20) : rng.Uniform(10000);
+      lists.push_back(RandomSortedList(&rng, size, universe));
+    }
+    std::vector<VertexId> expect = lists[0];
+    for (size_t i = 1; i < k; ++i) expect = NaiveIntersect(expect, lists[i]);
+
+    std::vector<std::span<const VertexId>> views;
+    for (const auto& l : lists) views.emplace_back(l.data(), l.size());
+    std::vector<const VertexId*> cursors;
+    std::vector<VertexId> out = {123};  // must be overwritten, not appended
+    IntersectCounters counters;
+    IntersectKWay(std::span<const std::span<const VertexId>>(views), &cursors,
+                  &out, &counters);
+    EXPECT_EQ(out, expect) << "k=" << k;
+  }
+}
+
+TEST(IntersectKernelsTest, EmptyAndDegenerateInputs) {
+  std::vector<VertexId> empty;
+  std::vector<VertexId> some = {1, 2, 3};
+  std::vector<VertexId> out;
+
+  IntersectSortedAppend(std::span<const VertexId>(empty),
+                        std::span<const VertexId>(some), &out);
+  EXPECT_TRUE(out.empty());
+
+  std::vector<VertexId> in_place = some;
+  IntersectInPlace(&in_place, std::span<const VertexId>(empty));
+  EXPECT_TRUE(in_place.empty());
+
+  std::vector<const VertexId*> cursors;
+  IntersectKWay(std::span<const std::span<const VertexId>>{}, &cursors, &out);
+  EXPECT_TRUE(out.empty());
+
+  std::vector<std::span<const VertexId>> single = {
+      std::span<const VertexId>(some)};
+  IntersectKWay(std::span<const std::span<const VertexId>>(single), &cursors,
+                &out);
+  EXPECT_EQ(out, some);
+}
+
+// --- OTIL probe primitives vs materialized lists ---------------------------
+
+TEST(OtilProbeTest, ContainsMatchesMaterializedSuperset) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    auto triples = testutil::RandomDataset(seed, 20, 250, 5);
+    auto encoded = EncodedDataset::Encode(triples);
+    ASSERT_TRUE(encoded.ok());
+    Multigraph g = Multigraph::FromDataset(*encoded);
+    NeighborhoodIndex index = NeighborhoodIndex::Build(g);
+    NeighborhoodIndex::Scratch scratch;
+
+    Rng rng(seed * 77 + 1);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      for (Direction d : {Direction::kIn, Direction::kOut}) {
+        for (int trial = 0; trial < 5; ++trial) {
+          std::vector<EdgeTypeId> types;
+          const size_t qsize = rng.Uniform(4);  // 0..3, incl. unknown ids
+          for (size_t i = 0; i < qsize; ++i) {
+            types.push_back(static_cast<EdgeTypeId>(rng.Uniform(7)));
+          }
+          std::sort(types.begin(), types.end());
+          types.erase(std::unique(types.begin(), types.end()), types.end());
+
+          const auto materialized = index.Superset(v, d, types);
+          // Every materialized neighbour must probe true; a sample of
+          // other vertices must probe false.
+          for (VertexId n : materialized) {
+            EXPECT_TRUE(index.Contains(v, d, types, n, &scratch))
+                << "v=" << v << " n=" << n;
+          }
+          for (int probe = 0; probe < 8; ++probe) {
+            const VertexId n =
+                static_cast<VertexId>(rng.Uniform(g.NumVertices() + 2));
+            const bool expect = std::binary_search(materialized.begin(),
+                                                   materialized.end(), n);
+            EXPECT_EQ(index.Contains(v, d, types, n, &scratch), expect)
+                << "v=" << v << " n=" << n;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(OtilProbeTest, NeighborCountMatchesEmptyQuerySuperset) {
+  auto triples = testutil::RandomDataset(9, 25, 300, 4);
+  auto encoded = EncodedDataset::Encode(triples);
+  ASSERT_TRUE(encoded.ok());
+  Multigraph g = Multigraph::FromDataset(*encoded);
+  NeighborhoodIndex index = NeighborhoodIndex::Build(g);
+
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (Direction d : {Direction::kIn, Direction::kOut}) {
+      EXPECT_EQ(index.NeighborCount(v, d), index.Superset(v, d, {}).size());
+      EXPECT_EQ(index.NeighborCount(v, d), g.GroupCount(v, d));
+    }
+  }
+  // Out-of-range vertices are a safe zero.
+  EXPECT_EQ(index.NeighborCount(static_cast<VertexId>(g.NumVertices() + 5),
+                                Direction::kIn),
+            0u);
+}
+
+TEST(OtilProbeTest, ContainsOnEmptyTypesScansAdjacency) {
+  Multigraph::Builder b;
+  b.AddEdge(1, 2, 0);
+  b.AddEdge(3, 4, 0);
+  Multigraph g = std::move(b).Build();
+  NeighborhoodIndex index = NeighborhoodIndex::Build(g);
+
+  EXPECT_TRUE(index.Contains(0, Direction::kIn, {}, 1));
+  EXPECT_TRUE(index.Contains(0, Direction::kIn, {}, 3));
+  EXPECT_FALSE(index.Contains(0, Direction::kIn, {}, 2));
+  EXPECT_FALSE(index.Contains(0, Direction::kOut, {}, 1));
+}
+
+}  // namespace
+}  // namespace amber
