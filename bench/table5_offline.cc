@@ -1,7 +1,20 @@
 // Table 5 of the paper: offline stage — database (multigraph) construction
 // time/size and index construction time/size per dataset.
+//
+// Emits BENCH_table_5_offline.json like the other drivers (one series per
+// metric; each point's `size` is the dataset ordinal 0=DBPEDIA, 1=YAGO,
+// 2=LUBM and `avg_ms` carries the value — seconds for builds, MB for
+// sizes).
+//
+// Extra knob: AMBER_BENCH_THREADS (default 1) runs the offline stage with
+// AmberEngine::BuildOptions::num_threads workers; the built artifact is
+// bit-identical to the single-threaded one (see amf_test).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/bench_common.h"
 #include "util/string_util.h"
@@ -11,15 +24,26 @@ int main() {
   using namespace amber::bench;
 
   BenchConfig config = BenchConfig::FromEnv();
+  AmberEngine::BuildOptions build_options;
+  if (const char* v = std::getenv("AMBER_BENCH_THREADS")) {
+    build_options.num_threads = std::max(1, std::atoi(v));
+  }
   std::printf(
       "Table 5: offline stage — database and index construction "
-      "(scale %.2f)\n\n",
-      config.scale);
+      "(scale %.2f, %d build threads)\n\n",
+      config.scale, build_options.num_threads);
   std::printf("%-10s %16s %12s %16s %12s\n", "dataset", "db build (s)",
               "db size", "index build (s)", "index size");
-  for (const char* name : {"DBPEDIA", "YAGO", "LUBM"}) {
+
+  const std::vector<std::string> metric_names = {
+      "db_build_s", "index_build_s", "db_size_mb", "index_size_mb"};
+  std::vector<std::vector<SeriesPoint>> series(metric_names.size());
+
+  const char* dataset_names[] = {"DBPEDIA", "YAGO", "LUBM"};
+  for (int di = 0; di < 3; ++di) {
+    const std::string name = dataset_names[di];
     DatasetBundle dataset = MakeDataset(name, config.scale);
-    auto engine = AmberEngine::Build(dataset.triples);
+    auto engine = AmberEngine::Build(dataset.triples, build_options);
     if (!engine.ok()) {
       std::fprintf(stderr, "build failed: %s\n",
                    engine.status().ToString().c_str());
@@ -29,12 +53,26 @@ int main() {
     const uint64_t db_size =
         engine->graph().ByteSize() + engine->dictionaries().ByteSize();
     const uint64_t index_size = engine->indexes().ByteSize();
-    std::printf("%-10s %16.2f %12s %16.2f %12s\n", name,
+    std::printf("%-10s %16.2f %12s %16.2f %12s\n", name.c_str(),
                 t.database_seconds(), FormatBytes(db_size).c_str(),
                 t.index_seconds, FormatBytes(index_size).c_str());
+
+    auto point = [di](double value) {
+      SeriesPoint p;
+      p.size = di;
+      p.avg_ms = value;
+      p.answered = 1;
+      p.total = 1;
+      return p;
+    };
+    series[0].push_back(point(t.database_seconds()));
+    series[1].push_back(point(t.index_seconds));
+    series[2].push_back(point(db_size / 1e6));
+    series[3].push_back(point(index_size / 1e6));
   }
   std::printf(
       "\nExpected shape (paper Table 5): build time and sizes proportional "
       "to triple/edge counts; index size same order as the database.\n");
+  WriteSeriesJson("Table 5 offline", metric_names, series, config);
   return 0;
 }

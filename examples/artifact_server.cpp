@@ -1,0 +1,90 @@
+// Artifact server warm-up recipe: build the offline artifacts ONCE, persist
+// them as a single mmap-able AMF file, then re-open that file the way a
+// query server (or every shard of one) would on startup — mmap + validate,
+// zero per-element copies — and answer a query immediately.
+//
+//   $ ./examples/artifact_server [artifact.amf]
+//
+// The second run of a real server skips the build entirely: if the artifact
+// exists it is opened directly. Delete the file to force a rebuild.
+
+#include <cstdio>
+#include <string>
+
+#include "core/amber_engine.h"
+#include "gen/lubm.h"
+#include "util/clock.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace amber;
+
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("/tmp/amber_artifact_server.amf");
+  const char* query =
+      "SELECT ?prof ?dept WHERE { "
+      "?prof <http://swat.cse.lehigh.edu/onto/univ-bench.owl#worksFor> "
+      "?dept . "
+      "?prof <http://swat.cse.lehigh.edu/onto/univ-bench.owl#teacherOf> "
+      "?course . }";
+
+  // ---- Offline, once: build + persist ------------------------------------
+  // (A production deployment runs this in a pipeline, not in the server.)
+  {
+    LubmOptions options;
+    options.universities = 2;
+    auto triples = GenerateLubm(options);
+    std::printf("offline: %zu triples\n", triples.size());
+
+    AmberEngine::BuildOptions build_options;
+    build_options.num_threads = 4;  // parallel offline stage
+    Stopwatch sw;
+    auto engine = AmberEngine::Build(triples, build_options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "build error: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("offline: built in %.1f ms (4 threads)\n",
+                sw.ElapsedMillis());
+
+    sw.Reset();
+    if (Status s = engine->SaveFile(path); !s.ok()) {
+      std::fprintf(stderr, "save error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("offline: saved AMF artifact to %s in %.1f ms\n",
+                path.c_str(), sw.ElapsedMillis());
+  }
+  // The built engine is gone; everything below is what a server does.
+
+  // ---- Server startup: mmap the artifact ---------------------------------
+  Stopwatch sw;
+  auto server = AmberEngine::OpenFile(path);
+  if (!server.ok()) {
+    std::fprintf(stderr, "open error: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  const double open_ms = sw.ElapsedMillis();
+  std::printf(
+      "server: opened artifact in %.2f ms — %zu vertices, %llu edges, "
+      "CSRs and index pools borrowed from the mapping (no copies)\n",
+      open_ms, server->graph().NumVertices(),
+      static_cast<unsigned long long>(server->graph().NumEdges()));
+
+  // ---- First query on the freshly mapped engine --------------------------
+  sw.Reset();
+  auto count = server->CountSparql(query, {});
+  if (!count.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 count.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("server: first query answered in %.2f ms: %llu rows\n",
+              sw.ElapsedMillis(),
+              static_cast<unsigned long long>(count->count));
+  std::printf("server: warm-up total (open + first query): %.2f ms\n",
+              open_ms + sw.ElapsedMillis());
+  return 0;
+}

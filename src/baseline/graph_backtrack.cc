@@ -291,7 +291,7 @@ Result<MaterializedRows> GraphBacktrackEngine::Materialize(
   for (const auto& row : raw) {
     std::vector<std::string> cooked;
     cooked.reserve(row.size());
-    for (VertexId v : row) cooked.push_back(dicts_.VertexToken(v));
+    for (VertexId v : row) cooked.emplace_back(dicts_.VertexToken(v));
     result.rows.push_back(std::move(cooked));
   }
   return result;

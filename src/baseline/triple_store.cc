@@ -155,7 +155,7 @@ class TripleStoreExec {
     for (const auto& row : raw) {
       std::vector<std::string> cooked;
       cooked.reserve(row.size());
-      for (uint32_t id : row) cooked.push_back(store_.terms_.Lookup(id));
+      for (uint32_t id : row) cooked.emplace_back(store_.terms_.Lookup(id));
       result.rows.push_back(std::move(cooked));
     }
     result.stats = stats_;

@@ -7,8 +7,10 @@
 #include "core/matcher.h"
 #include "core/query_plan.h"
 #include "rdf/ntriples.h"
+#include "util/amf.h"
 #include "util/clock.h"
 #include "util/serde.h"
+#include "util/thread_pool.h"
 
 namespace amber {
 
@@ -17,23 +19,30 @@ constexpr uint32_t kEngineMagic = 0x414D4245;  // "AMBE"
 constexpr uint32_t kEngineVersion = 1;
 }  // namespace
 
-Result<AmberEngine> AmberEngine::Build(const std::vector<Triple>& triples) {
+Result<AmberEngine> AmberEngine::Build(const std::vector<Triple>& triples,
+                                       const BuildOptions& options) {
   Stopwatch sw;
   AMBER_ASSIGN_OR_RETURN(EncodedDataset dataset,
                          EncodedDataset::Encode(triples));
   double encode_s = sw.ElapsedSeconds();
-  AmberEngine engine = FromEncoded(std::move(dataset));
+  AmberEngine engine = FromEncoded(std::move(dataset), options);
   engine.timings_.encode_seconds = encode_s;
   return engine;
 }
 
-AmberEngine AmberEngine::FromEncoded(EncodedDataset dataset) {
+AmberEngine AmberEngine::FromEncoded(EncodedDataset dataset,
+                                     const BuildOptions& options) {
   AmberEngine engine;
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options.num_threads));
+  }
   Stopwatch sw;
-  engine.graph_ = Multigraph::FromDataset(dataset);
+  engine.graph_ = Multigraph::FromDataset(dataset, pool.get());
   engine.timings_.graph_seconds = sw.ElapsedSeconds();
   sw.Reset();
-  engine.indexes_ = IndexSet::Build(engine.graph_);
+  engine.indexes_ = IndexSet::Build(engine.graph_, pool.get());
   engine.timings_.index_seconds = sw.ElapsedSeconds();
   engine.dicts_ = std::move(dataset.dictionaries);
   return engine;
@@ -167,7 +176,7 @@ std::vector<std::string> AmberEngine::TranslateRow(
   std::vector<std::string> out;
   out.reserve(row.size());
   for (VertexId v : row) {
-    out.push_back(dicts_.VertexToken(v));
+    out.emplace_back(dicts_.VertexToken(v));
   }
   return out;
 }
@@ -187,6 +196,41 @@ Result<AmberEngine> AmberEngine::Load(std::istream& is) {
   AMBER_RETURN_IF_ERROR(engine.dicts_.Load(is));
   AMBER_RETURN_IF_ERROR(engine.graph_.Load(is));
   AMBER_RETURN_IF_ERROR(engine.indexes_.Load(is));
+  return engine;
+}
+
+Status AmberEngine::SaveFile(const std::string& path) const {
+  amf::Writer writer;
+  dicts_.SaveAmf(&writer);
+  graph_.SaveAmf(&writer);
+  indexes_.SaveAmf(&writer);
+  return writer.WriteTo(path);
+}
+
+Result<AmberEngine> AmberEngine::OpenFile(const std::string& path) {
+  AMBER_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  auto mapping = std::make_shared<MappedFile>(std::move(file));
+  AMBER_ASSIGN_OR_RETURN(amf::Reader reader,
+                         amf::Reader::Open(mapping->data()));
+  AmberEngine engine;
+  AMBER_RETURN_IF_ERROR(engine.dicts_.LoadAmf(reader));
+  AMBER_RETURN_IF_ERROR(engine.graph_.LoadAmf(reader));
+  AMBER_RETURN_IF_ERROR(
+      engine.indexes_.LoadAmf(reader, engine.graph_.NumVertices()));
+  // Cross-component consistency: the indexes and dictionaries must cover
+  // the graph's id spaces, or the first query indexes past their ends.
+  if (engine.indexes_.neighborhood.NumVertices() !=
+          engine.graph_.NumVertices() ||
+      engine.indexes_.signature.NumVertices() !=
+          engine.graph_.NumVertices()) {
+    return Status::Corruption("index/graph vertex count mismatch");
+  }
+  if (engine.dicts_.vertices().size() < engine.graph_.NumVertices() ||
+      engine.dicts_.edge_types().size() < engine.graph_.NumEdgeTypes() ||
+      engine.dicts_.attributes().size() < engine.graph_.NumAttributes()) {
+    return Status::Corruption("dictionary/graph id space mismatch");
+  }
+  engine.mapping_ = std::move(mapping);
   return engine;
 }
 

@@ -8,6 +8,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "rdf/encoded_dataset.h"
 #include "rdf/term.h"
 #include "sparql/query_graph.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace amber {
@@ -32,11 +34,28 @@ class AmberEngine : public QueryEngine {
     double database_seconds() const { return encode_seconds + graph_seconds; }
   };
 
+  /// Offline-stage knobs.
+  struct BuildOptions {
+    /// Worker threads for the offline stage (multigraph CSRs, per-vertex
+    /// synopsis/trie construction). Every parallel path is bit-identical
+    /// to the serial build, so the persisted artifact does not depend on
+    /// this value. <= 1 builds serially.
+    int num_threads = 1;
+  };
+
   /// Runs the full offline stage on a tripleset.
-  static Result<AmberEngine> Build(const std::vector<Triple>& triples);
+  static Result<AmberEngine> Build(const std::vector<Triple>& triples,
+                                   const BuildOptions& options);
+  static Result<AmberEngine> Build(const std::vector<Triple>& triples) {
+    return Build(triples, BuildOptions());
+  }
 
   /// Offline stage starting from an already encoded dataset.
-  static AmberEngine FromEncoded(EncodedDataset dataset);
+  static AmberEngine FromEncoded(EncodedDataset dataset,
+                                 const BuildOptions& options);
+  static AmberEngine FromEncoded(EncodedDataset dataset) {
+    return FromEncoded(std::move(dataset), BuildOptions());
+  }
 
   /// Loads data from an N-Triples file and builds the engine.
   static Result<AmberEngine> BuildFromFile(const std::string& path);
@@ -62,6 +81,25 @@ class AmberEngine : public QueryEngine {
   /// Restores an engine persisted with Save().
   static Result<AmberEngine> Load(std::istream& is);
 
+  /// Writes the offline artifacts as one AMF file (the mmap-able format;
+  /// see docs/ARCHITECTURE.md, "Artifact format"). Byte-identical output
+  /// for identical engines, regardless of BuildOptions::num_threads.
+  Status SaveFile(const std::string& path) const;
+
+  /// Re-opens an AMF artifact via mmap. All CSR arrays, index pools and
+  /// dictionary string bytes are borrowed straight from the mapping —
+  /// zero per-element copies; only the dictionary hash indexes are
+  /// rebuilt. The engine keeps the mapping alive for its lifetime.
+  static Result<AmberEngine> OpenFile(const std::string& path);
+
+  /// The raw bytes of the mapped artifact backing this engine, or an empty
+  /// span when the engine owns its data (built or stream-loaded). Lets
+  /// tests prove the zero-copy property.
+  std::span<const std::byte> MappedRegion() const {
+    return mapping_ != nullptr ? mapping_->data()
+                               : std::span<const std::byte>{};
+  }
+
  private:
   AmberEngine() = default;
 
@@ -75,6 +113,9 @@ class AmberEngine : public QueryEngine {
   Multigraph graph_;
   IndexSet indexes_;
   BuildTimings timings_;
+  // Non-null iff this engine was restored via OpenFile(); owns the mapping
+  // every borrowed span points into.
+  std::shared_ptr<MappedFile> mapping_;
 };
 
 }  // namespace amber

@@ -21,7 +21,8 @@ void AppendVertexLine(const QueryGraph& q, uint32_t u,
     *out += "}";
   }
   for (const IriConstraint& c : v.iris) {
-    *out += " anchor=" + dicts.VertexToken(c.anchor);
+    *out += " anchor=";
+    *out += dicts.VertexToken(c.anchor);
     if (!c.out_types.empty()) {
       *out += " out:" + std::to_string(c.out_types.size());
     }

@@ -4,12 +4,35 @@
 #include <cassert>
 
 #include "util/serde.h"
+#include "util/thread_pool.h"
 
 namespace amber {
 
 namespace {
 constexpr uint32_t kGraphMagic = 0x414D4247;  // "AMBG"
 constexpr uint32_t kGraphVersion = 1;
+
+// AMF section ids (namespace 0x10xx).
+constexpr uint32_t kAmfMgMeta = 0x1000;
+constexpr uint32_t kAmfMgAdjBase = 0x1010;  // + 0x10 per direction
+constexpr uint32_t kAmfMgAttrOffsets = 0x1030;
+constexpr uint32_t kAmfMgAttrPool = 0x1031;
+
+struct MgMetaPod {
+  uint64_t num_vertices;
+  uint64_t num_edges;
+  uint64_t num_edge_types;
+  uint64_t num_attributes;
+};
+
+// amf::ValidateOffsets plus the size the graph's meta demands.
+Status ValidateOffsets(std::span<const uint64_t> offsets, size_t expect_size,
+                       uint64_t pool_size, const char* what) {
+  if (offsets.size() != expect_size) {
+    return Status::Corruption(std::string(what) + " offsets size mismatch");
+  }
+  return amf::ValidateOffsets(offsets, pool_size, what);
+}
 }  // namespace
 
 void Multigraph::Builder::AddEdge(VertexId s, EdgeTypeId t, VertexId o) {
@@ -24,7 +47,7 @@ void Multigraph::Builder::EnsureVertexCount(size_t n) {
   min_vertices_ = std::max(min_vertices_, n);
 }
 
-Multigraph Multigraph::Builder::Build() && {
+Multigraph Multigraph::Builder::Build(ThreadPool* pool) && {
   Multigraph g;
 
   size_t num_vertices = min_vertices_;
@@ -56,34 +79,59 @@ Multigraph Multigraph::Builder::Build() && {
                edges_.end());
   g.num_edges_ = edges_.size();
 
-  BuildAdjacency(&edges_, Direction::kOut, num_vertices,
-                 &g.adj_[static_cast<int>(Direction::kOut)]);
-  BuildAdjacency(&edges_, Direction::kIn, num_vertices,
-                 &g.adj_[static_cast<int>(Direction::kIn)]);
+  // The three CSRs (out-adjacency, in-adjacency, attributes) are
+  // independent; each is deterministic on its own (BuildAdjacency fully
+  // re-sorts its input, so starting order is irrelevant), which keeps the
+  // artifact bit-identical between the serial and concurrent paths. Only
+  // the concurrent path needs a second edge buffer; the serial path
+  // re-sorts `edges_` in place for the second direction.
+  auto build_attrs = [this, num_vertices, &g] {
+    std::sort(attrs_.begin(), attrs_.end(),
+              [](const EncodedAttribute& a, const EncodedAttribute& b) {
+                if (a.subject != b.subject) return a.subject < b.subject;
+                return a.attribute < b.attribute;
+              });
+    attrs_.erase(std::unique(attrs_.begin(), attrs_.end(),
+                             [](const EncodedAttribute& a,
+                                const EncodedAttribute& b) {
+                               return a.subject == b.subject &&
+                                      a.attribute == b.attribute;
+                             }),
+                 attrs_.end());
+    std::vector<uint64_t> offsets(num_vertices + 1, 0);
+    for (const EncodedAttribute& a : attrs_) {
+      ++offsets[a.subject + 1];
+    }
+    for (size_t v = 0; v < num_vertices; ++v) {
+      offsets[v + 1] += offsets[v];
+    }
+    std::vector<AttributeId> attr_pool;
+    attr_pool.reserve(attrs_.size());
+    for (const EncodedAttribute& a : attrs_) {
+      attr_pool.push_back(a.attribute);
+    }
+    g.attr_offsets_ = std::move(offsets);
+    g.attr_pool_ = std::move(attr_pool);
+  };
 
-  // Attributes CSR.
-  std::sort(attrs_.begin(), attrs_.end(),
-            [](const EncodedAttribute& a, const EncodedAttribute& b) {
-              if (a.subject != b.subject) return a.subject < b.subject;
-              return a.attribute < b.attribute;
-            });
-  attrs_.erase(std::unique(attrs_.begin(), attrs_.end(),
-                           [](const EncodedAttribute& a,
-                              const EncodedAttribute& b) {
-                             return a.subject == b.subject &&
-                                    a.attribute == b.attribute;
-                           }),
-               attrs_.end());
-  g.attr_offsets_.assign(num_vertices + 1, 0);
-  for (const EncodedAttribute& a : attrs_) {
-    ++g.attr_offsets_[a.subject + 1];
-  }
-  for (size_t v = 0; v < num_vertices; ++v) {
-    g.attr_offsets_[v + 1] += g.attr_offsets_[v];
-  }
-  g.attr_pool_.reserve(attrs_.size());
-  for (const EncodedAttribute& a : attrs_) {
-    g.attr_pool_.push_back(a.attribute);
+  if (pool != nullptr) {
+    std::vector<EncodedEdge> in_edges = edges_;
+    pool->Submit([this, num_vertices, &g] {
+      BuildAdjacency(&edges_, Direction::kOut, num_vertices,
+                     &g.adj_[static_cast<int>(Direction::kOut)]);
+    });
+    pool->Submit([&in_edges, num_vertices, &g] {
+      BuildAdjacency(&in_edges, Direction::kIn, num_vertices,
+                     &g.adj_[static_cast<int>(Direction::kIn)]);
+    });
+    pool->Submit(build_attrs);
+    pool->Wait();
+  } else {
+    BuildAdjacency(&edges_, Direction::kOut, num_vertices,
+                   &g.adj_[static_cast<int>(Direction::kOut)]);
+    BuildAdjacency(&edges_, Direction::kIn, num_vertices,
+                   &g.adj_[static_cast<int>(Direction::kIn)]);
+    build_attrs();
   }
 
   return g;
@@ -105,10 +153,10 @@ void Multigraph::BuildAdjacency(std::vector<EncodedEdge>* edges, Direction d,
               return a.predicate < b.predicate;
             });
 
-  adj->offsets.assign(num_vertices + 1, 0);
-  adj->groups.clear();
-  adj->types.clear();
-  adj->types.reserve(edges->size());
+  std::vector<uint64_t> offsets(num_vertices + 1, 0);
+  std::vector<GroupEntry> groups;
+  std::vector<EdgeTypeId> types;
+  types.reserve(edges->size());
 
   size_t i = 0;
   while (i < edges->size()) {
@@ -116,24 +164,29 @@ void Multigraph::BuildAdjacency(std::vector<EncodedEdge>* edges, Direction d,
     VertexId n = nbr((*edges)[i]);
     GroupEntry group;
     group.neighbor = n;
-    group.type_begin = static_cast<uint32_t>(adj->types.size());
+    group.type_begin = static_cast<uint32_t>(types.size());
     size_t j = i;
     while (j < edges->size() && key((*edges)[j]) == v &&
            nbr((*edges)[j]) == n) {
-      adj->types.push_back((*edges)[j].predicate);
+      types.push_back((*edges)[j].predicate);
       ++j;
     }
     group.type_count = static_cast<uint32_t>(j - i);
-    adj->groups.push_back(group);
-    ++adj->offsets[v + 1];
+    groups.push_back(group);
+    ++offsets[v + 1];
     i = j;
   }
   for (size_t v = 0; v < num_vertices; ++v) {
-    adj->offsets[v + 1] += adj->offsets[v];
+    offsets[v + 1] += offsets[v];
   }
+
+  adj->offsets = std::move(offsets);
+  adj->groups = std::move(groups);
+  adj->types = std::move(types);
 }
 
-Multigraph Multigraph::FromDataset(const EncodedDataset& dataset) {
+Multigraph Multigraph::FromDataset(const EncodedDataset& dataset,
+                                   ThreadPool* pool) {
   Builder builder;
   builder.EnsureVertexCount(dataset.dictionaries.vertices().size());
   for (const EncodedEdge& e : dataset.edges) {
@@ -142,7 +195,7 @@ Multigraph Multigraph::FromDataset(const EncodedDataset& dataset) {
   for (const EncodedAttribute& a : dataset.attributes) {
     builder.AddAttribute(a.subject, a.attribute);
   }
-  Multigraph g = std::move(builder).Build();
+  Multigraph g = std::move(builder).Build(pool);
   // The dictionaries are authoritative for id-space sizes: an edge type or
   // attribute may exist in the dictionary without surviving deduplication.
   g.num_edge_types_ =
@@ -188,17 +241,17 @@ bool Multigraph::HasMultiEdgeSuperset(
 uint64_t Multigraph::ByteSize() const {
   uint64_t total = 0;
   for (const Adjacency& a : adj_) {
-    total += a.offsets.capacity() * sizeof(uint64_t);
-    total += a.groups.capacity() * sizeof(GroupEntry);
-    total += a.types.capacity() * sizeof(EdgeTypeId);
+    total += a.offsets.ByteSize();
+    total += a.groups.ByteSize();
+    total += a.types.ByteSize();
   }
-  total += attr_offsets_.capacity() * sizeof(uint64_t);
-  total += attr_pool_.capacity() * sizeof(AttributeId);
+  total += attr_offsets_.ByteSize();
+  total += attr_pool_.ByteSize();
   return total;
 }
 
 bool Multigraph::Adjacency::operator==(const Adjacency& o) const {
-  if (offsets != o.offsets || types != o.types) return false;
+  if (!(offsets == o.offsets) || !(types == o.types)) return false;
   if (groups.size() != o.groups.size()) return false;
   for (size_t i = 0; i < groups.size(); ++i) {
     if (groups[i].neighbor != o.groups[i].neighbor ||
@@ -225,17 +278,17 @@ void Multigraph::Save(std::ostream& os) const {
   serde::WritePod<uint64_t>(os, num_edge_types_);
   serde::WritePod<uint64_t>(os, num_attributes_);
   for (const Adjacency& a : adj_) {
-    serde::WriteVector(os, a.offsets);
+    serde::WriteSpan(os, a.offsets.span());
     serde::WritePod<uint64_t>(os, a.groups.size());
     for (const GroupEntry& g : a.groups) {
       serde::WritePod(os, g.neighbor);
       serde::WritePod(os, g.type_begin);
       serde::WritePod(os, g.type_count);
     }
-    serde::WriteVector(os, a.types);
+    serde::WriteSpan(os, a.types.span());
   }
-  serde::WriteVector(os, attr_offsets_);
-  serde::WriteVector(os, attr_pool_);
+  serde::WriteSpan(os, attr_offsets_.span());
+  serde::WriteSpan(os, attr_pool_.span());
 }
 
 Status Multigraph::Load(std::istream& is) {
@@ -249,25 +302,101 @@ Status Multigraph::Load(std::istream& is) {
   AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &v64));
   num_attributes_ = v64;
   for (Adjacency& a : adj_) {
-    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &a.offsets));
+    std::vector<uint64_t> offsets;
+    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &offsets));
     uint64_t n = 0;
     AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &n));
-    a.groups.resize(n);
-    for (GroupEntry& g : a.groups) {
+    if (n > serde::kMaxPayloadBytes / sizeof(GroupEntry)) {
+      return Status::Corruption("implausible group count");
+    }
+    // Grown by push_back, not resize(n): a forged count on a truncated
+    // stream fails at the first missing element instead of allocating the
+    // full claimed size up front.
+    std::vector<GroupEntry> groups;
+    for (uint64_t i = 0; i < n; ++i) {
+      GroupEntry g;
       AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &g.neighbor));
       AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &g.type_begin));
       AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &g.type_count));
+      groups.push_back(g);
     }
-    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &a.types));
-    if (a.offsets.size() != num_vertices_ + 1) {
+    std::vector<EdgeTypeId> types;
+    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &types));
+    if (offsets.size() != num_vertices_ + 1) {
       return Status::Corruption("adjacency offsets size mismatch");
     }
+    a.offsets = std::move(offsets);
+    a.groups = std::move(groups);
+    a.types = std::move(types);
   }
-  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &attr_offsets_));
-  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &attr_pool_));
-  if (attr_offsets_.size() != num_vertices_ + 1) {
+  std::vector<uint64_t> attr_offsets;
+  std::vector<AttributeId> attr_pool;
+  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &attr_offsets));
+  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &attr_pool));
+  if (attr_offsets.size() != num_vertices_ + 1) {
     return Status::Corruption("attribute offsets size mismatch");
   }
+  attr_offsets_ = std::move(attr_offsets);
+  attr_pool_ = std::move(attr_pool);
+  return Status::OK();
+}
+
+void Multigraph::SaveAmf(amf::Writer* w) const {
+  MgMetaPod meta{num_vertices_, num_edges_, num_edge_types_,
+                 num_attributes_};
+  w->AddPod(kAmfMgMeta, meta);
+  for (int d = 0; d < 2; ++d) {
+    const uint32_t base = kAmfMgAdjBase + d * 0x10;
+    w->AddArray(base + 0, adj_[d].offsets.span());
+    w->AddArray(base + 1, adj_[d].groups.span());
+    w->AddArray(base + 2, adj_[d].types.span());
+  }
+  w->AddArray(kAmfMgAttrOffsets, attr_offsets_.span());
+  w->AddArray(kAmfMgAttrPool, attr_pool_.span());
+}
+
+Status Multigraph::LoadAmf(const amf::Reader& r) {
+  MgMetaPod meta;
+  AMBER_RETURN_IF_ERROR(r.Pod(kAmfMgMeta, &meta));
+  if (meta.num_vertices >= serde::kMaxPayloadBytes) {
+    return Status::Corruption("implausible vertex count in AMF meta");
+  }
+  num_vertices_ = meta.num_vertices;
+  num_edges_ = meta.num_edges;
+  num_edge_types_ = meta.num_edge_types;
+  num_attributes_ = meta.num_attributes;
+  for (int d = 0; d < 2; ++d) {
+    const uint32_t base = kAmfMgAdjBase + d * 0x10;
+    AMBER_ASSIGN_OR_RETURN(std::span<const uint64_t> offsets,
+                           r.Array<uint64_t>(base + 0));
+    AMBER_ASSIGN_OR_RETURN(std::span<const GroupEntry> groups,
+                           r.Array<GroupEntry>(base + 1));
+    AMBER_ASSIGN_OR_RETURN(std::span<const EdgeTypeId> types,
+                           r.Array<EdgeTypeId>(base + 2));
+    AMBER_RETURN_IF_ERROR(ValidateOffsets(offsets, num_vertices_ + 1,
+                                          groups.size(), "adjacency"));
+    // Per-group ranges index into the types pool and neighbor ids index
+    // the vertex space; a crafted artifact must not be able to point query-
+    // time reads outside either.
+    for (const GroupEntry& g : groups) {
+      if (g.neighbor >= num_vertices_ ||
+          static_cast<uint64_t>(g.type_begin) + g.type_count >
+              types.size()) {
+        return Status::Corruption("adjacency group out of range");
+      }
+    }
+    adj_[d].offsets = ArrayRef<uint64_t>::Borrowed(offsets);
+    adj_[d].groups = ArrayRef<GroupEntry>::Borrowed(groups);
+    adj_[d].types = ArrayRef<EdgeTypeId>::Borrowed(types);
+  }
+  AMBER_ASSIGN_OR_RETURN(std::span<const uint64_t> attr_offsets,
+                         r.Array<uint64_t>(kAmfMgAttrOffsets));
+  AMBER_ASSIGN_OR_RETURN(std::span<const AttributeId> attr_pool,
+                         r.Array<AttributeId>(kAmfMgAttrPool));
+  AMBER_RETURN_IF_ERROR(ValidateOffsets(attr_offsets, num_vertices_ + 1,
+                                        attr_pool.size(), "attribute"));
+  attr_offsets_ = ArrayRef<uint64_t>::Borrowed(attr_offsets);
+  attr_pool_ = ArrayRef<AttributeId>::Borrowed(attr_pool);
   return Status::OK();
 }
 

@@ -23,9 +23,13 @@
 #include <vector>
 
 #include "rdf/encoded_dataset.h"
+#include "util/amf.h"
 #include "util/status.h"
+#include "util/storage.h"
 
 namespace amber {
+
+class ThreadPool;
 
 /// Edge orientation relative to a vertex. Following the paper's convention,
 /// an edge *incoming* to a vertex is positive ('+') and an *outgoing* edge is
@@ -67,8 +71,11 @@ class Multigraph {
     /// legal: a subject may only carry attributes).
     void EnsureVertexCount(size_t n);
 
-    /// Finalizes the graph. The builder is consumed.
-    Multigraph Build() &&;
+    /// Finalizes the graph. The builder is consumed. When `pool` is
+    /// non-null, the two adjacency directions and the attribute CSR are
+    /// built as concurrent tasks; the result is bit-identical to the
+    /// serial build.
+    Multigraph Build(ThreadPool* pool = nullptr) &&;
 
    private:
     std::vector<EncodedEdge> edges_;
@@ -79,7 +86,8 @@ class Multigraph {
   Multigraph() = default;
 
   /// Builds the multigraph of an encoded dataset (offline stage).
-  static Multigraph FromDataset(const EncodedDataset& dataset);
+  static Multigraph FromDataset(const EncodedDataset& dataset,
+                                ThreadPool* pool = nullptr);
 
   size_t NumVertices() const { return num_vertices_; }
   /// Number of distinct directed typed edges (s, t, o).
@@ -137,6 +145,11 @@ class Multigraph {
   void Save(std::ostream& os) const;
   Status Load(std::istream& is);
 
+  /// AMF sections: one meta pod plus the seven CSR arrays, all borrowed
+  /// zero-copy from the mapping on LoadAmf.
+  void SaveAmf(amf::Writer* w) const;
+  Status LoadAmf(const amf::Reader& r);
+
   bool operator==(const Multigraph& o) const;
 
  private:
@@ -147,15 +160,15 @@ class Multigraph {
   };
 
   struct Adjacency {
-    std::vector<uint64_t> offsets;  // size NumVertices()+1, into groups
-    std::vector<GroupEntry> groups;
-    std::vector<EdgeTypeId> types;  // pooled, per-group contiguous + sorted
+    ArrayRef<uint64_t> offsets;  // size NumVertices()+1, into groups
+    ArrayRef<GroupEntry> groups;
+    ArrayRef<EdgeTypeId> types;  // pooled, per-group contiguous + sorted
 
     bool operator==(const Adjacency& o) const;
   };
 
-  // Fills `adj` from edges sorted in (key, neighbor, type) order where key is
-  // the owning vertex on side `d`.
+  // Builds the (offsets, groups, types) arrays from edges sorted in (key,
+  // neighbor, type) order where key is the owning vertex on side `d`.
   static void BuildAdjacency(std::vector<EncodedEdge>* edges, Direction d,
                              size_t num_vertices, Adjacency* adj);
 
@@ -168,8 +181,8 @@ class Multigraph {
 
   Adjacency adj_[2];  // indexed by Direction
 
-  std::vector<uint64_t> attr_offsets_;  // size NumVertices()+1
-  std::vector<AttributeId> attr_pool_;  // sorted per vertex
+  ArrayRef<uint64_t> attr_offsets_;    // size NumVertices()+1
+  ArrayRef<AttributeId> attr_pool_;    // sorted per vertex
 };
 
 }  // namespace amber

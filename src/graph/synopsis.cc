@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace amber {
 
 std::string Synopsis::ToString() const {
@@ -59,8 +61,17 @@ Synopsis ComputeVertexSynopsis(const Multigraph& g, VertexId v) {
   return builder.Build();
 }
 
-std::vector<Synopsis> ComputeAllSynopses(const Multigraph& g) {
+std::vector<Synopsis> ComputeAllSynopses(const Multigraph& g,
+                                         ThreadPool* pool) {
   std::vector<Synopsis> out(g.NumVertices());
+  if (pool != nullptr) {
+    // Each vertex writes only its own slot, so sharding is free of
+    // coordination and the result is bit-identical to the serial loop.
+    pool->ParallelFor(g.NumVertices(), [&g, &out](size_t v) {
+      out[v] = ComputeVertexSynopsis(g, static_cast<VertexId>(v));
+    });
+    return out;
+  }
   SynopsisBuilder builder;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     builder.Reset();

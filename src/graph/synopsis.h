@@ -96,11 +96,16 @@ class SynopsisBuilder {
   Side sides_[2];  // indexed by Direction
 };
 
+class ThreadPool;
+
 /// Synopsis of data vertex `v` in `g`.
 Synopsis ComputeVertexSynopsis(const Multigraph& g, VertexId v);
 
-/// Synopses of all vertices of `g`, indexed by vertex id.
-std::vector<Synopsis> ComputeAllSynopses(const Multigraph& g);
+/// Synopses of all vertices of `g`, indexed by vertex id. With a pool, the
+/// per-vertex computations are sharded across workers (bit-identical to
+/// the serial result).
+std::vector<Synopsis> ComputeAllSynopses(const Multigraph& g,
+                                         ThreadPool* pool = nullptr);
 
 }  // namespace amber
 

@@ -10,29 +10,34 @@ namespace amber {
 namespace {
 constexpr uint32_t kAttrIndexMagic = 0x414D4241;  // "AMBA"
 constexpr uint32_t kAttrIndexVersion = 1;
+
+// AMF section ids (namespace 0x20xx).
+constexpr uint32_t kAmfAttrOffsets = 0x2000;
+constexpr uint32_t kAmfAttrPool = 0x2001;
 }  // namespace
 
 AttributeIndex AttributeIndex::Build(const Multigraph& g) {
   AttributeIndex index;
   const size_t num_attrs = g.NumAttributes();
-  index.offsets_.assign(num_attrs + 1, 0);
+  std::vector<uint64_t> offsets(num_attrs + 1, 0);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     for (AttributeId a : g.Attributes(v)) {
-      ++index.offsets_[a + 1];
+      ++offsets[a + 1];
     }
   }
   for (size_t a = 0; a < num_attrs; ++a) {
-    index.offsets_[a + 1] += index.offsets_[a];
+    offsets[a + 1] += offsets[a];
   }
-  index.pool_.resize(index.offsets_[num_attrs]);
-  std::vector<uint64_t> cursor(index.offsets_.begin(),
-                               index.offsets_.end() - 1);
+  std::vector<VertexId> pool(offsets[num_attrs]);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
   // Vertices are visited in ascending order, so each list ends up sorted.
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     for (AttributeId a : g.Attributes(v)) {
-      index.pool_[cursor[a]++] = v;
+      pool[cursor[a]++] = v;
     }
   }
+  index.offsets_ = std::move(offsets);
+  index.pool_ = std::move(pool);
   return index;
 }
 
@@ -68,15 +73,48 @@ bool AttributeIndex::VertexHasAll(VertexId v,
 
 void AttributeIndex::Save(std::ostream& os) const {
   serde::WriteHeader(os, kAttrIndexMagic, kAttrIndexVersion);
-  serde::WriteVector(os, offsets_);
-  serde::WriteVector(os, pool_);
+  serde::WriteSpan(os, offsets_.span());
+  serde::WriteSpan(os, pool_.span());
 }
 
 Status AttributeIndex::Load(std::istream& is) {
   AMBER_RETURN_IF_ERROR(
       serde::CheckHeader(is, kAttrIndexMagic, kAttrIndexVersion));
-  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &offsets_));
-  return serde::ReadVector(is, &pool_);
+  std::vector<uint64_t> offsets;
+  std::vector<VertexId> pool;
+  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &offsets));
+  AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &pool));
+  offsets_ = std::move(offsets);
+  pool_ = std::move(pool);
+  return Status::OK();
+}
+
+void AttributeIndex::SaveAmf(amf::Writer* w) const {
+  w->AddArray(kAmfAttrOffsets, offsets_.span());
+  w->AddArray(kAmfAttrPool, pool_.span());
+}
+
+Status AttributeIndex::LoadAmf(const amf::Reader& r, uint64_t num_vertices) {
+  AMBER_ASSIGN_OR_RETURN(std::span<const uint64_t> offsets,
+                         r.Array<uint64_t>(kAmfAttrOffsets));
+  AMBER_ASSIGN_OR_RETURN(std::span<const VertexId> pool,
+                         r.Array<VertexId>(kAmfAttrPool));
+  if (offsets.empty()) {
+    if (!pool.empty()) {
+      return Status::Corruption("attribute index pool without offsets");
+    }
+  } else {
+    AMBER_RETURN_IF_ERROR(
+        amf::ValidateOffsets(offsets, pool.size(), "attribute index"));
+  }
+  for (VertexId v : pool) {
+    if (v >= num_vertices) {
+      return Status::Corruption("attribute index pool entry out of range");
+    }
+  }
+  offsets_ = ArrayRef<uint64_t>::Borrowed(offsets);
+  pool_ = ArrayRef<VertexId>::Borrowed(pool);
+  return Status::OK();
 }
 
 }  // namespace amber

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "graph/multigraph.h"
+#include "util/amf.h"
 #include "util/status.h"
+#include "util/storage.h"
 
 namespace amber {
 
@@ -42,20 +44,24 @@ class AttributeIndex {
   }
 
   uint64_t ByteSize() const {
-    return offsets_.capacity() * sizeof(uint64_t) +
-           pool_.capacity() * sizeof(VertexId);
+    return offsets_.ByteSize() + pool_.ByteSize();
   }
 
   void Save(std::ostream& os) const;
   Status Load(std::istream& is);
+
+  void SaveAmf(amf::Writer* w) const;
+  /// `num_vertices` bounds the pool entries (they are graph vertex ids the
+  /// matcher feeds straight into CSR lookups).
+  Status LoadAmf(const amf::Reader& r, uint64_t num_vertices);
 
   bool operator==(const AttributeIndex& o) const {
     return offsets_ == o.offsets_ && pool_ == o.pool_;
   }
 
  private:
-  std::vector<uint64_t> offsets_;  // size NumAttributes()+1
-  std::vector<VertexId> pool_;     // sorted per attribute
+  ArrayRef<uint64_t> offsets_;  // size NumAttributes()+1
+  ArrayRef<VertexId> pool_;     // sorted per attribute
 };
 
 /// Intersects two sorted id lists into a fresh vector. Cold-path

@@ -21,12 +21,15 @@ struct IndexSet {
   SignatureIndex signature;      // S  (Section 4.2)
   NeighborhoodIndex neighborhood;  // N  (Section 4.3)
 
-  /// Builds all three indexes (offline stage).
-  static IndexSet Build(const Multigraph& g) {
+  /// Builds all three indexes (offline stage). With a pool, the per-vertex
+  /// work inside the signature and neighborhood builds is sharded across
+  /// workers; every parallel path is bit-identical to the serial build, so
+  /// the persisted artifact does not depend on num_threads.
+  static IndexSet Build(const Multigraph& g, ThreadPool* pool = nullptr) {
     IndexSet set;
     set.attribute = AttributeIndex::Build(g);
-    set.signature = SignatureIndex::Build(g);
-    set.neighborhood = NeighborhoodIndex::Build(g);
+    set.signature = SignatureIndex::Build(g, pool);
+    set.neighborhood = NeighborhoodIndex::Build(g, pool);
     return set;
   }
 
@@ -45,6 +48,20 @@ struct IndexSet {
     AMBER_RETURN_IF_ERROR(attribute.Load(is));
     AMBER_RETURN_IF_ERROR(signature.Load(is));
     return neighborhood.Load(is);
+  }
+
+  void SaveAmf(amf::Writer* w) const {
+    attribute.SaveAmf(w);
+    signature.SaveAmf(w);
+    neighborhood.SaveAmf(w);
+  }
+
+  /// `num_vertices` is the owning graph's vertex count, used to bound the
+  /// vertex ids stored in the index pools.
+  Status LoadAmf(const amf::Reader& r, uint64_t num_vertices) {
+    AMBER_RETURN_IF_ERROR(attribute.LoadAmf(r, num_vertices));
+    AMBER_RETURN_IF_ERROR(signature.LoadAmf(r));
+    return neighborhood.LoadAmf(r);
   }
 };
 

@@ -4,12 +4,21 @@
 #include <cassert>
 
 #include "util/serde.h"
+#include "util/thread_pool.h"
 
 namespace amber {
 
 namespace {
 constexpr uint32_t kNbrIndexMagic = 0x414D424E;  // "AMBN"
 constexpr uint32_t kNbrIndexVersion = 1;
+
+// AMF section ids (namespace 0x40xx).
+constexpr uint32_t kAmfNbrDirBase = 0x4010;  // + 0x10 per direction
+
+// Vertices per parallel build chunk. Fixed (not derived from the thread
+// count) so that the chunk boundaries — and therefore the merged arrays —
+// are identical for every num_threads, including the serial build.
+constexpr size_t kBuildChunkVertices = 1024;
 
 bool LexLess(std::span<const EdgeTypeId> a, std::span<const EdgeTypeId> b) {
   return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
@@ -19,64 +28,126 @@ bool LexLess(std::span<const EdgeTypeId> a, std::span<const EdgeTypeId> b) {
 void NeighborhoodIndex::BuildChildren(
     const std::vector<std::pair<std::span<const EdgeTypeId>, VertexId>>&
         groups,
-    size_t lo, size_t hi, size_t depth, DirIndex* dir) {
+    size_t lo, size_t hi, size_t depth, std::vector<Node>* nodes,
+    std::vector<VertexId>* pool) {
   size_t i = lo;
   while (i < hi) {
     const EdgeTypeId t = groups[i].first[depth];
     size_t j = i;
     while (j < hi && groups[j].first[depth] == t) ++j;
 
-    const uint32_t node_idx = static_cast<uint32_t>(dir->nodes.size());
-    dir->nodes.push_back(Node{t, 0, 0, 0});
+    const uint32_t node_idx = static_cast<uint32_t>(nodes->size());
+    nodes->push_back(Node{t, 0, 0, 0});
 
     // Groups whose set ends exactly at this node come first (a proper
     // prefix sorts before its extensions).
-    uint32_t list_begin = static_cast<uint32_t>(dir->pool.size());
+    uint32_t list_begin = static_cast<uint32_t>(pool->size());
     size_t k = i;
     while (k < j && groups[k].first.size() == depth + 1) {
-      dir->pool.push_back(groups[k].second);
+      pool->push_back(groups[k].second);
       ++k;
     }
-    dir->nodes[node_idx].list_begin = list_begin;
-    dir->nodes[node_idx].list_end = static_cast<uint32_t>(dir->pool.size());
+    (*nodes)[node_idx].list_begin = list_begin;
+    (*nodes)[node_idx].list_end = static_cast<uint32_t>(pool->size());
 
-    BuildChildren(groups, k, j, depth + 1, dir);
-    dir->nodes[node_idx].subtree_end =
-        static_cast<uint32_t>(dir->nodes.size());
+    BuildChildren(groups, k, j, depth + 1, nodes, pool);
+    (*nodes)[node_idx].subtree_end = static_cast<uint32_t>(nodes->size());
     i = j;
   }
 }
 
-NeighborhoodIndex NeighborhoodIndex::Build(const Multigraph& g) {
+NeighborhoodIndex NeighborhoodIndex::Build(const Multigraph& g,
+                                           ThreadPool* pool) {
   NeighborhoodIndex index;
   const size_t num_vertices = g.NumVertices();
+  const size_t num_chunks =
+      (num_vertices + kBuildChunkVertices - 1) / kBuildChunkVertices;
 
   for (Direction d : {Direction::kIn, Direction::kOut}) {
     DirIndex& dir = index.dirs_[static_cast<int>(d)];
-    dir.node_offsets.assign(num_vertices + 1, 0);
-    dir.pool_offsets.assign(num_vertices + 1, 0);
 
-    std::vector<std::pair<std::span<const EdgeTypeId>, VertexId>> groups;
-    for (VertexId v = 0; v < num_vertices; ++v) {
-      groups.clear();
-      const size_t n = g.GroupCount(v, d);
-      groups.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        GroupView view = g.Group(v, d, i);
-        groups.emplace_back(view.types, view.neighbor);
+    // Phase 1: build each vertex chunk into local arrays. Node indices and
+    // list offsets inside a chunk are chunk-relative; the merge rebases
+    // them. Chunks only read the (immutable) multigraph, so they can run
+    // on any thread.
+    struct ChunkOut {
+      std::vector<Node> nodes;
+      std::vector<VertexId> pool;
+      std::vector<uint32_t> node_counts;  // per vertex in the chunk
+      std::vector<uint32_t> pool_counts;
+    };
+    std::vector<ChunkOut> chunks(num_chunks);
+    auto build_chunk = [&g, &chunks, d, num_vertices](size_t c) {
+      ChunkOut& out = chunks[c];
+      const size_t begin = c * kBuildChunkVertices;
+      const size_t end =
+          std::min(num_vertices, begin + kBuildChunkVertices);
+      std::vector<std::pair<std::span<const EdgeTypeId>, VertexId>> groups;
+      for (size_t v = begin; v < end; ++v) {
+        groups.clear();
+        const size_t n = g.GroupCount(static_cast<VertexId>(v), d);
+        groups.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          GroupView view = g.Group(static_cast<VertexId>(v), d, i);
+          groups.emplace_back(view.types, view.neighbor);
+        }
+        // Order multi-edges lexicographically by their (sorted) type
+        // sequence so prefix sharing in the trie falls out of a linear
+        // scan.
+        std::sort(groups.begin(), groups.end(),
+                  [](const auto& a, const auto& b) {
+                    if (LexLess(a.first, b.first)) return true;
+                    if (LexLess(b.first, a.first)) return false;
+                    return a.second < b.second;
+                  });
+        const size_t nodes_before = out.nodes.size();
+        const size_t pool_before = out.pool.size();
+        BuildChildren(groups, 0, groups.size(), 0, &out.nodes, &out.pool);
+        out.node_counts.push_back(
+            static_cast<uint32_t>(out.nodes.size() - nodes_before));
+        out.pool_counts.push_back(
+            static_cast<uint32_t>(out.pool.size() - pool_before));
       }
-      // Order multi-edges lexicographically by their (sorted) type sequence
-      // so prefix sharing in the trie falls out of a linear scan.
-      std::sort(groups.begin(), groups.end(),
-                [](const auto& a, const auto& b) {
-                  if (LexLess(a.first, b.first)) return true;
-                  if (LexLess(b.first, a.first)) return false;
-                  return a.second < b.second;
-                });
-      BuildChildren(groups, 0, groups.size(), 0, &dir);
-      dir.node_offsets[v + 1] = dir.nodes.size();
-      dir.pool_offsets[v + 1] = dir.pool.size();
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(num_chunks, build_chunk);
+    } else {
+      for (size_t c = 0; c < num_chunks; ++c) build_chunk(c);
     }
+
+    // Phase 2: in-order concatenation with offset fixups — equivalent to
+    // having built every vertex sequentially into one array.
+    uint64_t total_nodes = 0, total_pool = 0;
+    for (const ChunkOut& c : chunks) {
+      total_nodes += c.nodes.size();
+      total_pool += c.pool.size();
+    }
+    std::vector<uint64_t> node_offsets(num_vertices + 1, 0);
+    std::vector<uint64_t> pool_offsets(num_vertices + 1, 0);
+    std::vector<Node> nodes;
+    nodes.reserve(total_nodes);
+    std::vector<VertexId> pool_ids;
+    pool_ids.reserve(total_pool);
+    size_t v = 0;
+    for (const ChunkOut& c : chunks) {
+      const uint32_t node_base = static_cast<uint32_t>(nodes.size());
+      const uint32_t pool_base = static_cast<uint32_t>(pool_ids.size());
+      for (Node n : c.nodes) {
+        n.subtree_end += node_base;
+        n.list_begin += pool_base;
+        n.list_end += pool_base;
+        nodes.push_back(n);
+      }
+      pool_ids.insert(pool_ids.end(), c.pool.begin(), c.pool.end());
+      for (size_t i = 0; i < c.node_counts.size(); ++i, ++v) {
+        node_offsets[v + 1] = node_offsets[v] + c.node_counts[i];
+        pool_offsets[v + 1] = pool_offsets[v] + c.pool_counts[i];
+      }
+    }
+    dir.node_offsets = std::move(node_offsets);
+    dir.pool_offsets = std::move(pool_offsets);
+    dir.nodes = std::move(nodes);
+    dir.pool = std::move(pool_ids);
   }
   return index;
 }
@@ -145,8 +216,8 @@ bool NeighborhoodIndex::Contains(VertexId v, Direction d,
   if (types.empty()) {
     // Any adjacency qualifies: scan the vertex's inverted-list range (it is
     // contiguous but not globally sorted, so no binary search here).
-    const auto lo = dir.pool.begin() + dir.pool_offsets[v];
-    const auto hi = dir.pool.begin() + dir.pool_offsets[v + 1];
+    const VertexId* lo = dir.pool.begin() + dir.pool_offsets[v];
+    const VertexId* hi = dir.pool.begin() + dir.pool_offsets[v + 1];
     return std::find(lo, hi, neighbor) != hi;
   }
 
@@ -177,8 +248,8 @@ bool NeighborhoodIndex::Contains(VertexId v, Direction d,
       if (qn == types.size()) {
         for (uint32_t m = n; m < node.subtree_end; ++m) {
           const Node& sub = dir.nodes[m];
-          const auto lo = dir.pool.begin() + sub.list_begin;
-          const auto hi = dir.pool.begin() + sub.list_end;
+          const VertexId* lo = dir.pool.begin() + sub.list_begin;
+          const VertexId* hi = dir.pool.begin() + sub.list_end;
           if (std::binary_search(lo, hi, neighbor)) return true;
         }
       } else if (node.subtree_end > n + 1) {
@@ -193,10 +264,10 @@ bool NeighborhoodIndex::Contains(VertexId v, Direction d,
 uint64_t NeighborhoodIndex::ByteSize() const {
   uint64_t total = 0;
   for (const DirIndex& dir : dirs_) {
-    total += dir.node_offsets.capacity() * sizeof(uint64_t);
-    total += dir.pool_offsets.capacity() * sizeof(uint64_t);
-    total += dir.nodes.capacity() * sizeof(Node);
-    total += dir.pool.capacity() * sizeof(VertexId);
+    total += dir.node_offsets.ByteSize();
+    total += dir.pool_offsets.ByteSize();
+    total += dir.nodes.ByteSize();
+    total += dir.pool.ByteSize();
   }
   return total;
 }
@@ -204,11 +275,11 @@ uint64_t NeighborhoodIndex::ByteSize() const {
 void NeighborhoodIndex::Save(std::ostream& os) const {
   serde::WriteHeader(os, kNbrIndexMagic, kNbrIndexVersion);
   for (const DirIndex& dir : dirs_) {
-    serde::WriteVector(os, dir.node_offsets);
-    serde::WriteVector(os, dir.pool_offsets);
+    serde::WriteSpan(os, dir.node_offsets.span());
+    serde::WriteSpan(os, dir.pool_offsets.span());
     serde::WritePod<uint64_t>(os, dir.nodes.size());
     for (const Node& n : dir.nodes) serde::WritePod(os, n);
-    serde::WriteVector(os, dir.pool);
+    serde::WriteSpan(os, dir.pool.span());
   }
 }
 
@@ -216,15 +287,82 @@ Status NeighborhoodIndex::Load(std::istream& is) {
   AMBER_RETURN_IF_ERROR(
       serde::CheckHeader(is, kNbrIndexMagic, kNbrIndexVersion));
   for (DirIndex& dir : dirs_) {
-    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &dir.node_offsets));
-    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &dir.pool_offsets));
+    std::vector<uint64_t> node_offsets, pool_offsets;
+    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &node_offsets));
+    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &pool_offsets));
     uint64_t n = 0;
     AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &n));
-    dir.nodes.resize(n);
-    for (Node& node : dir.nodes) {
-      AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &node));
+    if (n > serde::kMaxPayloadBytes / sizeof(Node)) {
+      return Status::Corruption("implausible trie node count");
     }
-    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &dir.pool));
+    // push_back growth: forged counts on truncated streams fail at the
+    // first missing node instead of over-allocating.
+    std::vector<Node> nodes;
+    for (uint64_t i = 0; i < n; ++i) {
+      Node node;
+      AMBER_RETURN_IF_ERROR(serde::ReadPod(is, &node));
+      nodes.push_back(node);
+    }
+    std::vector<VertexId> pool;
+    AMBER_RETURN_IF_ERROR(serde::ReadVector(is, &pool));
+    dir.node_offsets = std::move(node_offsets);
+    dir.pool_offsets = std::move(pool_offsets);
+    dir.nodes = std::move(nodes);
+    dir.pool = std::move(pool);
+  }
+  return Status::OK();
+}
+
+void NeighborhoodIndex::SaveAmf(amf::Writer* w) const {
+  for (int d = 0; d < 2; ++d) {
+    const uint32_t base = kAmfNbrDirBase + d * 0x10;
+    w->AddArray(base + 0, dirs_[d].node_offsets.span());
+    w->AddArray(base + 1, dirs_[d].pool_offsets.span());
+    w->AddArray(base + 2, dirs_[d].nodes.span());
+    w->AddArray(base + 3, dirs_[d].pool.span());
+  }
+}
+
+Status NeighborhoodIndex::LoadAmf(const amf::Reader& r) {
+  for (int d = 0; d < 2; ++d) {
+    const uint32_t base = kAmfNbrDirBase + d * 0x10;
+    AMBER_ASSIGN_OR_RETURN(std::span<const uint64_t> node_offsets,
+                           r.Array<uint64_t>(base + 0));
+    AMBER_ASSIGN_OR_RETURN(std::span<const uint64_t> pool_offsets,
+                           r.Array<uint64_t>(base + 1));
+    AMBER_ASSIGN_OR_RETURN(std::span<const Node> nodes,
+                           r.Array<Node>(base + 2));
+    AMBER_ASSIGN_OR_RETURN(std::span<const VertexId> pool,
+                           r.Array<VertexId>(base + 3));
+    if (node_offsets.size() != pool_offsets.size()) {
+      return Status::Corruption("neighborhood offset tables malformed");
+    }
+    AMBER_RETURN_IF_ERROR(
+        amf::ValidateOffsets(node_offsets, nodes.size(),
+                             "neighborhood node"));
+    AMBER_RETURN_IF_ERROR(
+        amf::ValidateOffsets(pool_offsets, pool.size(),
+                             "neighborhood pool"));
+    // Trie invariants the DFS relies on: subtree_end strictly advances
+    // (or the walk loops forever) and stays in range; inverted-list ranges
+    // index the pool; pool entries are vertex ids.
+    const uint64_t num_vertices = node_offsets.size() - 1;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const Node& n = nodes[i];
+      if (n.subtree_end <= i || n.subtree_end > nodes.size() ||
+          n.list_begin > n.list_end || n.list_end > pool.size()) {
+        return Status::Corruption("neighborhood trie node out of range");
+      }
+    }
+    for (VertexId v : pool) {
+      if (v >= num_vertices) {
+        return Status::Corruption("neighborhood pool entry out of range");
+      }
+    }
+    dirs_[d].node_offsets = ArrayRef<uint64_t>::Borrowed(node_offsets);
+    dirs_[d].pool_offsets = ArrayRef<uint64_t>::Borrowed(pool_offsets);
+    dirs_[d].nodes = ArrayRef<Node>::Borrowed(nodes);
+    dirs_[d].pool = ArrayRef<VertexId>::Borrowed(pool);
   }
   return Status::OK();
 }

@@ -29,9 +29,13 @@
 #include <vector>
 
 #include "graph/multigraph.h"
+#include "util/amf.h"
 #include "util/status.h"
+#include "util/storage.h"
 
 namespace amber {
+
+class ThreadPool;
 
 /// \brief OTIL-based neighbourhood index over a data multigraph.
 class NeighborhoodIndex {
@@ -61,8 +65,12 @@ class NeighborhoodIndex {
 
   NeighborhoodIndex() = default;
 
-  /// Builds N+ and N- for every vertex (offline stage).
-  static NeighborhoodIndex Build(const Multigraph& g);
+  /// Builds N+ and N- for every vertex (offline stage). With a pool, the
+  /// per-vertex trie construction is sharded into fixed-size vertex chunks
+  /// built concurrently and concatenated in order, which makes the result
+  /// bit-identical to the serial build regardless of thread count.
+  static NeighborhoodIndex Build(const Multigraph& g,
+                                 ThreadPool* pool = nullptr);
 
   /// Appends to `*out` every neighbour v' of `v` on side `d` whose
   /// multi-edge with `v` is a superset of `types` (sorted ascending).
@@ -111,6 +119,9 @@ class NeighborhoodIndex {
   void Save(std::ostream& os) const;
   Status Load(std::istream& is);
 
+  void SaveAmf(amf::Writer* w) const;
+  Status LoadAmf(const amf::Reader& r);
+
  private:
   // One trie node. Children of node i are the maximal chain
   // i+1, subtree_end(i+1), ... inside (i, subtree_end(i)); both node and
@@ -123,17 +134,19 @@ class NeighborhoodIndex {
   };
 
   struct DirIndex {
-    std::vector<uint64_t> node_offsets;  // per vertex, size V+1
-    std::vector<uint64_t> pool_offsets;  // per vertex, size V+1
-    std::vector<Node> nodes;
-    std::vector<VertexId> pool;          // inverted lists, DFS order
+    ArrayRef<uint64_t> node_offsets;  // per vertex, size V+1
+    ArrayRef<uint64_t> pool_offsets;  // per vertex, size V+1
+    ArrayRef<Node> nodes;
+    ArrayRef<VertexId> pool;          // inverted lists, DFS order
   };
 
-  // Recursive trie construction over the sorted groups [lo, hi).
+  // Recursive trie construction over the sorted groups [lo, hi), appending
+  // to chunk-local node/pool vectors.
   static void BuildChildren(
       const std::vector<std::pair<std::span<const EdgeTypeId>, VertexId>>&
           groups,
-      size_t lo, size_t hi, size_t depth, DirIndex* dir);
+      size_t lo, size_t hi, size_t depth, std::vector<Node>* nodes,
+      std::vector<VertexId>* pool);
 
   DirIndex dirs_[2];  // indexed by Direction
 };

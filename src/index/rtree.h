@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "graph/synopsis.h"
+#include "util/amf.h"
 #include "util/status.h"
+#include "util/storage.h"
 
 namespace amber {
 
@@ -56,14 +58,15 @@ class SynopsisRTree {
   const Synopsis& PointAt(uint32_t id) const { return points_[id]; }
 
   uint64_t ByteSize() const {
-    return nodes_.capacity() * sizeof(Node) +
-           entries_.capacity() * sizeof(uint32_t) +
-           child_pool_.capacity() * sizeof(uint32_t) +
-           points_.capacity() * sizeof(Synopsis);
+    return nodes_.ByteSize() + entries_.ByteSize() + child_pool_.ByteSize() +
+           points_.ByteSize();
   }
 
   void Save(std::ostream& os) const;
   Status Load(std::istream& is);
+
+  void SaveAmf(amf::Writer* w) const;
+  Status LoadAmf(const amf::Reader& r);
 
  private:
   struct Node {
@@ -75,16 +78,17 @@ class SynopsisRTree {
     uint32_t children_count;
   };
 
-  uint32_t BuildNode(std::span<uint32_t> ids, int depth,
-                     const Options& options);
+  // Mutable state of one bulk load (defined in rtree.cc); the finished
+  // vectors are adopted by the tree's ArrayRef storage.
+  struct Bulk;
 
   void CollectRange(uint32_t begin, uint32_t end,
                     std::vector<uint32_t>* out) const;
 
-  std::vector<Synopsis> points_;
-  std::vector<Node> nodes_;         // root is nodes_.back() when non-empty
-  std::vector<uint32_t> entries_;   // point ids, grouped by subtree
-  std::vector<uint32_t> child_pool_;
+  ArrayRef<Synopsis> points_;
+  ArrayRef<Node> nodes_;         // root is nodes_.back() when non-empty
+  ArrayRef<uint32_t> entries_;   // point ids, grouped by subtree
+  ArrayRef<uint32_t> child_pool_;
   uint32_t root_ = 0;
 };
 

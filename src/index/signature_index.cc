@@ -1,10 +1,12 @@
 #include "index/signature_index.h"
 
+#include "util/thread_pool.h"
+
 namespace amber {
 
-SignatureIndex SignatureIndex::Build(const Multigraph& g) {
+SignatureIndex SignatureIndex::Build(const Multigraph& g, ThreadPool* pool) {
   SignatureIndex index;
-  std::vector<Synopsis> synopses = ComputeAllSynopses(g);
+  std::vector<Synopsis> synopses = ComputeAllSynopses(g, pool);
   index.tree_ = SynopsisRTree::Build(synopses);
   return index;
 }

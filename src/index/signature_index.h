@@ -18,13 +18,17 @@
 
 namespace amber {
 
+class ThreadPool;
+
 /// \brief R-tree backed index over all vertex synopses.
 class SignatureIndex {
  public:
   SignatureIndex() = default;
 
-  /// Computes all synopses and bulk-loads the R-tree (offline stage).
-  static SignatureIndex Build(const Multigraph& g);
+  /// Computes all synopses and bulk-loads the R-tree (offline stage). With
+  /// a pool, the per-vertex synopsis computation is parallelized; the
+  /// bulk load itself stays serial, so the result is bit-identical.
+  static SignatureIndex Build(const Multigraph& g, ThreadPool* pool = nullptr);
 
   /// C^S_u: sorted data vertices whose synopsis dominates `query`.
   std::vector<VertexId> Candidates(const Synopsis& query) const {
@@ -42,6 +46,9 @@ class SignatureIndex {
 
   void Save(std::ostream& os) const { tree_.Save(os); }
   Status Load(std::istream& is) { return tree_.Load(is); }
+
+  void SaveAmf(amf::Writer* w) const { tree_.SaveAmf(w); }
+  Status LoadAmf(const amf::Reader& r) { return tree_.LoadAmf(r); }
 
  private:
   SynopsisRTree tree_;

@@ -6,6 +6,12 @@ namespace {
 // Separator between predicate IRI and literal token in attribute keys.
 // \x1f (ASCII unit separator) cannot appear in an IRI.
 constexpr char kAttrSep = '\x1f';
+
+// AMF section-id bases of the three dictionaries (two sections each:
+// string blob, offset table).
+constexpr uint32_t kAmfVertexDict = 0x5010;
+constexpr uint32_t kAmfEdgeTypeDict = 0x5020;
+constexpr uint32_t kAmfAttributeDict = 0x5030;
 }  // namespace
 
 std::string RdfDictionaries::AttributeKey(const Term& predicate,
@@ -17,15 +23,15 @@ std::string RdfDictionaries::AttributeKey(const Term& predicate,
 }
 
 std::string RdfDictionaries::AttributeDescription(AttributeId a) const {
-  const std::string& key = attributes_.Lookup(a);
+  std::string_view key = attributes_.Lookup(a);
   size_t pos = key.find(kAttrSep);
-  if (pos == std::string::npos) return key;
+  if (pos == std::string_view::npos) return std::string(key);
   std::string out;
   out.reserve(key.size() + 8);
   out += '<';
-  out.append(key, 0, pos);
+  out.append(key.substr(0, pos));
   out += "> -> ";
-  out.append(key, pos + 1, std::string::npos);
+  out.append(key.substr(pos + 1));
   return out;
 }
 
@@ -39,6 +45,18 @@ Status RdfDictionaries::Load(std::istream& is) {
   AMBER_RETURN_IF_ERROR(vertices_.Load(is));
   AMBER_RETURN_IF_ERROR(edge_types_.Load(is));
   return attributes_.Load(is);
+}
+
+void RdfDictionaries::SaveAmf(amf::Writer* w) const {
+  vertices_.SaveAmf(w, kAmfVertexDict);
+  edge_types_.SaveAmf(w, kAmfEdgeTypeDict);
+  attributes_.SaveAmf(w, kAmfAttributeDict);
+}
+
+Status RdfDictionaries::LoadAmf(const amf::Reader& r) {
+  AMBER_RETURN_IF_ERROR(vertices_.LoadAmf(r, kAmfVertexDict));
+  AMBER_RETURN_IF_ERROR(edge_types_.LoadAmf(r, kAmfEdgeTypeDict));
+  return attributes_.LoadAmf(r, kAmfAttributeDict);
 }
 
 Result<EncodedDataset> EncodedDataset::Encode(

@@ -63,11 +63,11 @@ class RdfDictionaries {
   const StringDictionary& attributes() const { return attributes_; }
 
   /// Inverse vertex mapping Mv^-1: vertex id -> N-Triples token.
-  const std::string& VertexToken(VertexId v) const {
+  std::string_view VertexToken(VertexId v) const {
     return vertices_.Lookup(v);
   }
   /// Inverse edge-type mapping Me^-1: edge-type id -> predicate IRI.
-  const std::string& PredicateIri(EdgeTypeId t) const {
+  std::string_view PredicateIri(EdgeTypeId t) const {
     return edge_types_.Lookup(t);
   }
   /// Inverse attribute mapping Ma^-1, rendered "<pred> -> <literal token>".
@@ -80,6 +80,11 @@ class RdfDictionaries {
 
   void Save(std::ostream& os) const;
   Status Load(std::istream& is);
+
+  /// AMF sections of the three dictionaries (see docs/ARCHITECTURE.md,
+  /// "Artifact format").
+  void SaveAmf(amf::Writer* w) const;
+  Status LoadAmf(const amf::Reader& r);
 
  private:
   StringDictionary vertices_;

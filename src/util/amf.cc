@@ -1,0 +1,104 @@
+#include "util/amf.h"
+
+#include <fstream>
+
+namespace amber {
+namespace amf {
+
+namespace {
+
+uint64_t AlignUp(uint64_t v) {
+  return (v + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+}  // namespace
+
+Status Writer::WriteTo(const std::string& path) const {
+  // Lay out: header, table, then payloads at 64-byte-aligned offsets.
+  std::vector<SectionEntry> table(sections_.size());
+  uint64_t cursor =
+      AlignUp(sizeof(FileHeader) + sections_.size() * sizeof(SectionEntry));
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    table[i].id = sections_[i].id;
+    table[i].reserved = 0;
+    table[i].offset = cursor;
+    table[i].length = sections_[i].bytes;
+    cursor = AlignUp(cursor + sections_[i].bytes);
+  }
+  // The file is padded out to the final aligned cursor, so file_length is
+  // always a multiple of kSectionAlign.
+  const uint64_t file_length = cursor;
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+
+  FileHeader header{};
+  header.magic = kMagic;
+  header.version = kVersion;
+  header.section_count = table.size();
+  header.file_length = file_length;
+  os.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  os.write(reinterpret_cast<const char*>(table.data()),
+           static_cast<std::streamsize>(table.size() * sizeof(SectionEntry)));
+
+  static constexpr char kZeros[kSectionAlign] = {};
+  uint64_t written = sizeof(FileHeader) + table.size() * sizeof(SectionEntry);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    os.write(kZeros, static_cast<std::streamsize>(table[i].offset - written));
+    if (sections_[i].bytes > 0) {
+      os.write(static_cast<const char*>(sections_[i].data),
+               static_cast<std::streamsize>(sections_[i].bytes));
+    }
+    written = table[i].offset + table[i].length;
+  }
+  os.write(kZeros, static_cast<std::streamsize>(file_length - written));
+  os.flush();
+  if (!os.good()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<Reader> Reader::Open(std::span<const std::byte> file) {
+  if (file.size() < sizeof(FileHeader)) {
+    return Status::Corruption("AMF file shorter than header");
+  }
+  FileHeader header;
+  std::memcpy(&header, file.data(), sizeof(header));
+  if (header.magic != kMagic) return Status::Corruption("bad AMF magic");
+  if (header.version != kVersion) {
+    return Status::Corruption("unsupported AMF version " +
+                              std::to_string(header.version));
+  }
+  if (header.file_length != file.size()) {
+    return Status::Corruption("AMF file length mismatch (truncated?)");
+  }
+  const uint64_t table_bytes = header.section_count * sizeof(SectionEntry);
+  if (header.section_count > (file.size() - sizeof(FileHeader)) /
+                                 sizeof(SectionEntry)) {
+    return Status::Corruption("AMF section table exceeds file");
+  }
+
+  Reader reader;
+  reader.file_ = file;
+  reader.index_.reserve(header.section_count);
+  const std::byte* table = file.data() + sizeof(FileHeader);
+  for (uint64_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, table + i * sizeof(SectionEntry), sizeof(entry));
+    if (entry.offset % kSectionAlign != 0) {
+      return Status::Corruption("misaligned AMF section offset");
+    }
+    if (entry.offset < sizeof(FileHeader) + table_bytes ||
+        entry.offset > file.size() || entry.length > file.size() ||
+        entry.length > file.size() - entry.offset) {
+      return Status::Corruption("AMF section out of bounds");
+    }
+    if (!reader.index_.emplace(entry.id, entry).second) {
+      return Status::Corruption("duplicate AMF section id " +
+                                std::to_string(entry.id));
+    }
+  }
+  return reader;
+}
+
+}  // namespace amf
+}  // namespace amber

@@ -1,0 +1,49 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace amber {
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    return Status::Corruption("empty file " + path);
+  }
+  void* addr = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                      MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) {
+    return Status::IOError("mmap failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  MappedFile file;
+  file.addr_ = addr;
+  file.size_ = static_cast<size_t>(st.st_size);
+  return file;
+}
+
+void MappedFile::Reset() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+    addr_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace amber

@@ -1,0 +1,61 @@
+// Read-only memory-mapped file: the substrate of the zero-copy artifact
+// load path. POSIX-only (mmap/munmap), which matches the supported
+// platforms of the build.
+
+#ifndef AMBER_UTIL_MMAP_FILE_H_
+#define AMBER_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace amber {
+
+/// \brief Owns one read-only mmap of a whole file.
+///
+/// Move-only; the mapping is released on destruction. Everything that
+/// borrows spans into the mapping (an engine restored from an AMF file)
+/// must keep the MappedFile alive for as long as the spans are used.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(MappedFile&& o) noexcept : addr_(o.addr_), size_(o.size_) {
+    o.addr_ = nullptr;
+    o.size_ = 0;
+  }
+  MappedFile& operator=(MappedFile&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      addr_ = o.addr_;
+      size_ = o.size_;
+      o.addr_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Fails with IOError if the file cannot be
+  /// opened/mapped and with Corruption if it is empty.
+  static Result<MappedFile> Open(const std::string& path);
+
+  std::span<const std::byte> data() const {
+    return {static_cast<const std::byte*>(addr_), size_};
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_UTIL_MMAP_FILE_H_

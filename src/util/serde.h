@@ -5,10 +5,14 @@
 #ifndef AMBER_UTIL_SERDE_H_
 #define AMBER_UTIL_SERDE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
+#include <span>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -16,6 +20,15 @@
 
 namespace amber {
 namespace serde {
+
+/// Hard ceiling on any single serialized string/vector payload (1 TiB).
+/// Lengths above it are rejected as corruption before any allocation.
+inline constexpr uint64_t kMaxPayloadBytes = 1ULL << 40;
+
+/// Containers grow in chunks of at most this many bytes while reading, so a
+/// forged length on a truncated stream fails at the first missing chunk
+/// instead of over-allocating the full claimed size up front.
+inline constexpr uint64_t kReadChunkBytes = 1ULL << 20;
 
 template <typename T>
 void WritePod(std::ostream& os, const T& value) {
@@ -31,7 +44,7 @@ Status ReadPod(std::istream& is, T* value) {
   return Status::OK();
 }
 
-inline void WriteString(std::ostream& os, const std::string& s) {
+inline void WriteString(std::ostream& os, std::string_view s) {
   WritePod<uint64_t>(os, s.size());
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
@@ -39,21 +52,35 @@ inline void WriteString(std::ostream& os, const std::string& s) {
 inline Status ReadString(std::istream& is, std::string* s) {
   uint64_t n = 0;
   AMBER_RETURN_IF_ERROR(ReadPod(is, &n));
-  if (n > (1ULL << 40)) return Status::Corruption("implausible string length");
-  s->resize(n);
-  is.read(s->data(), static_cast<std::streamsize>(n));
-  if (!is.good() && n > 0) {
-    return Status::Corruption("truncated stream reading string");
+  if (n > kMaxPayloadBytes) {
+    return Status::Corruption("implausible string length");
+  }
+  s->clear();
+  while (s->size() < n) {
+    const size_t chunk =
+        static_cast<size_t>(std::min<uint64_t>(kReadChunkBytes,
+                                               n - s->size()));
+    const size_t old_size = s->size();
+    s->resize(old_size + chunk);
+    is.read(s->data() + old_size, static_cast<std::streamsize>(chunk));
+    if (!is.good()) {
+      return Status::Corruption("truncated stream reading string");
+    }
   }
   return Status::OK();
 }
 
 template <typename T>
-void WriteVector(std::ostream& os, const std::vector<T>& v) {
+void WriteSpan(std::ostream& os, std::span<const T> s) {
   static_assert(std::is_trivially_copyable_v<T>);
-  WritePod<uint64_t>(os, v.size());
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(T)));
+  WritePod<uint64_t>(os, s.size());
+  os.write(reinterpret_cast<const char*>(s.data()),
+           static_cast<std::streamsize>(s.size_bytes()));
+}
+
+template <typename T>
+void WriteVector(std::ostream& os, const std::vector<T>& v) {
+  WriteSpan(os, std::span<const T>(v));
 }
 
 template <typename T>
@@ -61,14 +88,27 @@ Status ReadVector(std::istream& is, std::vector<T>* v) {
   static_assert(std::is_trivially_copyable_v<T>);
   uint64_t n = 0;
   AMBER_RETURN_IF_ERROR(ReadPod(is, &n));
-  if (n > (1ULL << 40) / sizeof(T)) {
+  // Check the multiply for overflow *before* bounding the byte count: a
+  // crafted n near 2^64 must not wrap n * sizeof(T) into a small number.
+  if (n > std::numeric_limits<uint64_t>::max() / sizeof(T)) {
+    return Status::Corruption("vector length overflows byte count");
+  }
+  if (n * sizeof(T) > kMaxPayloadBytes) {
     return Status::Corruption("implausible vector length");
   }
-  v->resize(n);
-  is.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  if (!is.good() && n > 0) {
-    return Status::Corruption("truncated stream reading vector");
+  v->clear();
+  const uint64_t chunk_elems = std::max<uint64_t>(1, kReadChunkBytes /
+                                                         sizeof(T));
+  while (v->size() < n) {
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(chunk_elems, n - v->size()));
+    const size_t old_size = v->size();
+    v->resize(old_size + chunk);
+    is.read(reinterpret_cast<char*>(v->data() + old_size),
+            static_cast<std::streamsize>(chunk * sizeof(T)));
+    if (!is.good()) {
+      return Status::Corruption("truncated stream reading vector");
+    }
   }
   return Status::OK();
 }

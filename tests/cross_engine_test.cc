@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 
 #include "baseline/graph_backtrack.h"
 #include "baseline/triple_store.h"
 #include "core/amber_engine.h"
+#include "gen/paper_example.h"
 #include "sparql/parser.h"
 #include "test_util.h"
 
@@ -128,6 +130,68 @@ TEST(CrossEngineDistinctTest, DistinctAgreesAcrossEngines) {
       auto count = engine->Count(*parsed, {});
       EXPECT_EQ(count->count, expected.size()) << engine->name();
     }
+  }
+}
+
+// Persisted-artifact agreement: an engine restored from either artifact
+// format (length-prefixed stream or mmap'ed AMF) must produce byte-
+// identical query results to the freshly built engine, across the paper
+// example and generated workloads.
+class ArtifactRoundTripTest : public ::testing::Test {
+ protected:
+  void RunWorkload(const std::vector<Triple>& data,
+                   const std::vector<std::string>& queries,
+                   const std::string& tag) {
+    auto fresh = AmberEngine::Build(data);
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+
+    std::stringstream ss;
+    ASSERT_TRUE(fresh->Save(ss).ok());
+    auto streamed = AmberEngine::Load(ss);
+    ASSERT_TRUE(streamed.ok()) << streamed.status();
+
+    const std::string path = testing::TempDir() + "/cross_" + tag + ".amf";
+    ASSERT_TRUE(fresh->SaveFile(path).ok());
+    auto mapped = AmberEngine::OpenFile(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+
+    for (const std::string& text : queries) {
+      SCOPED_TRACE("query:\n" + text);
+      auto parsed = SparqlParser::Parse(text);
+      ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+      auto want_rows = fresh->Materialize(*parsed, {});
+      ASSERT_TRUE(want_rows.ok());
+      auto want = testutil::CanonicalRows(want_rows->rows);
+
+      for (AmberEngine* engine : {&*streamed, &*mapped}) {
+        auto rows = engine->Materialize(*parsed, {});
+        ASSERT_TRUE(rows.ok()) << rows.status();
+        EXPECT_EQ(testutil::CanonicalRows(rows->rows), want);
+        auto count = engine->Count(*parsed, {});
+        ASSERT_TRUE(count.ok());
+        EXPECT_EQ(count->count, want_rows->rows.size());
+      }
+    }
+  }
+};
+
+TEST_F(ArtifactRoundTripTest, PaperExampleAgrees) {
+  auto data = testutil::MustParse(kPaperExampleNTriples);
+  RunWorkload(data,
+              {kPaperExampleQuery, kPaperExampleQueryLiteralFig2a},
+              "paper");
+}
+
+TEST_F(ArtifactRoundTripTest, GeneratedWorkloadsAgree) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    auto data = testutil::RandomDataset(seed, 15, 70, 4);
+    std::vector<std::string> queries;
+    for (int qi = 0; qi < 6; ++qi) {
+      queries.push_back(
+          testutil::RandomQueryFromData(data, seed * 100 + qi, 3));
+    }
+    RunWorkload(data, queries, "gen" + std::to_string(seed));
   }
 }
 

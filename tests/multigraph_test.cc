@@ -143,5 +143,24 @@ TEST(MultigraphTest, LoadRejectsCorruptHeader) {
   EXPECT_TRUE(g.Load(ss).IsCorruption());
 }
 
+TEST(MultigraphTest, LoadRejectsForgedGroupCount) {
+  // A valid prefix followed by a forged group count must fail cleanly
+  // without a giant upfront allocation (the count field bypasses
+  // serde::ReadVector, so Load has its own cap + incremental growth).
+  Multigraph g = SmallGraph();
+  std::stringstream good;
+  g.Save(good);
+  std::string bytes = good.str();
+  // Layout: header (8) + four u64 counts (32) + dir0 offsets vector
+  // (8 + (V+1)*8) + u64 group count.
+  const size_t count_pos = 8 + 32 + 8 + (g.NumVertices() + 1) * 8;
+  ASSERT_LT(count_pos + 8, bytes.size());
+  const uint64_t forged = 1ULL << 50;
+  std::memcpy(bytes.data() + count_pos, &forged, sizeof(forged));
+  std::stringstream bad(bytes);
+  Multigraph loaded;
+  EXPECT_TRUE(loaded.Load(bad).IsCorruption());
+}
+
 }  // namespace
 }  // namespace amber

@@ -162,9 +162,13 @@ inline std::vector<Triple> RandomDataset(uint64_t seed, int num_entities,
   }
   const int num_attrs = num_edges / 3 + 1;
   for (int i = 0; i < num_attrs; ++i) {
-    data.emplace_back(
-        ent(rng.Uniform(num_entities)), pred(rng.Uniform(num_predicates)),
-        Term::Literal("v" + std::to_string(rng.Uniform(num_literal_values))));
+    // Built in two steps: GCC 12 misfires -Wrestrict on the inlined
+    // `const char* + std::string&&` at -O2.
+    std::string value = "v";
+    value += std::to_string(rng.Uniform(num_literal_values));
+    data.emplace_back(ent(rng.Uniform(num_entities)),
+                      pred(rng.Uniform(num_predicates)),
+                      Term::Literal(value));
   }
   return data;
 }
