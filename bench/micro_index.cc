@@ -45,7 +45,9 @@ struct Fixture {
       auto triples = GenerateScaleFree(options);
       auto encoded = EncodedDataset::Encode(triples);
       f->graph = Multigraph::FromDataset(*encoded);
-      f->indexes = IndexSet::Build(f->graph);
+      f->indexes =
+          IndexSet::Build(f->graph, encoded->attribute_values,
+                          encoded->dictionaries.attr_predicates().size());
       f->synopses = ComputeAllSynopses(f->graph);
       return f;
     }();

@@ -15,6 +15,7 @@ Result<GraphBacktrackEngine> GraphBacktrackEngine::Build(
   GraphBacktrackEngine engine;
   engine.graph_ = Multigraph::FromDataset(dataset);
   engine.dicts_ = std::move(dataset.dictionaries);
+  engine.attr_values_ = std::move(dataset.attribute_values);
   return engine;
 }
 
@@ -23,7 +24,10 @@ class GraphBacktrackExec {
  public:
   GraphBacktrackExec(const GraphBacktrackEngine& engine,
                      const QueryGraph& q, const ExecOptions& options)
-      : g_(engine.graph_), q_(q), options_(options) {}
+      : g_(engine.graph_),
+        attr_values_(engine.attr_values_),
+        q_(q),
+        options_(options) {}
 
   void Run(EmbeddingSink* sink, ExecStats* stats) {
     sink_ = sink;
@@ -39,6 +43,11 @@ class GraphBacktrackExec {
     for (const GroundAttribute& a : q_.ground_attributes()) {
       std::span<const AttributeId> attrs = g_.Attributes(a.subject);
       if (!std::binary_search(attrs.begin(), attrs.end(), a.attribute)) {
+        return;
+      }
+    }
+    for (const GroundPredicate& gp : q_.ground_predicates()) {
+      if (!HasQualifyingLiteral(gp.subject, gp.predicate, gp.comparisons)) {
         return;
       }
     }
@@ -81,11 +90,29 @@ class GraphBacktrackExec {
     }
   }
 
+  /// Residual FILTER check over the vertex's own attributes (no index).
+  bool HasQualifyingLiteral(VertexId v, AttrPredId pred,
+                            std::span<const ValueComparison> cmps) const {
+    for (AttributeId a : g_.Attributes(v)) {
+      if (a >= attr_values_.size()) continue;
+      const AttributeValueInfo& info = attr_values_[a];
+      if (info.predicate == pred && SatisfiesAll(info.value, cmps)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   bool CheckLocal(uint32_t u, VertexId v) const {
     const QueryVertex& qv = q_.vertices()[u];
     std::span<const AttributeId> have = g_.Attributes(v);
     for (AttributeId a : qv.attrs) {
       if (!std::binary_search(have.begin(), have.end(), a)) return false;
+    }
+    for (const PredicateConstraint& pc : qv.preds) {
+      if (!HasQualifyingLiteral(v, pc.predicate, pc.comparisons)) {
+        return false;
+      }
     }
     for (const IriConstraint& c : qv.iris) {
       if (!c.out_types.empty() &&
@@ -212,6 +239,7 @@ class GraphBacktrackExec {
   }
 
   const Multigraph& g_;
+  const std::vector<AttributeValueInfo>& attr_values_;
   const QueryGraph& q_;
   const ExecOptions& options_;
 

@@ -48,6 +48,10 @@ class GraphBacktrackEngine : public QueryEngine {
 
   RdfDictionaries dicts_;
   Multigraph graph_;
+  // Typed value of each attribute id: the residual-evaluation source for
+  // FILTER predicate constraints (this engine has no ValueIndex, matching
+  // its no-auxiliary-indexes charter).
+  std::vector<AttributeValueInfo> attr_values_;
 };
 
 }  // namespace amber

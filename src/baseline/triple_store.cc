@@ -4,6 +4,7 @@
 #include <cassert>
 #include <optional>
 
+#include "sparql/filters.h"
 #include "util/clock.h"
 
 namespace amber {
@@ -20,14 +21,22 @@ constexpr int kPermOrder[6][3] = {
     {2, 1, 0},  // OPS
 };
 
-// One slot of a compiled pattern: constant term id or variable slot.
+// One slot of a compiled pattern: constant term id, variable slot, or a
+// FILTERed literal position (matches literals passing the conjunction
+// without binding anything).
 struct Slot {
   bool is_var = false;
+  bool is_filter = false;
   uint32_t value = 0;  // term id (const) or variable index (var)
 };
 
 struct CompiledPattern {
   Slot slot[3];  // s, p, o
+  // Non-null for the single pattern of a FILTERed literal variable: the
+  // comparison conjunction its object literals must pass. The pattern is
+  // then an existential semi-join (sparql/filters.h): it constrains or
+  // enumerates subjects but never multiplies rows per literal.
+  const std::vector<ValueComparison>* filter = nullptr;
 };
 
 uint32_t Component(const TripleStoreEngine* unused, uint32_t s, uint32_t p,
@@ -56,8 +65,12 @@ Result<TripleStoreEngine> TripleStoreEngine::Build(
       DictId id = store.terms_.GetOrAdd(term.ToNTriples());
       if (id >= store.is_literal_.size()) {
         store.is_literal_.resize(id + 1, false);
+        store.literal_values_.resize(id + 1);
       }
-      if (term.is_literal()) store.is_literal_[id] = true;
+      if (term.is_literal()) {
+        store.is_literal_[id] = true;
+        store.literal_values_[id] = LiteralValueOf(term);
+      }
       return id;
     };
     Row r;
@@ -97,7 +110,8 @@ Result<TripleStoreEngine> TripleStoreEngine::Build(
 }
 
 uint64_t TripleStoreEngine::ByteSize() const {
-  uint64_t total = terms_.ByteSize() + is_literal_.capacity() / 8;
+  uint64_t total = terms_.ByteSize() + is_literal_.capacity() / 8 +
+                   literal_values_.capacity() * sizeof(LiteralValue);
   for (const auto& perm : perms_) total += perm.capacity() * sizeof(Row);
   return total;
 }
@@ -170,7 +184,9 @@ class TripleStoreExec {
   // Resolves terms against the dictionary and compiles patterns; computes
   // the join order.
   Status Prepare() {
-    for (const TriplePattern& p : query_.patterns) {
+    AMBER_ASSIGN_OR_RETURN(filters_, AnalyzeFilters(query_));
+    for (size_t pi = 0; pi < query_.patterns.size(); ++pi) {
+      const TriplePattern& p = query_.patterns[pi];
       if (p.predicate.is_variable()) {
         return Status::Unimplemented(
             "variable predicates are outside the paper's query model");
@@ -178,9 +194,15 @@ class TripleStoreExec {
       if (p.subject.is_literal()) {
         return Status::InvalidArgument("literal subject in pattern");
       }
+      const bool filtered = filters_.IsFiltered(pi);
       CompiledPattern cp;
       const PatternTerm* slots[3] = {&p.subject, &p.predicate, &p.object};
       for (int i = 0; i < 3; ++i) {
+        if (filtered && i == 2) {
+          // The FILTERed literal variable: never interned, never bound.
+          cp.slot[i].is_filter = true;
+          continue;
+        }
         if (slots[i]->is_variable()) {
           cp.slot[i].is_var = true;
           cp.slot[i].value = VarIndex(slots[i]->value);
@@ -195,6 +217,7 @@ class TripleStoreExec {
           cp.slot[i].is_var = false;
         }
       }
+      if (filtered) cp.filter = &filters_.FilterFor(pi).comparisons;
       patterns_.push_back(cp);
     }
 
@@ -237,7 +260,10 @@ class TripleStoreExec {
     uint32_t value[3];
     bool bound[3];
     for (int i = 0; i < 3; ++i) {
-      if (cp.slot[i].is_var) {
+      if (cp.slot[i].is_filter) {
+        bound[i] = false;
+        value[i] = kInvalidDictId;
+      } else if (cp.slot[i].is_var) {
         uint32_t b = bindings ? bindings[cp.slot[i].value] : kInvalidDictId;
         bound[i] = (b != kInvalidDictId);
         value[i] = b;
@@ -373,6 +399,53 @@ class TripleStoreExec {
     Recurse(0);
   }
 
+  // Existential semi-join for a FILTERed pattern (sparql/filters.h): a
+  // bound subject needs one witness literal; a free subject variable
+  // enumerates each witness subject exactly once (no per-literal row
+  // multiplicity). Returns false to stop enumeration.
+  bool RecurseFiltered(const CompiledPattern& cp, size_t depth) {
+    auto [lo, hi] = ScanRange(cp, bindings_.data());
+    const bool subj_free = cp.slot[0].is_var &&
+                           bindings_[cp.slot[0].value] == kInvalidDictId;
+    uint32_t last_subject = kInvalidDictId;
+    for (const Row* r = lo; r != hi; ++r) {
+      if ((++tick_ & 63u) == 0 && deadline_.Expired()) {
+        stats_.timed_out = true;
+        return false;
+      }
+      const uint32_t rv[3] = {r->s, r->p, r->o};
+      bool ok = true;
+      for (int i = 0; i < 2 && ok; ++i) {  // subject + predicate slots
+        if (cp.slot[i].is_var) {
+          uint32_t b = bindings_[cp.slot[i].value];
+          if (b != kInvalidDictId) ok = (b == rv[i]);
+        } else {
+          ok = (rv[i] == cp.slot[i].value);
+        }
+      }
+      if (!ok) continue;
+      if (rv[2] >= store_.is_literal_.size() || !store_.is_literal_[rv[2]]) {
+        continue;  // resource object: FILTERed variables bind literals only
+      }
+      if (!SatisfiesAll(store_.literal_values_[rv[2]], *cp.filter)) continue;
+      if (!subj_free) {
+        // One witness suffices; the pattern binds nothing.
+        return Recurse(depth + 1);
+      }
+      // Free subject: the range is served by a permutation whose sort
+      // order continues with the subject after the bound prefix, so equal
+      // subjects are consecutive and a one-row memory deduplicates them.
+      if (rv[0] == last_subject) continue;
+      last_subject = rv[0];
+      const uint32_t var = cp.slot[0].value;
+      bindings_[var] = rv[0];
+      bool cont = Recurse(depth + 1);
+      bindings_[var] = kInvalidDictId;
+      if (!cont) return false;
+    }
+    return true;
+  }
+
   // Returns false to stop enumeration (limit hit or timeout).
   bool Recurse(size_t depth) {
     if ((++tick_ & 63u) == 0 && deadline_.Expired()) {
@@ -391,6 +464,7 @@ class TripleStoreExec {
     }
     ++stats_.recursion_calls;
     const CompiledPattern& cp = patterns_[order_[depth]];
+    if (cp.filter != nullptr) return RecurseFiltered(cp, depth);
     auto [lo, hi] = ScanRange(cp, bindings_.data());
     for (const Row* r = lo; r != hi; ++r) {
       if ((++tick_ & 63u) == 0 && deadline_.Expired()) {
@@ -437,6 +511,7 @@ class TripleStoreExec {
   const SelectQuery& query_;
   const ExecOptions& options_;
 
+  FilterAnalysis filters_;  // owns the comparisons patterns_ point into
   std::vector<CompiledPattern> patterns_;
   std::vector<std::string> var_names_;
   std::unordered_map<std::string, uint32_t> var_index_;

@@ -11,8 +11,10 @@
 // pattern order).
 //
 // Semantics match AMbER's query model: variables bind resources only
-// (never literals), literals occur as constants. See docs/ARCHITECTURE.md,
-// "Baselines".
+// (never literals), literals occur as constants, and FILTERed literal
+// variables are existential predicate constraints (sparql/filters.h)
+// evaluated as semi-join scans over the (subject, predicate) range of the
+// relevant permutation. See docs/ARCHITECTURE.md, "Baselines".
 
 #ifndef AMBER_BASELINE_TRIPLE_STORE_H_
 #define AMBER_BASELINE_TRIPLE_STORE_H_
@@ -24,6 +26,7 @@
 
 #include "core/query_engine.h"
 #include "rdf/dictionary.h"
+#include "rdf/literal_value.h"
 #include "rdf/term.h"
 #include "util/status.h"
 
@@ -73,6 +76,7 @@ class TripleStoreEngine : public QueryEngine {
   Options options_;
   StringDictionary terms_;         // all terms, keyed by N-Triples token
   std::vector<bool> is_literal_;   // per term id
+  std::vector<LiteralValue> literal_values_;  // per term id (literals only)
   std::array<std::vector<Row>, kNumPerms> perms_;
   uint64_t num_triples_ = 0;
 };

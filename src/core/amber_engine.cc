@@ -16,7 +16,9 @@ namespace amber {
 
 namespace {
 constexpr uint32_t kEngineMagic = 0x414D4245;  // "AMBE"
-constexpr uint32_t kEngineVersion = 1;
+// v2: attribute-predicate dictionary + value index appended (FILTER
+// pushdown artifacts).
+constexpr uint32_t kEngineVersion = 2;
 }  // namespace
 
 Result<AmberEngine> AmberEngine::Build(const std::vector<Triple>& triples,
@@ -42,7 +44,9 @@ AmberEngine AmberEngine::FromEncoded(EncodedDataset dataset,
   engine.graph_ = Multigraph::FromDataset(dataset, pool.get());
   engine.timings_.graph_seconds = sw.ElapsedSeconds();
   sw.Reset();
-  engine.indexes_ = IndexSet::Build(engine.graph_, pool.get());
+  engine.indexes_ = IndexSet::Build(
+      engine.graph_, dataset.attribute_values,
+      dataset.dictionaries.attr_predicates().size(), pool.get());
   engine.timings_.index_seconds = sw.ElapsedSeconds();
   engine.dicts_ = std::move(dataset.dictionaries);
   return engine;
@@ -63,7 +67,13 @@ Result<uint64_t> AmberEngine::Execute(
 
   uint64_t rows = 0;
   if (!qg.unsatisfiable()) {
-    QueryPlan plan = PlanQuery(qg, options.plan);
+    // Selectivity-aware ordering only when pushdown is on, so the
+    // post-filter ablation measures residual evaluation under the paper's
+    // plan, not a different plan.
+    QueryPlan plan = PlanQuery(qg, options.plan,
+                               options.use_value_index ? &indexes_.value
+                                                       : nullptr,
+                               graph_.NumVertices());
 
     const bool parallel = options.num_threads > 1 &&
                           plan.components.size() == 1 && !qg.distinct() &&
@@ -229,6 +239,12 @@ Result<AmberEngine> AmberEngine::OpenFile(const std::string& path) {
       engine.dicts_.edge_types().size() < engine.graph_.NumEdgeTypes() ||
       engine.dicts_.attributes().size() < engine.graph_.NumAttributes()) {
     return Status::Corruption("dictionary/graph id space mismatch");
+  }
+  if (engine.indexes_.value.NumAttributes() <
+          engine.graph_.NumAttributes() ||
+      engine.indexes_.value.NumPredicates() !=
+          engine.dicts_.attr_predicates().size()) {
+    return Status::Corruption("value index/dictionary id space mismatch");
   }
   engine.mapping_ = std::move(mapping);
   return engine;

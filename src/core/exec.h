@@ -40,6 +40,12 @@ struct ExecOptions {
   /// When false, initial candidates are produced by a full synopsis scan
   /// instead of the R-tree (Ablation B: value of the S index).
   bool use_signature_index = true;
+
+  /// When false, FILTER predicate constraints are never pushed into the
+  /// ValueIndex range scans: every constraint is evaluated residually, per
+  /// candidate, and the planner ignores range-width selectivity (the
+  /// post-filter-only mode of bench/fig12_filter.cc).
+  bool use_value_index = true;
 };
 
 /// Statistics reported by one query execution.
@@ -73,6 +79,13 @@ struct ExecStats {
   uint64_t probe_checks = 0;
   /// Of those, candidates that survived the probe.
   uint64_t probe_hits = 0;
+  /// ValueIndex range scans pushed into candidate generation.
+  uint64_t range_scans = 0;
+  /// Column entries visited by those range scans.
+  uint64_t range_scan_elements = 0;
+  /// Residual per-candidate FILTER evaluations (satellite vertices, ground
+  /// checks, and everything in post-filter mode).
+  uint64_t predicate_checks = 0;
   /// High-water scratch-arena footprint of one Matcher (max over workers).
   uint64_t peak_arena_bytes = 0;
 
@@ -88,6 +101,9 @@ struct ExecStats {
     scanned_elements += o.scanned_elements;
     probe_checks += o.probe_checks;
     probe_hits += o.probe_hits;
+    range_scans += o.range_scans;
+    range_scan_elements += o.range_scan_elements;
+    predicate_checks += o.predicate_checks;
     peak_arena_bytes = std::max(peak_arena_bytes, o.peak_arena_bytes);
   }
 };

@@ -7,7 +7,8 @@ namespace amber {
 namespace {
 
 void AppendVertexLine(const QueryGraph& q, uint32_t u,
-                      const RdfDictionaries& dicts, std::string* out) {
+                      const RdfDictionaries& dicts, const QueryPlan& plan,
+                      const IndexSet* indexes, std::string* out) {
   const QueryVertex& v = q.vertices()[u];
   *out += "  ?" + v.name;
   *out += " (degree " + std::to_string(q.Degree(u));
@@ -17,6 +18,33 @@ void AppendVertexLine(const QueryGraph& q, uint32_t u,
     for (size_t i = 0; i < v.attrs.size(); ++i) {
       if (i) *out += ", ";
       *out += dicts.AttributeDescription(v.attrs[i]);
+    }
+    *out += "}";
+  }
+  if (!v.preds.empty()) {
+    // Mirrors Matcher::ShouldPushConstraint under the default ExecOptions:
+    // core vertices get selective constraints as ValueIndex range scans;
+    // satellites and wide ranges are evaluated residually per candidate.
+    *out += " preds={";
+    for (size_t i = 0; i < v.preds.size(); ++i) {
+      if (i) *out += ", ";
+      const PredicateConstraint& pc = v.preds[i];
+      *out += "<";
+      *out += dicts.AttrPredicateIri(pc.predicate);
+      *out += ">";
+      for (const ValueComparison& c : pc.comparisons) {
+        *out += " ";
+        *out += CompareOpToken(c.op);
+        *out += " " + c.value.ToString();
+      }
+      if (indexes != nullptr) {
+        const bool pushed =
+            plan.is_core[u] &&
+            RangeScanWorthPushing(
+                indexes->value.EstimateRange(pc.predicate, pc.comparisons),
+                dicts.vertices().size());
+        *out += pushed ? " [index-pushed]" : " [residual]";
+      }
     }
     *out += "}";
   }
@@ -49,14 +77,21 @@ Result<std::string> ExplainQuery(const SelectQuery& query,
          " variable vertices, " + std::to_string(q.edges().size()) +
          " multi-edges, " + std::to_string(q.ground_edges().size()) +
          " ground edges, " + std::to_string(q.ground_attributes().size()) +
-         " ground attributes\n";
+         " ground attributes";
+  if (!q.ground_predicates().empty()) {
+    out += ", " + std::to_string(q.ground_predicates().size()) +
+           " ground predicate checks";
+  }
+  out += "\n";
 
   if (q.unsatisfiable()) {
     out += "UNSATISFIABLE: " + q.unsatisfiable_reason() + "\n";
     return out;
   }
 
-  QueryPlan plan = PlanQuery(q, options);
+  QueryPlan plan =
+      PlanQuery(q, options, indexes != nullptr ? &indexes->value : nullptr,
+                dicts.vertices().size());
   out += "Decomposition: " + std::to_string(plan.NumCoreVertices()) +
          " core, " + std::to_string(plan.NumSatelliteVertices()) +
          " satellite, " + std::to_string(plan.components.size()) +
@@ -86,7 +121,7 @@ Result<std::string> ExplainQuery(const SelectQuery& query,
 
   out += "Vertex detail:\n";
   for (uint32_t u = 0; u < q.NumVertices(); ++u) {
-    AppendVertexLine(q, u, dicts, &out);
+    AppendVertexLine(q, u, dicts, plan, indexes, &out);
   }
   return out;
 }

@@ -44,6 +44,19 @@ Matcher::Matcher(const Multigraph& g, const IndexSet& indexes,
 
   local_state_.assign(q_.NumVertices(), LocalState::kUnknown);
   local_cache_.resize(q_.NumVertices());
+  preds_pushed_.resize(q_.NumVertices());
+  for (uint32_t u = 0; u < q_.NumVertices(); ++u) {
+    const std::vector<PredicateConstraint>& preds = q_.vertices()[u].preds;
+    preds_pushed_[u].resize(preds.size(), 0);
+    for (size_t i = 0; i < preds.size(); ++i) {
+      preds_pushed_[u][i] =
+          options_.use_value_index && plan_.is_core[u] &&
+          RangeScanWorthPushing(
+              indexes_.value.EstimateRange(preds[i].predicate,
+                                           preds[i].comparisons),
+              g_.NumVertices());
+    }
+  }
   comp_cand_cached_.assign(plan_.components.size(), false);
   comp_cand_cache_.resize(plan_.components.size());
 
@@ -91,7 +104,18 @@ const std::vector<VertexId>* Matcher::CachedLocalCandidates(uint32_t u) {
   if (local_state_[u] == LocalState::kCached) return &local_cache_[u];
 
   const QueryVertex& qv = q_.vertices()[u];
-  if (!qv.HasLocalConstraints()) {
+  // FILTER constraints only enter the cached list when pushed; residual
+  // constraints are evaluated per candidate in RefineByVertex instead (a
+  // satellite's paired candidates are usually far smaller than a range,
+  // and a wide range costs more to materialize than to check).
+  bool push_preds = false;
+  for (size_t i = 0; i < qv.preds.size(); ++i) {
+    if (ConstraintPushed(u, i)) {
+      push_preds = true;
+      break;
+    }
+  }
+  if (qv.attrs.empty() && qv.iris.empty() && !push_preds) {
     local_state_[u] = LocalState::kNone;
     return nullptr;
   }
@@ -106,6 +130,25 @@ const std::vector<VertexId>* Matcher::CachedLocalCandidates(uint32_t u) {
   if (!qv.attrs.empty()) {
     result = indexes_.attribute.Candidates(qv.attrs);  // C^A_u
     first = false;
+  }
+  if (push_preds) {
+    for (size_t i = 0; i < qv.preds.size(); ++i) {  // C^P_u
+      if (!ConstraintPushed(u, i)) continue;  // residual, see below
+      const PredicateConstraint& pc = qv.preds[i];
+      ValueIndex::ScanStats scan_stats;
+      if (first) {
+        indexes_.value.RangeScan(pc.predicate, pc.comparisons, &result,
+                                 &scan_stats);
+        first = false;
+      } else if (!result.empty()) {
+        indexes_.value.RangeScan(pc.predicate, pc.comparisons, &range_tmp_,
+                                 &scan_stats);
+        IntersectInPlace(&result, std::span<const VertexId>(range_tmp_),
+                         &icounters_);
+      }
+      range_scans_ += scan_stats.scans;
+      range_scan_elements_ += scan_stats.elements;
+    }
   }
   auto refine = [&](VertexId anchor, Direction d,
                     std::span<const EdgeTypeId> types) {
@@ -136,10 +179,22 @@ void Matcher::RefineByVertex(uint32_t u, std::vector<VertexId>* cand) {
   if (local != nullptr) {
     IntersectInPlace(cand, std::span<const VertexId>(*local), &icounters_);
   }
-  const std::vector<EdgeTypeId>& self = q_.vertices()[u].self_types;
-  if (!self.empty()) {
+  const QueryVertex& qv = q_.vertices()[u];
+  if (!qv.self_types.empty()) {
     std::erase_if(*cand, [&](VertexId v) {
-      return !g_.HasMultiEdgeSuperset(v, Direction::kOut, v, self);
+      return !g_.HasMultiEdgeSuperset(v, Direction::kOut, v, qv.self_types);
+    });
+  }
+  // Residual FILTER evaluation: constraints not served by a pushed range
+  // scan are checked per candidate against the vertex's own attributes.
+  for (size_t i = 0; i < qv.preds.size(); ++i) {
+    if (cand->empty()) break;
+    if (ConstraintPushed(u, i)) continue;  // already intersected above
+    const PredicateConstraint& pc = qv.preds[i];
+    predicate_checks_ += cand->size();
+    std::erase_if(*cand, [&](VertexId v) {
+      return !indexes_.value.VertexMatches(g_.Attributes(v), pc.predicate,
+                                           pc.comparisons);
     });
   }
 }
@@ -416,9 +471,9 @@ uint64_t Matcher::ArenaBytes() const {
   for (const std::vector<VertexId>& list : comp_cand_cache_) {
     total += VectorBytes(list);
   }
-  total += VectorBytes(sat_tmp_) + VectorBytes(core_match_) +
-           VectorBytes(row_buffer_) + VectorBytes(pick_) +
-           nbr_scratch_.ByteSize();
+  total += VectorBytes(sat_tmp_) + VectorBytes(range_tmp_) +
+           VectorBytes(core_match_) + VectorBytes(row_buffer_) +
+           VectorBytes(pick_) + nbr_scratch_.ByteSize();
   return total;
 }
 
@@ -428,10 +483,16 @@ void Matcher::FlushHotPathStats(ExecStats* stats) {
   stats->scanned_elements += icounters_.scanned_elements;
   stats->probe_checks += probe_checks_;
   stats->probe_hits += probe_hits_;
+  stats->range_scans += range_scans_;
+  stats->range_scan_elements += range_scan_elements_;
+  stats->predicate_checks += predicate_checks_;
   stats->peak_arena_bytes = std::max(stats->peak_arena_bytes, ArenaBytes());
   lists_materialized_ = 0;
   probe_checks_ = 0;
   probe_hits_ = 0;
+  range_scans_ = 0;
+  range_scan_elements_ = 0;
+  predicate_checks_ = 0;
   icounters_ = IntersectCounters{};
 }
 
@@ -454,6 +515,14 @@ Status Matcher::Run(EmbeddingSink* sink, ExecStats* stats,
   for (const GroundAttribute& a : q_.ground_attributes()) {
     std::span<const AttributeId> attrs = g_.Attributes(a.subject);
     if (!std::binary_search(attrs.begin(), attrs.end(), a.attribute)) {
+      FlushHotPathStats(stats_);
+      return Status::OK();
+    }
+  }
+  for (const GroundPredicate& gp : q_.ground_predicates()) {
+    ++predicate_checks_;
+    if (!indexes_.value.VertexMatches(g_.Attributes(gp.subject),
+                                      gp.predicate, gp.comparisons)) {
       FlushHotPathStats(stats_);
       return Status::OK();
     }

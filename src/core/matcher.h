@@ -114,14 +114,27 @@ class Matcher {
   bool MatchSatellites(const std::vector<uint32_t>& sats, uint32_t uc,
                        VertexId vc);
 
-  /// Algorithm 1, cached: candidates induced by u's attributes and IRI
-  /// anchors. Returns nullptr when u has neither; otherwise a pointer to
-  /// the per-vertex cached list, computed on first use and shared by every
-  /// subsequent refinement of u in this run.
+  /// Algorithm 1, cached: candidates induced by u's attributes, IRI
+  /// anchors, and (for core vertices, when pushdown is on) FILTER range
+  /// scans. Returns nullptr when u has none of those; otherwise a pointer
+  /// to the per-vertex cached list, computed on first use and shared by
+  /// every subsequent refinement of u in this run.
   const std::vector<VertexId>* CachedLocalCandidates(uint32_t u);
 
-  /// Intersects `cand` (in place) with CachedLocalCandidates(u) and filters
-  /// self-loop constraints.
+  /// True when FILTER constraint `i` of vertex `u` is served by a
+  /// ValueIndex range scan (inside CachedLocalCandidates) rather than
+  /// evaluated residually: pushdown must be enabled, the vertex must be
+  /// core, and the estimated range must pass the RangeScanWorthPushing
+  /// cutover (wide ranges are cheaper to check per candidate). The
+  /// decisions are precomputed in the constructor so the steady-state
+  /// Recurse never re-estimates (or allocates) in RefineByVertex.
+  bool ConstraintPushed(uint32_t u, size_t i) const {
+    return preds_pushed_[u][i] != 0;
+  }
+
+  /// Intersects `cand` (in place) with CachedLocalCandidates(u), filters
+  /// self-loop constraints, and evaluates residual FILTER predicates
+  /// (satellite vertices; every vertex in post-filter mode).
   void RefineByVertex(uint32_t u, std::vector<VertexId>* cand);
 
   /// Candidates for `u` that respect the multi-edge of query edge `e`
@@ -169,6 +182,10 @@ class Matcher {
   std::vector<LocalState> local_state_;
   std::vector<std::vector<VertexId>> local_cache_;
 
+  // Per (vertex, FILTER constraint): pushed range scan (1) or residual
+  // evaluation (0). Precomputed once per Matcher.
+  std::vector<std::vector<uint8_t>> preds_pushed_;
+
   // Per-component CandInit cache (components > 0 are re-entered once per
   // upstream embedding; their seed candidates never change).
   std::vector<bool> comp_cand_cached_;
@@ -184,6 +201,13 @@ class Matcher {
   uint64_t lists_materialized_ = 0;
   uint64_t probe_checks_ = 0;
   uint64_t probe_hits_ = 0;
+  uint64_t range_scans_ = 0;
+  uint64_t range_scan_elements_ = 0;
+  uint64_t predicate_checks_ = 0;
+
+  // Range-scan workspace for CachedLocalCandidates (cold path, but keep it
+  // in the arena so the steady state stays allocation-free).
+  std::vector<VertexId> range_tmp_;
 };
 
 }  // namespace amber

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+
+#include "index/value_index.h"
 
 namespace amber {
 
@@ -35,11 +38,31 @@ size_t FindComponents(const QueryGraph& q, std::vector<uint32_t>* comp) {
 
 }  // namespace
 
-QueryPlan PlanQuery(const QueryGraph& q, const PlanOptions& options) {
+QueryPlan PlanQuery(const QueryGraph& q, const PlanOptions& options,
+                    const ValueIndex* values, uint64_t num_vertices) {
   QueryPlan plan;
   const size_t n = q.NumVertices();
   plan.is_core.assign(n, false);
   if (n == 0) return plan;
+
+  // Range-width selectivity of FILTER predicate constraints: the estimated
+  // number of ValueIndex entries the vertex's narrowest *pushable*
+  // constraint scans. Constraints the matcher will evaluate residually
+  // (too wide for the RangeScanWorthPushing cutover) don't reorder
+  // anything, and filter-free queries keep the paper's r1/r2 ordering
+  // untouched (UINT64_MAX everywhere).
+  std::vector<uint64_t> range_width(n, std::numeric_limits<uint64_t>::max());
+  if (values != nullptr) {
+    for (uint32_t u = 0; u < n; ++u) {
+      for (const PredicateConstraint& pc : q.vertices()[u].preds) {
+        const uint64_t width =
+            values->EstimateRange(pc.predicate, pc.comparisons);
+        if (RangeScanWorthPushing(width, num_vertices)) {
+          range_width[u] = std::min(range_width[u], width);
+        }
+      }
+    }
+  }
 
   std::vector<uint32_t> comp;
   const size_t num_components = FindComponents(q, &comp);
@@ -98,6 +121,11 @@ QueryPlan PlanQuery(const QueryGraph& q, const PlanOptions& options) {
     // `better(a, b)`: should a be picked before b?
     auto better = [&](uint32_t a, uint32_t b) {
       if (!options.use_ordering_heuristics) return a < b;
+      // Index-served FILTER constraints first, narrowest range first: a
+      // selective range scan is the cheapest seed the matcher can get.
+      if (range_width[a] != range_width[b]) {
+        return range_width[a] < range_width[b];
+      }
       if (component_has_satellites) {
         if (r1(a) != r1(b)) return r1(a) > r1(b);
         if (r2(a) != r2(b)) return r2(a) > r2(b);

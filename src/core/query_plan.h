@@ -12,7 +12,11 @@
 //   r2(u) = total edge-type count over u's signature  (primary otherwise,
 //           tie-break when r1 applies),
 // with the connectivity constraint that each subsequent core vertex must be
-// adjacent to an already ordered one.
+// adjacent to an already ordered one. When a ValueIndex is supplied,
+// vertices whose FILTER constraints pass the RangeScanWorthPushing cutover
+// are ranked first by their estimated range width (narrower range = more
+// selective seed = earlier), ahead of r1/r2; wide residual-evaluated
+// constraints and filter-free queries are ordered exactly as before.
 //
 // Disconnected queries (legal SPARQL, a cross product) are planned per
 // connected component; the matcher chains components and combines their
@@ -28,6 +32,8 @@
 #include "util/status.h"
 
 namespace amber {
+
+class ValueIndex;
 
 /// Plan for one connected component of the query multigraph.
 struct ComponentPlan {
@@ -65,7 +71,14 @@ struct PlanOptions {
 };
 
 /// Decomposes and orders the query (QueryDecompose + VertexOrdering).
-QueryPlan PlanQuery(const QueryGraph& q, const PlanOptions& options = {});
+/// `values` (optional) supplies range-width selectivity estimates for
+/// FILTER predicate constraints; without it the ordering is the paper's
+/// r1/r2 heuristic alone. `num_vertices` (the data graph's vertex count)
+/// feeds the RangeScanWorthPushing cutover so only ranges the matcher will
+/// actually push influence the ordering.
+QueryPlan PlanQuery(const QueryGraph& q, const PlanOptions& options = {},
+                    const ValueIndex* values = nullptr,
+                    uint64_t num_vertices = 0);
 
 }  // namespace amber
 

@@ -59,6 +59,22 @@ std::vector<Triple> GenerateScaleFree(const ScaleFreeOptions& options) {
     } else {
       s = static_cast<uint32_t>(rng.Uniform(options.num_entities));
     }
+    // The numeric branch draws from the rng only when enabled, so the
+    // default configuration reproduces the original triple stream bit for
+    // bit (benchmark datasets stay comparable across PRs).
+    if (options.numeric_attr_fraction > 0 &&
+        rng.Chance(options.numeric_attr_fraction)) {
+      uint64_t p = rng.Uniform(std::max<uint32_t>(
+          1, options.num_numeric_predicates));
+      uint64_t v = rng.Uniform(std::max<uint32_t>(
+          1, options.numeric_value_range));
+      triples.emplace_back(
+          entity(s),
+          Term::Iri(options.predicate_prefix + "num" + std::to_string(p)),
+          Term::Literal(std::to_string(v),
+                        "http://www.w3.org/2001/XMLSchema#integer"));
+      continue;
+    }
     uint64_t p = lit_pred_sampler.Sample(&rng);
     uint64_t v = lit_val_sampler.Sample(&rng);
     triples.emplace_back(

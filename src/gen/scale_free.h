@@ -38,6 +38,15 @@ struct ScaleFreeOptions {
   /// Probability that an edge's object is drawn by preferential attachment
   /// (vs uniformly), controlling degree skew.
   double preferential_bias = 0.7;
+  /// Fraction of attribute triples emitted as numeric typed literals
+  /// ("<n>"^^xsd:integer under dedicated `<prefix>numK` predicates) — the
+  /// substrate FILTER range workloads sweep over. 0 (the default) keeps
+  /// the generator's output bit-identical to its pre-FILTER behaviour.
+  double numeric_attr_fraction = 0.0;
+  /// Distinct numeric-literal predicates.
+  uint32_t num_numeric_predicates = 8;
+  /// Numeric values are drawn uniformly from [0, numeric_value_range).
+  uint32_t numeric_value_range = 1000;
   std::string entity_prefix = "http://example.org/resource/E";
   std::string predicate_prefix = "http://example.org/ontology/p";
 };

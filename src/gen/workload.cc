@@ -1,9 +1,38 @@
 #include "gen/workload.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
 #include <unordered_set>
 
+#include "rdf/literal_value.h"
+
 namespace amber {
+
+namespace {
+
+// Renders a double as a SPARQL number token (integers stay integral so the
+// lexer reparses them as xsd:integer; everything FILTER compares is
+// numeric, so the datatype choice does not change results). Returns "" for
+// values the lexer's digits-and-dot number syntax cannot express (the
+// caller then keeps the literal as a constant instead of filtering).
+std::string NumberToken(double v) {
+  if (!std::isfinite(v)) return "";
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  for (const char* c = buf; *c; ++c) {
+    if (*c == 'e' || *c == 'E') return "";
+  }
+  return buf;
+}
+
+}  // namespace
 
 WorkloadGenerator::WorkloadGenerator(const std::vector<Triple>& data)
     : data_(data) {
@@ -26,7 +55,14 @@ WorkloadGenerator::WorkloadGenerator(const std::vector<Triple>& data)
       if (o != s) {
         incident_[o].push_back(Incident{i, /*as_subject=*/false});
       }
+    } else {
+      LiteralValue v = LiteralValueOf(t.object);
+      if (v.numeric) numeric_values_[t.predicate.value].push_back(v.number);
     }
+  }
+  for (auto& [pred, values] : numeric_values_) {
+    (void)pred;
+    std::sort(values.begin(), values.end());
   }
 }
 
@@ -161,19 +197,62 @@ std::string WorkloadGenerator::Render(const std::vector<uint32_t>& chosen,
     return var_of[term.ToNTriples()];
   };
 
+  // FILTER generalization (the selectivity knob): a numeric literal
+  // pattern becomes `?s <p> ?Fk` plus a FILTER window over the predicate's
+  // global value list, slid to contain this triple's own value so the
+  // query keeps its witness.
+  std::vector<std::string> filter_lines;
+  size_t next_filter_var = 0;
+  auto try_filter = [&](const Triple& t) -> std::string {
+    if (options.filter_probability <= 0 ||
+        !rng->Chance(options.filter_probability)) {
+      return "";
+    }
+    LiteralValue v = LiteralValueOf(t.object);
+    if (!v.numeric) return "";
+    auto it = numeric_values_.find(t.predicate.value);
+    if (it == numeric_values_.end() || it->second.size() < 2) return "";
+    const std::vector<double>& values = it->second;
+    const size_t n = values.size();
+    size_t width = static_cast<size_t>(
+        std::lround(static_cast<double>(n) * options.filter_selectivity));
+    width = std::min(n, std::max<size_t>(1, width));
+    // Window [start, start+width) containing this value's position.
+    size_t pos = static_cast<size_t>(
+        std::lower_bound(values.begin(), values.end(), v.number) -
+        values.begin());
+    size_t start = pos >= width / 2 ? pos - width / 2 : 0;
+    start = std::min(start, n - width);
+    std::string lo = NumberToken(values[start]);
+    std::string hi = NumberToken(values[start + width - 1]);
+    if (lo.empty() || hi.empty()) return "";
+    std::string var = "?F" + std::to_string(next_filter_var++);
+    filter_lines.push_back("  FILTER(" + var + " >= " + lo + " && " + var +
+                           " <= " + hi + ")\n");
+    return var;
+  };
+
   std::string body;
   for (uint32_t idx : chosen) {
     const Triple& t = data_[idx];
     std::string s = slot_token(t.subject);
-    std::string o = t.object.is_literal() ? t.object.ToNTriples()
-                                          : slot_token(t.object);
+    std::string o;
+    if (t.object.is_literal()) {
+      o = try_filter(t);
+      if (o.empty()) o = t.object.ToNTriples();
+    } else {
+      o = slot_token(t.object);
+    }
     body += "  " + s + " " + t.predicate.ToNTriples() + " " + o + " .\n";
   }
+  for (const std::string& line : filter_lines) body += line;
 
   // Guarantee at least one variable (an all-constant query is legal but
   // pointless as a benchmark): demote one constant if necessary.
   if (var_order.empty()) {
-    // Rebuild with the first subject as a variable.
+    // Rebuild with the first subject as a variable (FILTER generalizations
+    // are dropped with the body: their patterns revert to constants).
+    filter_lines.clear();
     const Triple& t = data_[chosen[0]];
     std::string token = t.subject.ToNTriples();
     constants.erase(token);

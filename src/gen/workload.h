@@ -42,6 +42,16 @@ struct WorkloadOptions {
   double literal_fraction = 0.2;
   /// Probability that a non-central entity is kept as a constant IRI.
   double constant_iri_probability = 0.1;
+  /// Probability that a numeric literal-object pattern is generalized to a
+  /// fresh variable plus a FILTER range (`?s <p> ?Fk . FILTER(?Fk >= lo &&
+  /// ?Fk <= hi)`). Needs numeric typed literals in the data; patterns whose
+  /// literal is not numeric are left as constants.
+  double filter_probability = 0.0;
+  /// Selectivity knob: the FILTER window covers this fraction of the
+  /// predicate's global value list (0.01 = top-percentile-narrow, 0.9 =
+  /// nearly everything). The window is slid to contain the source triple's
+  /// own value, so the query keeps its witness and stays answerable.
+  double filter_selectivity = 0.1;
 };
 
 /// \brief Generates star-shaped and complex-shaped SPARQL workloads from a
@@ -79,6 +89,9 @@ class WorkloadGenerator {
   std::vector<std::string> entities_;  // entity tokens (resources)
   std::unordered_map<std::string, uint32_t> entity_index_;
   std::vector<std::vector<Incident>> incident_;  // per entity
+  // Sorted numeric literal values per predicate IRI: the value lists the
+  // FILTER selectivity knob slides its windows over.
+  std::unordered_map<std::string, std::vector<double>> numeric_values_;
 };
 
 }  // namespace amber

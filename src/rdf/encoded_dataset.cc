@@ -7,11 +7,12 @@ namespace {
 // \x1f (ASCII unit separator) cannot appear in an IRI.
 constexpr char kAttrSep = '\x1f';
 
-// AMF section-id bases of the three dictionaries (two sections each:
+// AMF section-id bases of the dictionaries (two sections each:
 // string blob, offset table).
 constexpr uint32_t kAmfVertexDict = 0x5010;
 constexpr uint32_t kAmfEdgeTypeDict = 0x5020;
 constexpr uint32_t kAmfAttributeDict = 0x5030;
+constexpr uint32_t kAmfAttrPredDict = 0x5040;
 }  // namespace
 
 std::string RdfDictionaries::AttributeKey(const Term& predicate,
@@ -39,24 +40,28 @@ void RdfDictionaries::Save(std::ostream& os) const {
   vertices_.Save(os);
   edge_types_.Save(os);
   attributes_.Save(os);
+  attr_predicates_.Save(os);
 }
 
 Status RdfDictionaries::Load(std::istream& is) {
   AMBER_RETURN_IF_ERROR(vertices_.Load(is));
   AMBER_RETURN_IF_ERROR(edge_types_.Load(is));
-  return attributes_.Load(is);
+  AMBER_RETURN_IF_ERROR(attributes_.Load(is));
+  return attr_predicates_.Load(is);
 }
 
 void RdfDictionaries::SaveAmf(amf::Writer* w) const {
   vertices_.SaveAmf(w, kAmfVertexDict);
   edge_types_.SaveAmf(w, kAmfEdgeTypeDict);
   attributes_.SaveAmf(w, kAmfAttributeDict);
+  attr_predicates_.SaveAmf(w, kAmfAttrPredDict);
 }
 
 Status RdfDictionaries::LoadAmf(const amf::Reader& r) {
   AMBER_RETURN_IF_ERROR(vertices_.LoadAmf(r, kAmfVertexDict));
   AMBER_RETURN_IF_ERROR(edge_types_.LoadAmf(r, kAmfEdgeTypeDict));
-  return attributes_.LoadAmf(r, kAmfAttributeDict);
+  AMBER_RETURN_IF_ERROR(attributes_.LoadAmf(r, kAmfAttributeDict));
+  return attr_predicates_.LoadAmf(r, kAmfAttrPredDict);
 }
 
 Result<EncodedDataset> EncodedDataset::Encode(
@@ -77,6 +82,15 @@ Result<EncodedDataset> EncodedDataset::Encode(
     if (t.object.is_literal()) {
       AttributeId a = out.dictionaries.attributes().GetOrAdd(
           RdfDictionaries::AttributeKey(t.predicate, t.object));
+      if (a == out.attribute_values.size()) {
+        // First sight of this <predicate, literal> pair: record its typed
+        // value and intern the predicate into the attribute-predicate
+        // dictionary (Table 2's id spaces stay untouched).
+        AttrPredId p = out.dictionaries.attr_predicates().GetOrAdd(
+            RdfDictionaries::PredicateKey(t.predicate));
+        out.attribute_values.push_back(
+            AttributeValueInfo{p, LiteralValueOf(t.object)});
+      }
       out.attributes.push_back(EncodedAttribute{s, a});
     } else {
       EdgeTypeId p = out.dictionaries.edge_types().GetOrAdd(

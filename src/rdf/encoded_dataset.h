@@ -4,7 +4,13 @@
 //   * attribute ids     for <predicate, literal> pairs of literal-object
 //                       triples (assigned to the subject vertex).
 //
-// The three dictionaries correspond exactly to Table 2 of the paper.
+// The first three dictionaries correspond exactly to Table 2 of the paper.
+// Beyond the paper, the encoder also surfaces *typed* literal values: a
+// fourth dictionary of attribute predicates (the predicate IRIs of
+// literal-object triples, disjoint from the edge-type id space so Table 2
+// semantics are untouched) and, per attribute id, the predicate plus the
+// comparable LiteralValue. This is what FILTER pushdown and the ValueIndex
+// are built from.
 
 #ifndef AMBER_RDF_ENCODED_DATASET_H_
 #define AMBER_RDF_ENCODED_DATASET_H_
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "rdf/dictionary.h"
+#include "rdf/literal_value.h"
 #include "rdf/term.h"
 #include "util/status.h"
 
@@ -25,6 +32,9 @@ using VertexId = uint32_t;
 using EdgeTypeId = uint32_t;
 /// Vertex-attribute identifier (maps to a <predicate, literal> pair).
 using AttributeId = uint32_t;
+/// Attribute-predicate identifier (maps to the predicate IRI of a
+/// literal-object triple; independent of the EdgeTypeId space).
+using AttrPredId = uint32_t;
 
 inline constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
 
@@ -41,7 +51,17 @@ struct EncodedAttribute {
   AttributeId attribute;
 };
 
-/// \brief The three mapping dictionaries Mv, Me, Ma of the paper (Table 2).
+/// Typed view of one attribute id: its predicate (AttrPredId) and the
+/// comparable value of its literal. Indexed by AttributeId.
+struct AttributeValueInfo {
+  AttrPredId predicate = kInvalidId;
+  LiteralValue value;
+
+  bool operator==(const AttributeValueInfo&) const = default;
+};
+
+/// \brief The three mapping dictionaries Mv, Me, Ma of the paper (Table 2),
+/// plus the attribute-predicate dictionary backing FILTER pushdown.
 class RdfDictionaries {
  public:
   RdfDictionaries() = default;
@@ -61,6 +81,10 @@ class RdfDictionaries {
   const StringDictionary& edge_types() const { return edge_types_; }
   StringDictionary& attributes() { return attributes_; }
   const StringDictionary& attributes() const { return attributes_; }
+  /// Predicate IRIs of literal-object triples (the FILTER-addressable
+  /// predicates). Keyed like edge types (PredicateKey), own id space.
+  StringDictionary& attr_predicates() { return attr_predicates_; }
+  const StringDictionary& attr_predicates() const { return attr_predicates_; }
 
   /// Inverse vertex mapping Mv^-1: vertex id -> N-Triples token.
   std::string_view VertexToken(VertexId v) const {
@@ -72,10 +96,14 @@ class RdfDictionaries {
   }
   /// Inverse attribute mapping Ma^-1, rendered "<pred> -> <literal token>".
   std::string AttributeDescription(AttributeId a) const;
+  /// Inverse attribute-predicate mapping: id -> predicate IRI.
+  std::string_view AttrPredicateIri(AttrPredId p) const {
+    return attr_predicates_.Lookup(p);
+  }
 
   uint64_t ByteSize() const {
     return vertices_.ByteSize() + edge_types_.ByteSize() +
-           attributes_.ByteSize();
+           attributes_.ByteSize() + attr_predicates_.ByteSize();
   }
 
   void Save(std::ostream& os) const;
@@ -90,6 +118,7 @@ class RdfDictionaries {
   StringDictionary vertices_;
   StringDictionary edge_types_;
   StringDictionary attributes_;
+  StringDictionary attr_predicates_;
 };
 
 /// \brief Dictionary-encoded RDF dataset: the input of multigraph
@@ -98,6 +127,10 @@ struct EncodedDataset {
   RdfDictionaries dictionaries;
   std::vector<EncodedEdge> edges;
   std::vector<EncodedAttribute> attributes;
+  /// Typed value of each attribute id (parallel to the attribute
+  /// dictionary); source data for the ValueIndex and the baselines'
+  /// residual FILTER checks.
+  std::vector<AttributeValueInfo> attribute_values;
   uint64_t num_triples = 0;
 
   /// Encodes a tripleset. Every triple contributes either one edge (IRI /

@@ -1,0 +1,129 @@
+#include "rdf/literal_value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace amber {
+
+namespace {
+
+constexpr std::string_view kXsdPrefix = "http://www.w3.org/2001/XMLSchema#";
+
+}  // namespace
+
+std::string_view CompareOpToken(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      break;
+  }
+  return op;
+}
+
+bool IsNumericXsdDatatype(std::string_view datatype_iri) {
+  if (datatype_iri.size() <= kXsdPrefix.size() ||
+      datatype_iri.compare(0, kXsdPrefix.size(), kXsdPrefix) != 0) {
+    return false;
+  }
+  std::string_view local = datatype_iri.substr(kXsdPrefix.size());
+  return local == "integer" || local == "decimal" || local == "double" ||
+         local == "float" || local == "int" || local == "long" ||
+         local == "short" || local == "byte" || local == "unsignedInt" ||
+         local == "unsignedLong" || local == "unsignedShort" ||
+         local == "unsignedByte" || local == "nonNegativeInteger" ||
+         local == "nonPositiveInteger" || local == "negativeInteger" ||
+         local == "positiveInteger";
+}
+
+std::string LiteralValue::ToString() const {
+  if (!numeric) return "\"" + text + "\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", number);
+  return buf;
+}
+
+LiteralValue LiteralValueOf(const Term& literal) {
+  LiteralValue v;
+  if (literal.lang.empty() && IsNumericXsdDatatype(literal.datatype) &&
+      !literal.value.empty()) {
+    char* end = nullptr;
+    double parsed = std::strtod(literal.value.c_str(), &end);
+    // Non-finite values ("NaN"/"INF", which strtod accepts) stay strings:
+    // NaN has no place in a sorted column (comparator UB) and IEEE NaN
+    // comparison semantics would diverge from SPARQL's.
+    if (end == literal.value.c_str() + literal.value.size() &&
+        std::isfinite(parsed)) {
+      v.numeric = true;
+      v.number = parsed;
+      return v;
+    }
+  }
+  v.text = literal.value;
+  return v;
+}
+
+bool SatisfiesComparison(const LiteralValueView& have, CompareOp op,
+                         const LiteralValueView& want) {
+  // Mixed kinds are a SPARQL type error: the comparison (any operator,
+  // including '!=') is unsatisfied.
+  if (have.numeric != want.numeric) return false;
+  int cmp;
+  if (have.numeric) {
+    cmp = have.number < want.number ? -1 : (have.number > want.number ? 1 : 0);
+  } else {
+    int c = have.text.compare(want.text);
+    cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+bool SatisfiesAll(const LiteralValueView& have,
+                  std::span<const ValueComparison> cmps) {
+  for (const ValueComparison& c : cmps) {
+    if (!SatisfiesComparison(have, c.op, c.value)) return false;
+  }
+  return true;
+}
+
+}  // namespace amber

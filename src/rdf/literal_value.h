@@ -1,0 +1,96 @@
+// Typed literal values: the comparable value domain behind FILTER
+// predicates.
+//
+// The paper's query fragment only ever *equates* literals (a
+// <predicate, literal> pair is an opaque attribute id), so ordering never
+// mattered. FILTER(?age > 25) needs an order, which means literals must be
+// classified at encode time: a literal whose datatype is an XSD numeric
+// type and whose lexical form parses as a number becomes a kNumber value
+// (compared as a double); every other literal is a kString value (compared
+// byte-wise on the lexical form, ignoring datatype and language tag).
+//
+// Comparison semantics (shared verbatim by AMbER, both baselines and the
+// test oracle, so the differential tests pin them):
+//   * a numeric constant matches only numeric values, a string constant
+//     only string values — mixed-kind comparisons are unsatisfied for
+//     every operator *including* '!=' (SPARQL's type-error semantics:
+//     an errored comparison filters the row out);
+//   * numeric comparison is IEEE double comparison, string comparison is
+//     byte-wise lexical comparison.
+
+#ifndef AMBER_RDF_LITERAL_VALUE_H_
+#define AMBER_RDF_LITERAL_VALUE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "rdf/term.h"
+
+namespace amber {
+
+/// Comparison operators of the supported FILTER fragment.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// SPARQL surface token of `op` ("=", "!=", "<", "<=", ">", ">=").
+std::string_view CompareOpToken(CompareOp op);
+
+/// Mirrors `op` across the operands: `c op ?v` == `?v Flip(op) c`.
+CompareOp FlipCompareOp(CompareOp op);
+
+/// True for the XSD datatypes whose values are compared numerically
+/// (integer/decimal/double/float and the derived integer types).
+bool IsNumericXsdDatatype(std::string_view datatype_iri);
+
+/// \brief A literal's comparable value: a number or a lexical string.
+struct LiteralValue {
+  bool numeric = false;
+  double number = 0.0;  // value when numeric
+  std::string text;     // lexical form when !numeric (empty otherwise)
+
+  bool operator==(const LiteralValue&) const = default;
+
+  /// Rendering for EXPLAIN/diagnostics: `25` or `"Ann"`.
+  std::string ToString() const;
+};
+
+/// Non-owning view of a LiteralValue (residual checks compare values that
+/// live in a mapped artifact without copying the string bytes).
+struct LiteralValueView {
+  bool numeric = false;
+  double number = 0.0;
+  std::string_view text;
+
+  LiteralValueView() = default;
+  LiteralValueView(const LiteralValue& v)  // NOLINT(runtime/explicit)
+      : numeric(v.numeric), number(v.number), text(v.text) {}
+  LiteralValueView(bool is_numeric, double num, std::string_view txt)
+      : numeric(is_numeric), number(num), text(txt) {}
+};
+
+/// Classifies a literal term (Section "typed literals" of
+/// docs/ARCHITECTURE.md): numeric iff the datatype is numeric XSD *and*
+/// the lexical form fully parses as a double; otherwise a string value
+/// carrying the lexical form.
+LiteralValue LiteralValueOf(const Term& literal);
+
+/// One side of a FILTER conjunction: `?v op value`.
+struct ValueComparison {
+  CompareOp op = CompareOp::kEq;
+  LiteralValue value;
+
+  bool operator==(const ValueComparison&) const = default;
+};
+
+/// True iff `have op want` holds under the shared comparison semantics.
+bool SatisfiesComparison(const LiteralValueView& have, CompareOp op,
+                         const LiteralValueView& want);
+
+/// True iff `have` satisfies every comparison of the conjunction.
+bool SatisfiesAll(const LiteralValueView& have,
+                  std::span<const ValueComparison> cmps);
+
+}  // namespace amber
+
+#endif  // AMBER_RDF_LITERAL_VALUE_H_

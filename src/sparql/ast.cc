@@ -21,4 +21,43 @@ std::string PatternTerm::ToString() const {
   return ToTerm().ToNTriples();
 }
 
+std::string FilterPredicate::ToString() const {
+  std::string out = "FILTER(?" + var + " ";
+  out += CompareOpToken(op);
+  out += " ";
+  // Bare-number rendering keeps machine-generated FILTERs readable and
+  // round-trips through the lexer's number token (which re-attaches the
+  // same xsd datatype).
+  const bool integer_dt =
+      value.datatype == "http://www.w3.org/2001/XMLSchema#integer";
+  const bool decimal_dt =
+      value.datatype == "http://www.w3.org/2001/XMLSchema#decimal";
+  bool bare = (integer_dt || decimal_dt) && !value.value.empty();
+  if (bare) {
+    size_t i = value.value[0] == '-' ? 1 : 0;
+    // The lexer only starts a number token at a digit.
+    if (i == value.value.size() || value.value[i] < '0' ||
+        value.value[i] > '9') {
+      bare = false;
+    }
+    bool seen_dot = false;
+    for (; bare && i < value.value.size(); ++i) {
+      char c = value.value[i];
+      if (c == '.') {
+        if (seen_dot || !decimal_dt) bare = false;
+        seen_dot = true;
+      } else if (c < '0' || c > '9') {
+        bare = false;
+      }
+    }
+    // The lexer maps dotted numbers to decimal, plain ones to integer;
+    // only render bare when the reparse reproduces this exact term.
+    if (bare && (seen_dot != decimal_dt)) bare = false;
+    if (bare && value.value.back() == '.') bare = false;
+  }
+  out += bare ? value.value : value.ToString();
+  out += ")";
+  return out;
+}
+
 }  // namespace amber

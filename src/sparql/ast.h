@@ -1,7 +1,10 @@
-// Abstract syntax for the SPARQL fragment the paper targets:
-// SELECT [DISTINCT] vars WHERE { basic graph pattern } [LIMIT n],
-// i.e. SELECT/WHERE with conjunctive triple patterns. FILTER, UNION,
-// OPTIONAL and GROUP BY are explicitly out of scope (Section 1).
+// Abstract syntax for the SPARQL fragment the engines support:
+// SELECT [DISTINCT] vars WHERE { basic graph pattern [FILTER...] }
+// [LIMIT n] — the paper's conjunctive fragment (Section 1) extended with
+// FILTER conjunctions of comparisons between a variable and a literal
+// constant (`=`, `!=`, `<`, `<=`, `>`, `>=`, joined by `&&`). UNION,
+// OPTIONAL, GROUP BY, FILTER disjunction/negation/functions/arithmetic
+// stay out of scope and are rejected as Unimplemented.
 
 #ifndef AMBER_SPARQL_AST_H_
 #define AMBER_SPARQL_AST_H_
@@ -10,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "rdf/literal_value.h"
 #include "rdf/term.h"
 
 namespace amber {
@@ -84,12 +88,30 @@ struct TriplePattern {
   }
 };
 
+/// One FILTER comparison, normalized to `?var op constant` (the parser
+/// mirrors `constant op ?var`). `&&` conjunctions are flattened into
+/// several FilterPredicates; the constant is always a literal.
+struct FilterPredicate {
+  std::string var;                    // variable name without '?'
+  CompareOp op = CompareOp::kEq;
+  PatternTerm value;                  // Kind::kLiteral constant
+
+  /// SPARQL surface form: `FILTER(?age > 25)`. Numeric constants are
+  /// rendered as bare numbers when their lexical form allows it.
+  std::string ToString() const;
+
+  bool operator==(const FilterPredicate& o) const {
+    return var == o.var && op == o.op && value == o.value;
+  }
+};
+
 /// A parsed SELECT query.
 struct SelectQuery {
   bool select_all = false;                 // SELECT *
   bool distinct = false;                   // SELECT DISTINCT
   std::vector<std::string> projection;     // variable names, '?' stripped
   std::vector<TriplePattern> patterns;     // the basic graph pattern
+  std::vector<FilterPredicate> filters;    // conjunction over the patterns
   uint64_t limit = 0;                      // 0 = no LIMIT clause
 
   /// Query size in the paper's sense: the number of triple patterns.

@@ -1,0 +1,79 @@
+#include "sparql/filters.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace amber {
+
+Result<FilterAnalysis> AnalyzeFilters(const SelectQuery& query) {
+  FilterAnalysis analysis;
+  analysis.filter_of_pattern.assign(query.patterns.size(),
+                                    FilterAnalysis::kNotFiltered);
+  if (query.filters.empty()) return analysis;
+
+  // Group the flattened conjunction per variable.
+  std::unordered_map<std::string, uint32_t> filter_of_var;
+  for (const FilterPredicate& f : query.filters) {
+    if (!f.value.is_literal()) {
+      return Status::Unimplemented(
+          "FILTER comparisons are only supported against literal "
+          "constants: " +
+          f.ToString());
+    }
+    auto [it, inserted] = filter_of_var.emplace(
+        f.var, static_cast<uint32_t>(analysis.var_filters.size()));
+    if (inserted) {
+      analysis.var_filters.push_back(VarFilter{f.var, 0, {}});
+    }
+    analysis.var_filters[it->second].comparisons.push_back(
+        ValueComparison{f.op, LiteralValueOf(f.value.ToTerm())});
+  }
+
+  // Tie each filtered variable to its unique object-position occurrence.
+  for (VarFilter& vf : analysis.var_filters) {
+    size_t occurrences = 0;
+    for (size_t pi = 0; pi < query.patterns.size(); ++pi) {
+      const TriplePattern& p = query.patterns[pi];
+      if (p.subject.is_variable() && p.subject.value == vf.var) {
+        return Status::Unimplemented(
+            "FILTER on a variable used in subject position is not "
+            "supported: ?" +
+            vf.var);
+      }
+      if (p.predicate.is_variable() && p.predicate.value == vf.var) {
+        return Status::Unimplemented(
+            "FILTER on a predicate variable is not supported: ?" + vf.var);
+      }
+      if (p.object.is_variable() && p.object.value == vf.var) {
+        ++occurrences;
+        if (occurrences > 1) {
+          return Status::Unimplemented(
+              "FILTER variable joined across several patterns is not "
+              "supported: ?" +
+              vf.var);
+        }
+        if (p.predicate.is_variable()) {
+          return Status::Unimplemented(
+              "FILTER under a variable predicate is not supported: ?" +
+              vf.var);
+        }
+        vf.pattern_index = pi;
+        analysis.filter_of_pattern[pi] =
+            static_cast<uint32_t>(&vf - analysis.var_filters.data());
+      }
+    }
+    if (occurrences == 0) {
+      return Status::InvalidArgument("FILTER variable ?" + vf.var +
+                                     " does not occur in the WHERE clause");
+    }
+    if (std::find(query.projection.begin(), query.projection.end(),
+                  vf.var) != query.projection.end()) {
+      return Status::Unimplemented(
+          "projecting a FILTERed literal variable is not supported: ?" +
+          vf.var);
+    }
+  }
+  return analysis;
+}
+
+}  // namespace amber

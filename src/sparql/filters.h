@@ -1,0 +1,65 @@
+// Shared FILTER analysis: validates a query's FilterPredicates against its
+// patterns and normalizes them into per-variable conjunctions.
+//
+// All three engines (AMbER, TripleStore, GraphBacktrack) and the test
+// oracle run this exact analysis, so the supported-fragment boundary and
+// the FILTER semantics cannot drift between them. The semantics are:
+//
+//   * a filtered variable is a *literal variable*: it binds literal values
+//     of its single pattern's predicate instead of resources;
+//   * the pattern `?x <p> ?v` + FILTER(?v ...) is an existential predicate
+//     constraint on ?x — "x has some literal under <p> satisfying the
+//     conjunction" — contributing no row multiplicity, exactly like the
+//     constant-literal attribute patterns of the paper's model;
+//   * consequently a filtered variable must occur exactly once, in object
+//     position, under a constant predicate, and must not be projected
+//     (SELECT * projects only the resource variables). Everything else is
+//     Status::Unimplemented.
+
+#ifndef AMBER_SPARQL_FILTERS_H_
+#define AMBER_SPARQL_FILTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/literal_value.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// All FILTER comparisons of one literal variable, tied to its unique
+/// pattern.
+struct VarFilter {
+  std::string var;
+  size_t pattern_index = 0;                 // into SelectQuery::patterns
+  std::vector<ValueComparison> comparisons;  // the conjunction
+};
+
+/// \brief Validated, normalized view of a query's FILTER clause.
+struct FilterAnalysis {
+  std::vector<VarFilter> var_filters;
+  /// Per pattern: index into var_filters, or kNotFiltered.
+  std::vector<uint32_t> filter_of_pattern;
+
+  static constexpr uint32_t kNotFiltered = 0xFFFFFFFFu;
+
+  bool HasFilters() const { return !var_filters.empty(); }
+  bool IsFiltered(size_t pattern_index) const {
+    return filter_of_pattern[pattern_index] != kNotFiltered;
+  }
+  const VarFilter& FilterFor(size_t pattern_index) const {
+    return var_filters[filter_of_pattern[pattern_index]];
+  }
+};
+
+/// Validates `query.filters` (see the semantics above) and groups them per
+/// variable. Fails with Unimplemented for constructs outside the fragment
+/// and InvalidArgument for filters on variables absent from the WHERE
+/// clause.
+Result<FilterAnalysis> AnalyzeFilters(const SelectQuery& query);
+
+}  // namespace amber
+
+#endif  // AMBER_SPARQL_FILTERS_H_

@@ -16,6 +16,9 @@ std::string FormatQuery(const SelectQuery& query) {
   for (const TriplePattern& p : query.patterns) {
     out += "  " + p.ToString() + "\n";
   }
+  for (const FilterPredicate& f : query.filters) {
+    out += "  " + f.ToString() + "\n";
+  }
   out += "}";
   if (query.limit != 0) {
     out += " LIMIT " + std::to_string(query.limit);

@@ -1,7 +1,7 @@
-// SPARQL pretty-printer: renders a parsed SelectQuery back to canonical
-// query text. Round-trip stable (Parse(Format(q)) == q), which the tests
-// exploit as a property; used by tooling to normalize machine-generated
-// queries and by EXPLAIN output.
+// SPARQL pretty-printer: renders a parsed SelectQuery (patterns and FILTER
+// predicates) back to canonical query text. Round-trip stable
+// (Parse(Format(q)) == q), which the tests exploit as a property; used by
+// tooling to normalize machine-generated queries and by EXPLAIN output.
 
 #ifndef AMBER_SPARQL_FORMATTER_H_
 #define AMBER_SPARQL_FORMATTER_H_

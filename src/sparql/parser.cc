@@ -40,6 +40,17 @@ bool IsPNameChar(char c) {
          c == '.';
 }
 
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 class Lexer {
  public:
   explicit Lexer(std::string_view text) : text_(text) {}
@@ -60,6 +71,36 @@ class Lexer {
         }
         out->push_back({TokenKind::kVar, std::move(name), 0, start});
       } else if (c == '<') {
+        // '<' opens an IRI only when a '>' closes it before any whitespace
+        // or quote (IRIs cannot contain either); otherwise it is the FILTER
+        // comparison operator '<' or '<='.
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          pos_ += 2;
+          out->push_back({TokenKind::kPunct, "<=", '<', start});
+          continue;
+        }
+        bool is_iri = false;
+        for (size_t scan = pos_ + 1; scan < text_.size(); ++scan) {
+          char ch = text_[scan];
+          if (ch == '>') {
+            is_iri = true;
+            break;
+          }
+          // IRIs may contain parentheses (DBpedia!) but never whitespace,
+          // quotes or curly braces; a '<' not closed before one is a
+          // comparison. Inside a FILTER's parentheses the expression's own
+          // '(' / ')' terminate the scan too, so minified queries like
+          // `FILTER(?y<5).?x<urn:q>?z` lex the first '<' as an operator.
+          if (IsSpaceAscii(ch) || ch == '"' || ch == '{' || ch == '}' ||
+              (filter_depth_ > 0 && (ch == '(' || ch == ')'))) {
+            break;
+          }
+        }
+        if (!is_iri) {
+          ++pos_;
+          out->push_back({TokenKind::kPunct, "<", '<', start});
+          continue;
+        }
         ++pos_;
         size_t end = text_.find('>', pos_);
         if (end == std::string_view::npos) {
@@ -116,12 +157,30 @@ class Lexer {
           --pos_;
         }
         out->push_back({TokenKind::kNumber, std::move(num), 0, start});
+      } else if (c == '>' || c == '!' || c == '&' || c == '|') {
+        // FILTER comparison/connective operators, possibly two-character.
+        ++pos_;
+        std::string op(1, c);
+        const char second = (c == '>') ? '=' : (c == '!') ? '=' : c;
+        if (pos_ < text_.size() && text_[pos_] == second) {
+          op += text_[pos_];
+          ++pos_;
+        }
+        out->push_back({TokenKind::kPunct, std::move(op), c, start});
       } else if (c == '{' || c == '}' || c == '.' || c == ';' || c == ',' ||
-                 c == '*' || c == '(' || c == ')' || c == '>' || c == '=' ||
-                 c == '!' || c == '&' || c == '|' || c == '+' || c == '/') {
-        // Operator characters only occur inside FILTER expressions, which
-        // the parser rejects as Unimplemented; lex them as punctuation so
-        // the diagnostic names the operator instead of the character.
+                 c == '*' || c == '(' || c == ')' || c == '=' || c == '+' ||
+                 c == '/') {
+        // Remaining punctuation: structure characters plus the operators
+        // the FILTER parser names in Unimplemented diagnostics. Paren
+        // depth inside FILTER steers the '<' operator-vs-IRI heuristic.
+        if (c == '(') {
+          if (filter_pending_ || filter_depth_ > 0) ++filter_depth_;
+          filter_pending_ = false;
+        } else if (c == ')') {
+          if (filter_depth_ > 0) --filter_depth_;
+        } else {
+          filter_pending_ = false;
+        }
         ++pos_;
         out->push_back({TokenKind::kPunct, std::string(1, c), c, start});
       } else if (c == '^') {
@@ -151,6 +210,7 @@ class Lexer {
         if (word.find(':') != std::string::npos) {
           out->push_back({TokenKind::kPName, std::move(word), 0, start});
         } else {
+          filter_pending_ = EqualsIgnoreCase(word, "FILTER");
           out->push_back({TokenKind::kIdent, std::move(word), 0, start});
         }
       } else {
@@ -190,18 +250,10 @@ class Lexer {
 
   std::string_view text_;
   size_t pos_ = 0;
+  // FILTER-expression paren tracking for the '<' operator heuristic.
+  bool filter_pending_ = false;
+  size_t filter_depth_ = 0;
 };
-
-bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i]))) {
-      return false;
-    }
-  }
-  return true;
-}
 
 class Parser {
  public:
@@ -230,7 +282,18 @@ class Parser {
     return t;
   }
   bool ConsumePunct(char p) {
-    if (Peek().kind == TokenKind::kPunct && Peek().punct == p) {
+    if (Peek().kind == TokenKind::kPunct && Peek().punct == p &&
+        Peek().value.size() == 1) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool PeekOp(std::string_view op) const {
+    return Peek().kind == TokenKind::kPunct && Peek().value == op;
+  }
+  bool ConsumeOp(std::string_view op) {
+    if (PeekOp(op)) {
       Next();
       return true;
     }
@@ -293,8 +356,7 @@ class Parser {
     while (!ConsumePunct('}')) {
       if (Peek().kind == TokenKind::kEof) return Error("unterminated '{'");
       if (Peek().kind == TokenKind::kIdent &&
-          (EqualsIgnoreCase(Peek().value, "FILTER") ||
-           EqualsIgnoreCase(Peek().value, "OPTIONAL") ||
+          (EqualsIgnoreCase(Peek().value, "OPTIONAL") ||
            EqualsIgnoreCase(Peek().value, "UNION") ||
            EqualsIgnoreCase(Peek().value, "GRAPH") ||
            EqualsIgnoreCase(Peek().value, "MINUS"))) {
@@ -303,7 +365,11 @@ class Parser {
             "SELECT/WHERE basic graph patterns): " +
             Peek().value);
       }
-      AMBER_RETURN_IF_ERROR(ParseTriplesSameSubject(query));
+      if (ConsumeKeyword("FILTER")) {
+        AMBER_RETURN_IF_ERROR(ParseFilter(query));
+      } else {
+        AMBER_RETURN_IF_ERROR(ParseTriplesSameSubject(query));
+      }
       // Optional '.' separators (possibly several) between blocks.
       while (ConsumePunct('.')) {
       }
@@ -336,6 +402,120 @@ class Parser {
         break;
       }
     }
+    return Status::OK();
+  }
+
+  // FILTER(comparison (&& comparison)*) — the supported fragment. Each
+  // comparison is `?var op literal` or `literal op ?var`; anything else
+  // (||, !, functions, arithmetic, var-var or IRI comparisons) is
+  // Unimplemented so callers can distinguish "out of scope" from a typo.
+  Status ParseFilter(SelectQuery* query) {
+    if (!ConsumePunct('(')) return Error("expected '(' after FILTER");
+    while (true) {
+      AMBER_RETURN_IF_ERROR(ParseFilterComparison(query));
+      if (ConsumeOp("&&")) continue;
+      if (PeekOp("||")) {
+        return Status::Unimplemented(
+            "FILTER disjunction (||) is not supported");
+      }
+      break;
+    }
+    if (!ConsumePunct(')')) return Error("expected ')' closing FILTER");
+    return Status::OK();
+  }
+
+  // One operand of a FILTER comparison: a variable or a literal constant.
+  Status ParseFilterOperand(bool* is_var, std::string* var,
+                            PatternTerm* constant) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVar:
+        *is_var = true;
+        *var = Next().value;
+        return Status::OK();
+      case TokenKind::kLiteral:
+      case TokenKind::kNumber:
+        *is_var = false;
+        return ParseTermSlot(/*predicate_position=*/false, constant);
+      case TokenKind::kIriRef:
+      case TokenKind::kPName:
+        return Status::Unimplemented(
+            "FILTER comparisons against IRIs are not supported");
+      case TokenKind::kIdent:
+        return Status::Unimplemented(
+            "FILTER functions are not supported: " + t.value);
+      case TokenKind::kPunct:
+        if (t.value == "!") {
+          return Status::Unimplemented("FILTER negation is not supported");
+        }
+        if (t.value == "(") {
+          return Status::Unimplemented(
+              "nested FILTER expressions are not supported");
+        }
+        return Error("expected FILTER operand");
+      default:
+        return Error("expected FILTER operand");
+    }
+  }
+
+  Status ParseFilterComparison(SelectQuery* query) {
+    bool left_is_var = false;
+    std::string left_var;
+    PatternTerm left_const;
+    AMBER_RETURN_IF_ERROR(
+        ParseFilterOperand(&left_is_var, &left_var, &left_const));
+
+    const Token& op_token = Peek();
+    if (op_token.kind != TokenKind::kPunct) {
+      return Error("expected comparison operator in FILTER");
+    }
+    CompareOp op;
+    if (op_token.value == "=") {
+      op = CompareOp::kEq;
+    } else if (op_token.value == "!=") {
+      op = CompareOp::kNe;
+    } else if (op_token.value == "<") {
+      op = CompareOp::kLt;
+    } else if (op_token.value == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_token.value == ">") {
+      op = CompareOp::kGt;
+    } else if (op_token.value == ">=") {
+      op = CompareOp::kGe;
+    } else if (op_token.value == "+" || op_token.value == "-" ||
+               op_token.value == "*" || op_token.value == "/") {
+      return Status::Unimplemented(
+          "FILTER arithmetic is not supported: " + op_token.value);
+    } else {
+      return Error("expected comparison operator in FILTER");
+    }
+    Next();
+
+    bool right_is_var = false;
+    std::string right_var;
+    PatternTerm right_const;
+    AMBER_RETURN_IF_ERROR(
+        ParseFilterOperand(&right_is_var, &right_var, &right_const));
+
+    if (left_is_var && right_is_var) {
+      return Status::Unimplemented(
+          "FILTER variable-to-variable comparisons are not supported");
+    }
+    if (!left_is_var && !right_is_var) {
+      return Status::Unimplemented(
+          "FILTER constant-to-constant comparisons are not supported");
+    }
+    FilterPredicate f;
+    if (left_is_var) {
+      f.var = std::move(left_var);
+      f.op = op;
+      f.value = std::move(right_const);
+    } else {
+      f.var = std::move(right_var);
+      f.op = FlipCompareOp(op);
+      f.value = std::move(left_const);
+    }
+    query->filters.push_back(std::move(f));
     return Status::OK();
   }
 

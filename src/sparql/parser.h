@@ -1,4 +1,4 @@
-// Recursive-descent parser for the paper's SPARQL fragment.
+// Recursive-descent parser for the supported SPARQL fragment.
 //
 // Supported surface syntax:
 //   PREFIX ns: <iri>            (any number, before SELECT)
@@ -7,11 +7,14 @@
 //   ',' (same subject+predicate) abbreviations,
 //   'a' as rdf:type, prefixed names, <iri>s, _:blank nodes,
 //   "literal", "literal"@lang, "literal"^^<dt>, "lit"^^ns:dt,
-//   bare integer / decimal literals (xsd:integer / xsd:decimal).
+//   bare integer / decimal literals (xsd:integer / xsd:decimal),
+//   FILTER(?v op constant [&& ...]) with op in = != < <= > >= and a
+//   literal/number constant on either side of the operator.
 //
 // Unsupported constructs return Status::Unimplemented where they are part of
-// SPARQL (FILTER, OPTIONAL, UNION, variable predicates are rejected later by
-// the planner) and InvalidArgument where they are syntax errors.
+// SPARQL (OPTIONAL, UNION, FILTER ||/!/functions/arithmetic; variable
+// predicates are rejected later by the planner) and InvalidArgument where
+// they are syntax errors.
 
 #ifndef AMBER_SPARQL_PARSER_H_
 #define AMBER_SPARQL_PARSER_H_

@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "sparql/filters.h"
+
 namespace amber {
 
 namespace {
@@ -27,6 +29,8 @@ void QueryGraph::AddEdgeType(uint32_t from, uint32_t to, EdgeTypeId type) {
 
 Result<QueryGraph> QueryGraph::Build(const SelectQuery& query,
                                      const RdfDictionaries& dicts) {
+  AMBER_ASSIGN_OR_RETURN(FilterAnalysis filters, AnalyzeFilters(query));
+
   QueryGraph q;
   q.distinct_ = query.distinct;
   q.limit_ = query.limit;
@@ -43,7 +47,9 @@ Result<QueryGraph> QueryGraph::Build(const SelectQuery& query,
     auto it = var_index.find(name);
     if (it != var_index.end()) return it->second;
     uint32_t idx = static_cast<uint32_t>(q.vertices_.size());
-    q.vertices_.push_back(QueryVertex{name, {}, {}, {}});
+    QueryVertex v;
+    v.name = name;
+    q.vertices_.push_back(std::move(v));
     var_index.emplace(name, idx);
     return idx;
   };
@@ -61,7 +67,8 @@ Result<QueryGraph> QueryGraph::Build(const SelectQuery& query,
   // IRI-constraint accumulation keyed by (variable, anchor).
   std::map<std::pair<uint32_t, VertexId>, IriConstraint> iri_constraints;
 
-  for (const TriplePattern& p : query.patterns) {
+  for (size_t pi = 0; pi < query.patterns.size(); ++pi) {
+    const TriplePattern& p = query.patterns[pi];
     if (p.predicate.is_variable()) {
       return Status::Unimplemented(
           "variable predicates are outside the paper's query model: " +
@@ -70,6 +77,34 @@ Result<QueryGraph> QueryGraph::Build(const SelectQuery& query,
     if (p.subject.is_literal()) {
       return Status::InvalidArgument("literal subject in pattern: " +
                                      p.ToString());
+    }
+
+    // FILTERed object variable: the pattern becomes a predicate constraint
+    // on the subject (or a ground predicate check for constant subjects)
+    // instead of an edge — see sparql/filters.h for the semantics.
+    if (filters.IsFiltered(pi)) {
+      const VarFilter& vf = filters.FilterFor(pi);
+      auto pred_id = dicts.attr_predicates().Find(
+          RdfDictionaries::PredicateKey(p.predicate.ToTerm()));
+      if (p.subject.is_variable()) {
+        uint32_t u = vertex_of(p.subject.value);
+        if (!pred_id) {
+          mark_unsat("predicate has no literal values in " + p.ToString());
+          continue;
+        }
+        q.vertices_[u].preds.push_back(
+            PredicateConstraint{*pred_id, vf.comparisons});
+      } else {
+        VertexId s = resolve_vertex(p.subject);
+        if (s == kInvalidId) continue;
+        if (!pred_id) {
+          mark_unsat("predicate has no literal values in " + p.ToString());
+          continue;
+        }
+        q.ground_preds_.push_back(
+            GroundPredicate{s, *pred_id, vf.comparisons});
+      }
+      continue;
     }
 
     // Literal object: attribute on the subject (Section 2.2.1).

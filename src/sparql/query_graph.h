@@ -5,6 +5,12 @@
 //   * predicate IRIs                 -> edge-type ids (Me),
 //   * literal objects                -> vertex attributes on the subject
 //                                       variable (Ma of <predicate,literal>),
+//   * FILTERed object variables      -> predicate constraints u.P on the
+//                                       subject variable: an attribute
+//                                       predicate plus a comparison
+//                                       conjunction over its typed values
+//                                       (existential semantics, see
+//                                       sparql/filters.h),
 //   * constant subject/object IRIs   -> IRI anchor constraints u.R: the
 //                                       anchor's unique data vertex plus the
 //                                       multi-edge connecting it to u,
@@ -38,14 +44,24 @@ struct IriConstraint {
   std::vector<EdgeTypeId> in_types;
 };
 
+/// FILTER-derived constraint on a query vertex (u.P): the vertex must own
+/// some literal under `predicate` whose value satisfies the conjunction.
+struct PredicateConstraint {
+  AttrPredId predicate = kInvalidId;
+  std::vector<ValueComparison> comparisons;
+};
+
 /// One query vertex (an unknown variable ?X_i).
 struct QueryVertex {
   std::string name;                      // variable name without '?'
   std::vector<AttributeId> attrs;        // sorted, deduped (u.A)
   std::vector<EdgeTypeId> self_types;    // self-loop types u -> u, sorted
   std::vector<IriConstraint> iris;       // anchors (u.R)
+  std::vector<PredicateConstraint> preds;  // FILTER constraints (u.P)
 
-  bool HasLocalConstraints() const { return !attrs.empty() || !iris.empty(); }
+  bool HasLocalConstraints() const {
+    return !attrs.empty() || !iris.empty() || !preds.empty();
+  }
 };
 
 /// Directed multi-edge between two distinct query vertices.
@@ -69,6 +85,14 @@ struct GroundAttribute {
   AttributeId attribute;
 };
 
+/// A ground FILTER check: constant subject whose literal values under
+/// `predicate` must contain one satisfying the conjunction.
+struct GroundPredicate {
+  VertexId subject;
+  AttrPredId predicate;
+  std::vector<ValueComparison> comparisons;
+};
+
 /// \brief The query multigraph plus projection/modifier info.
 class QueryGraph {
  public:
@@ -89,6 +113,9 @@ class QueryGraph {
   const std::vector<GroundEdge>& ground_edges() const { return ground_edges_; }
   const std::vector<GroundAttribute>& ground_attributes() const {
     return ground_attrs_;
+  }
+  const std::vector<GroundPredicate>& ground_predicates() const {
+    return ground_preds_;
   }
 
   /// Projected query-vertex indices, in SELECT order.
@@ -128,6 +155,7 @@ class QueryGraph {
   std::vector<QueryEdge> edges_;
   std::vector<GroundEdge> ground_edges_;
   std::vector<GroundAttribute> ground_attrs_;
+  std::vector<GroundPredicate> ground_preds_;
   std::vector<uint32_t> projection_;
   std::vector<std::vector<std::pair<uint32_t, bool>>> incident_;
   std::vector<std::vector<uint32_t>> neighbors_;

@@ -95,9 +95,15 @@ TEST(AmfWriterReaderTest, SectionsAre64ByteAligned) {
 
 class AmfEngineTest : public ::testing::Test {
  protected:
-  // One saved artifact shared by the corruption tests.
+  // One saved artifact per corruption test. The path embeds the test name:
+  // ctest runs each TEST_F as its own process, so a shared path would race
+  // one process's mmap against another's rewrite (SIGBUS on truncation).
   void SetUp() override {
-    path_ = TempPath("amf_engine.amf");
+    path_ = TempPath(std::string("amf_engine_") +
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name() +
+                     ".amf");
     AmberEngine engine = MustBuild(testutil::MustParse(kPaperExampleNTriples));
     ASSERT_TRUE(engine.SaveFile(path_).ok());
     baseline_count_ = engine.CountSparql(kPaperExampleQuery, {})->count;

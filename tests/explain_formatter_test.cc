@@ -82,6 +82,59 @@ TEST(ExplainTest, PaperQueryPlan) {
   EXPECT_NE(text.find("satellites:"), std::string::npos);
 }
 
+TEST(ExplainTest, FilterConstraintsShowPushdownClass) {
+  auto data = testutil::RandomDataset(21, 10, 50, 3, 4, 30);
+  auto engine = AmberEngine::Build(data);
+  ASSERT_TRUE(engine.ok());
+
+  // Core vertex (?x has two variable neighbours): index-pushed.
+  auto core_q = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x <urn:p0> ?y . ?x <urn:p1> ?z . "
+      "?x <urn:num0> ?a . FILTER(?a > 10 && ?a <= 40) }");
+  ASSERT_TRUE(core_q.ok());
+  auto core_text = ExplainQuery(*core_q, engine->dictionaries(),
+                                &engine->indexes());
+  ASSERT_TRUE(core_text.ok()) << core_text.status();
+  EXPECT_NE(core_text->find("preds={<urn:num0> > 10 <= 40 [index-pushed]}"),
+            std::string::npos)
+      << *core_text;
+
+  // Satellite vertex (?y has degree 1): residual evaluation.
+  auto sat_q = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x <urn:p0> ?y . ?x <urn:p1> ?z . "
+      "?y <urn:num1> ?b . FILTER(?b < 25) }");
+  ASSERT_TRUE(sat_q.ok());
+  auto sat_text =
+      ExplainQuery(*sat_q, engine->dictionaries(), &engine->indexes());
+  ASSERT_TRUE(sat_text.ok());
+  EXPECT_NE(sat_text->find("preds={<urn:num1> < 25 [residual]}"),
+            std::string::npos)
+      << *sat_text;
+}
+
+TEST(ExplainTest, GroundPredicateChecksCounted) {
+  auto data = testutil::RandomDataset(21, 10, 50, 3, 4, 30);
+  auto engine = AmberEngine::Build(data);
+  ASSERT_TRUE(engine.ok());
+  // Find an entity with a numeric attribute so the subject resolves.
+  std::string subject;
+  for (const Triple& t : data) {
+    if (t.predicate.value == "urn:num0") {
+      subject = t.subject.ToNTriples();
+      break;
+    }
+  }
+  ASSERT_FALSE(subject.empty());
+  auto q = SparqlParser::Parse("SELECT ?z WHERE { " + subject +
+                               " <urn:num0> ?a . ?z <urn:p0> ?w . "
+                               "FILTER(?a >= 0) }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto text = ExplainQuery(*q, engine->dictionaries(), &engine->indexes());
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("1 ground predicate checks"), std::string::npos)
+      << *text;
+}
+
 TEST(ExplainTest, UnsatisfiableIsReported) {
   auto triples = testutil::MustParse(kPaperExampleNTriples);
   auto engine = AmberEngine::Build(triples);

@@ -16,14 +16,17 @@ TEST(IndexSetTest, BuildAllThree) {
   auto encoded = EncodedDataset::Encode(triples);
   ASSERT_TRUE(encoded.ok());
   Multigraph g = Multigraph::FromDataset(*encoded);
-  IndexSet set = IndexSet::Build(g);
+  IndexSet set =
+      IndexSet::Build(g, encoded->attribute_values,
+                      encoded->dictionaries.attr_predicates().size());
   EXPECT_EQ(set.signature.NumVertices(), g.NumVertices());
   EXPECT_EQ(set.neighborhood.NumVertices(), g.NumVertices());
   EXPECT_EQ(set.attribute.NumAttributes(), g.NumAttributes());
+  EXPECT_EQ(set.value.NumAttributes(), g.NumAttributes());
   EXPECT_GT(set.ByteSize(), 0u);
-  EXPECT_EQ(set.ByteSize(), set.attribute.ByteSize() +
-                                set.signature.ByteSize() +
-                                set.neighborhood.ByteSize());
+  EXPECT_EQ(set.ByteSize(),
+            set.attribute.ByteSize() + set.signature.ByteSize() +
+                set.neighborhood.ByteSize() + set.value.ByteSize());
 }
 
 TEST(IndexSetTest, SaveLoadRoundTripPreservesAnswers) {
@@ -31,7 +34,9 @@ TEST(IndexSetTest, SaveLoadRoundTripPreservesAnswers) {
   auto encoded = EncodedDataset::Encode(triples);
   ASSERT_TRUE(encoded.ok());
   Multigraph g = Multigraph::FromDataset(*encoded);
-  IndexSet set = IndexSet::Build(g);
+  IndexSet set =
+      IndexSet::Build(g, encoded->attribute_values,
+                      encoded->dictionaries.attr_predicates().size());
 
   std::stringstream ss;
   set.Save(ss);
@@ -58,7 +63,9 @@ TEST(IndexSetTest, LoadFailsOnTruncatedStream) {
   auto encoded = EncodedDataset::Encode(triples);
   ASSERT_TRUE(encoded.ok());
   Multigraph g = Multigraph::FromDataset(*encoded);
-  IndexSet set = IndexSet::Build(g);
+  IndexSet set =
+      IndexSet::Build(g, encoded->attribute_values,
+                      encoded->dictionaries.attr_predicates().size());
   std::stringstream ss;
   set.Save(ss);
   std::string full = ss.str();
@@ -74,7 +81,9 @@ TEST(IndexSetTest, SignatureIndexCompletenessOnQuerySynopses) {
   auto encoded = EncodedDataset::Encode(triples);
   ASSERT_TRUE(encoded.ok());
   Multigraph g = Multigraph::FromDataset(*encoded);
-  IndexSet set = IndexSet::Build(g);
+  IndexSet set =
+      IndexSet::Build(g, encoded->attribute_values,
+                      encoded->dictionaries.attr_predicates().size());
   Rng rng(5);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     SynopsisBuilder qb;

@@ -98,7 +98,9 @@ EngineParts BuildParts(const std::vector<Triple>& triples) {
   EXPECT_TRUE(encoded.ok()) << encoded.status();
   EngineParts parts;
   parts.graph = Multigraph::FromDataset(*encoded);
-  parts.indexes = IndexSet::Build(parts.graph);
+  parts.indexes =
+      IndexSet::Build(parts.graph, encoded->attribute_values,
+                      encoded->dictionaries.attr_predicates().size());
   parts.dicts = std::move(encoded->dictionaries);
   return parts;
 }

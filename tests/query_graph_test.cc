@@ -135,6 +135,65 @@ TEST_F(QueryGraphTest, GroundPatternsCollected) {
   EXPECT_FALSE(q.unsatisfiable());
 }
 
+TEST_F(QueryGraphTest, FilteredObjectBecomesPredicateConstraint) {
+  QueryGraph q = MustBuild(
+      "SELECT ?x WHERE { ?x <urn:p> ?y . ?x <urn:age> ?a . "
+      "FILTER(?a > 25 && ?a < 40) }");
+  // ?a is consumed by the FILTER: only ?x and ?y are vertices.
+  ASSERT_EQ(q.NumVertices(), 2u);
+  ASSERT_EQ(q.vertices()[0].preds.size(), 1u);
+  const PredicateConstraint& pc = q.vertices()[0].preds[0];
+  ASSERT_EQ(pc.comparisons.size(), 2u);
+  EXPECT_EQ(pc.comparisons[0].op, CompareOp::kGt);
+  EXPECT_TRUE(pc.comparisons[0].value.numeric);
+  EXPECT_EQ(pc.comparisons[0].value.number, 25.0);
+  EXPECT_TRUE(q.vertices()[0].HasLocalConstraints());
+  EXPECT_FALSE(q.unsatisfiable());
+  // The filtered pattern contributes no edge.
+  EXPECT_EQ(q.edges().size(), 1u);
+}
+
+TEST_F(QueryGraphTest, FilteredConstantSubjectBecomesGroundPredicate) {
+  QueryGraph q = MustBuild(
+      "SELECT ?x WHERE { ?x <urn:p> ?y . <urn:a> <urn:age> ?v . "
+      "FILTER(?v >= 30) }");
+  ASSERT_EQ(q.ground_predicates().size(), 1u);
+  EXPECT_EQ(q.ground_predicates()[0].comparisons.size(), 1u);
+}
+
+TEST_F(QueryGraphTest, FilterOnUnknownAttrPredicateIsUnsatisfiable) {
+  // urn:p only ever has IRI objects, so it has no literal values.
+  QueryGraph q = MustBuild(
+      "SELECT ?x WHERE { ?x <urn:p> ?y . ?x <urn:p> ?v . FILTER(?v > 1) }");
+  EXPECT_TRUE(q.unsatisfiable());
+}
+
+TEST_F(QueryGraphTest, UnsupportedFilterShapesAreUnimplemented) {
+  const char* queries[] = {
+      // Filtered variable in subject position.
+      "SELECT ?v WHERE { ?x <urn:age> ?v . ?v <urn:p> ?y . FILTER(?v > 1) }",
+      // Filtered variable joined across two patterns.
+      "SELECT ?x WHERE { ?x <urn:age> ?v . ?y <urn:age> ?v . "
+      "FILTER(?v > 1) }",
+      // Projecting the filtered variable.
+      "SELECT ?v WHERE { ?x <urn:age> ?v . FILTER(?v > 1) }",
+  };
+  for (const char* text : queries) {
+    auto parsed = SparqlParser::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    auto qg = QueryGraph::Build(*parsed, dicts_);
+    ASSERT_FALSE(qg.ok()) << text;
+    EXPECT_TRUE(qg.status().IsUnimplemented()) << text << "\n" << qg.status();
+  }
+  // Filter on a variable absent from WHERE is an input error.
+  auto parsed = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(?nope > 1) }");
+  ASSERT_TRUE(parsed.ok());
+  auto qg = QueryGraph::Build(*parsed, dicts_);
+  ASSERT_FALSE(qg.ok());
+  EXPECT_TRUE(qg.status().IsInvalidArgument()) << qg.status();
+}
+
 TEST_F(QueryGraphTest, VariablePredicateIsUnimplemented) {
   auto parsed = SparqlParser::Parse("SELECT ?x WHERE { ?x ?p ?y . }");
   ASSERT_TRUE(parsed.ok());

@@ -75,6 +75,57 @@ TEST(EncodedDatasetTest, LiteralsBecomeAttributes) {
   EXPECT_NE(encoded->attributes[1].attribute, encoded->attributes[2].attribute);
 }
 
+TEST(EncodedDatasetTest, TypedValuesSurfacedDuringEncode) {
+  std::vector<Triple> triples = {
+      {Term::Iri("urn:a"), Term::Iri("urn:age"),
+       Term::Literal("30", "http://www.w3.org/2001/XMLSchema#integer")},
+      {Term::Iri("urn:a"), Term::Iri("urn:age"),
+       Term::Literal("30.5", "http://www.w3.org/2001/XMLSchema#decimal")},
+      {Term::Iri("urn:a"), Term::Iri("urn:name"), Term::Literal("Ann")},
+      // Numeric datatype with a non-numeric lexical form: string value.
+      {Term::Iri("urn:a"), Term::Iri("urn:age"),
+       Term::Literal("unknown", "http://www.w3.org/2001/XMLSchema#integer")},
+      // Plain numeric lexical without a numeric datatype: string value.
+      {Term::Iri("urn:a"), Term::Iri("urn:shoe"), Term::Literal("42")},
+      {Term::Iri("urn:a"), Term::Iri("urn:knows"), Term::Iri("urn:b")},
+  };
+  auto encoded = EncodedDataset::Encode(triples);
+  ASSERT_TRUE(encoded.ok());
+  // Attribute predicates: age, name, shoe (knows is an edge type).
+  EXPECT_EQ(encoded->dictionaries.attr_predicates().size(), 3u);
+  EXPECT_EQ(encoded->dictionaries.edge_types().size(), 1u);
+  ASSERT_EQ(encoded->attribute_values.size(), 5u);
+
+  auto age = encoded->dictionaries.attr_predicates().Find("urn:age");
+  ASSERT_TRUE(age.has_value());
+  EXPECT_EQ(encoded->attribute_values[0].predicate, *age);
+  EXPECT_TRUE(encoded->attribute_values[0].value.numeric);
+  EXPECT_EQ(encoded->attribute_values[0].value.number, 30.0);
+  EXPECT_TRUE(encoded->attribute_values[1].value.numeric);
+  EXPECT_EQ(encoded->attribute_values[1].value.number, 30.5);
+  EXPECT_FALSE(encoded->attribute_values[2].value.numeric);
+  EXPECT_EQ(encoded->attribute_values[2].value.text, "Ann");
+  EXPECT_FALSE(encoded->attribute_values[3].value.numeric);
+  EXPECT_EQ(encoded->attribute_values[3].value.text, "unknown");
+  EXPECT_FALSE(encoded->attribute_values[4].value.numeric);
+  EXPECT_EQ(encoded->attribute_values[4].value.text, "42");
+}
+
+TEST(EncodedDatasetTest, AttrPredicateDictionaryRoundTrips) {
+  std::vector<Triple> triples = {
+      {Term::Iri("urn:a"), Term::Iri("urn:age"), Term::Literal("30")},
+      {Term::Iri("urn:a"), Term::Iri("urn:p"), Term::Iri("urn:b")},
+  };
+  auto encoded = EncodedDataset::Encode(triples);
+  ASSERT_TRUE(encoded.ok());
+  std::stringstream ss;
+  encoded->dictionaries.Save(ss);
+  RdfDictionaries loaded;
+  ASSERT_TRUE(loaded.Load(ss).ok());
+  EXPECT_EQ(loaded.attr_predicates().size(), 1u);
+  EXPECT_EQ(loaded.AttrPredicateIri(0), "urn:age");
+}
+
 TEST(EncodedDatasetTest, AttributeKeyDistinguishesPredicate) {
   // <p1,"v"> and <p2,"v"> must be different attributes.
   std::string k1 = RdfDictionaries::AttributeKey(Term::Iri("urn:p1"),

@@ -127,7 +127,6 @@ TEST(SparqlParserTest, VariablePredicateParsesButIsFlaggedLater) {
 
 TEST(SparqlParserTest, UnsupportedOperatorsAreUnimplemented) {
   const char* queries[] = {
-      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(?y > 3) }",
       "SELECT ?x WHERE { OPTIONAL { ?x <urn:p> ?y } }",
       "SELECT ?x WHERE { MINUS { ?x <urn:p> ?y } }",
   };
@@ -135,6 +134,116 @@ TEST(SparqlParserTest, UnsupportedOperatorsAreUnimplemented) {
     auto r = SparqlParser::Parse(text);
     ASSERT_FALSE(r.ok()) << text;
     EXPECT_TRUE(r.status().IsUnimplemented()) << r.status();
+  }
+}
+
+TEST(SparqlParserTest, FilterComparisons) {
+  SelectQuery q = MustParse(
+      "SELECT ?x WHERE { ?x <urn:age> ?y . FILTER(?y > 25) }");
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0].var, "y");
+  EXPECT_EQ(q.filters[0].op, CompareOp::kGt);
+  EXPECT_EQ(q.filters[0].value.value, "25");
+  EXPECT_EQ(q.filters[0].value.datatype,
+            "http://www.w3.org/2001/XMLSchema#integer");
+
+  // All six operators, string and decimal constants.
+  SelectQuery ops = MustParse(
+      "SELECT ?a WHERE { ?a <urn:p> ?v . ?a <urn:q> ?w . "
+      "FILTER(?v = 1) FILTER(?v != 2) FILTER(?v < 3) "
+      "FILTER(?v <= 4.5) FILTER(?w >= \"m\") FILTER(?w > \"a\"@en) }");
+  ASSERT_EQ(ops.filters.size(), 6u);
+  EXPECT_EQ(ops.filters[0].op, CompareOp::kEq);
+  EXPECT_EQ(ops.filters[1].op, CompareOp::kNe);
+  EXPECT_EQ(ops.filters[2].op, CompareOp::kLt);
+  EXPECT_EQ(ops.filters[3].op, CompareOp::kLe);
+  EXPECT_EQ(ops.filters[3].value.datatype,
+            "http://www.w3.org/2001/XMLSchema#decimal");
+  EXPECT_EQ(ops.filters[4].op, CompareOp::kGe);
+  EXPECT_EQ(ops.filters[5].value.lang, "en");
+}
+
+TEST(SparqlParserTest, FilterConjunctionFlattens) {
+  SelectQuery q = MustParse(
+      "SELECT ?x WHERE { ?x <urn:age> ?y . "
+      "FILTER(?y >= 10 && ?y <= 30 && ?y != 20) }");
+  ASSERT_EQ(q.filters.size(), 3u);
+  EXPECT_EQ(q.filters[0].op, CompareOp::kGe);
+  EXPECT_EQ(q.filters[1].op, CompareOp::kLe);
+  EXPECT_EQ(q.filters[2].op, CompareOp::kNe);
+}
+
+TEST(SparqlParserTest, FilterConstantOnLeftIsMirrored) {
+  SelectQuery q = MustParse(
+      "SELECT ?x WHERE { ?x <urn:age> ?y . FILTER(25 < ?y) }");
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0].var, "y");
+  EXPECT_EQ(q.filters[0].op, CompareOp::kGt);  // 25 < ?y  ==  ?y > 25
+  // Symmetric ops stay put.
+  SelectQuery e = MustParse(
+      "SELECT ?x WHERE { ?x <urn:age> ?y . FILTER(\"a\" = ?y) }");
+  EXPECT_EQ(e.filters[0].op, CompareOp::kEq);
+}
+
+TEST(SparqlParserTest, FilterWhitespaceInsensitiveOperators) {
+  // '<' must lex as an operator (not an IRI opener) with and without
+  // spaces around it.
+  SelectQuery q1 = MustParse(
+      "SELECT ?x WHERE { ?x <urn:age> ?y . FILTER(?y<25) }");
+  EXPECT_EQ(q1.filters[0].op, CompareOp::kLt);
+  SelectQuery q2 = MustParse(
+      "SELECT ?x WHERE { ?x <urn:age> ?y . FILTER(?y <= 25) }");
+  EXPECT_EQ(q2.filters[0].op, CompareOp::kLe);
+}
+
+TEST(SparqlParserTest, MinifiedFilterQueriesLex) {
+  // No whitespace anywhere: the FILTER-paren tracking must still lex the
+  // comparison '<' as an operator even though an IRI's '>' follows later
+  // in the same unbroken run of text.
+  SelectQuery q = MustParse(
+      "SELECT ?x WHERE{?x<urn:p>?y.FILTER(?y<5).?x<urn:q>?z}");
+  ASSERT_EQ(q.patterns.size(), 2u);
+  EXPECT_EQ(q.patterns[1].predicate.value, "urn:q");
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0].op, CompareOp::kLt);
+  // IRIs with parentheses (DBpedia-style) still lex outside FILTER.
+  SelectQuery p = MustParse(
+      "SELECT ?x WHERE { ?x <urn:Paris_(France)> ?y . FILTER(?y1 > 1) . "
+      "?x <urn:r> ?y1 . }");
+  EXPECT_EQ(p.patterns[0].predicate.value, "urn:Paris_(France)");
+}
+
+TEST(SparqlParserTest, UnsupportedFilterConstructsAreUnimplemented) {
+  const char* queries[] = {
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(?y > 1 || ?y < 0) }",
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(!(?y > 1)) }",
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(regex(?y, \"a\")) }",
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(bound(?y)) }",
+      "SELECT ?x WHERE { ?x <urn:p> ?y . ?x <urn:q> ?z . FILTER(?y < ?z) }",
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(1 < 2) }",
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(?y = <urn:a>) }",
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(?y + 1 > 2) }",
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER((?y > 1) && (?y < 9)) }",
+  };
+  for (const char* text : queries) {
+    auto r = SparqlParser::Parse(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_TRUE(r.status().IsUnimplemented()) << text << "\n" << r.status();
+  }
+}
+
+TEST(SparqlParserTest, MalformedFiltersRejected) {
+  const char* bad[] = {
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER ?y > 3 }",     // no parens
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(?y > 3 }",     // no ')'
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(?y >) }",      // no operand
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(?y 3) }",      // no operator
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(?y == 3) }",   // '=='
+      "SELECT ?x WHERE { ?x <urn:p> ?y . FILTER(?y > 3 &&) }",  // dangling &&
+  };
+  for (const char* text : bad) {
+    auto r = SparqlParser::Parse(text);
+    EXPECT_FALSE(r.ok()) << "should reject: " << text;
   }
 }
 

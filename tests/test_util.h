@@ -6,14 +6,18 @@
 #define AMBER_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "rdf/literal_value.h"
 #include "rdf/ntriples.h"
 #include "rdf/term.h"
 #include "sparql/ast.h"
+#include "sparql/filters.h"
 #include "util/random.h"
 
 namespace amber {
@@ -48,6 +52,13 @@ inline std::vector<std::string> CanonicalRows(
   return out;
 }
 
+/// Sorted, deduplicated vertex-id list (expected form of index scans).
+inline std::vector<uint32_t> CanonicalIds(std::vector<uint32_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
 /// \brief Term-level brute-force evaluator of the paper's query model.
 ///
 /// Variables bind resources only; literal objects are constants. Used as
@@ -63,11 +74,22 @@ class BruteForceReference {
   }
 
   /// Returns rows of N-Triples tokens for the projected variables
-  /// (bag semantics; deduplicated under DISTINCT).
+  /// (bag semantics; deduplicated under DISTINCT). FILTERed literal
+  /// variables follow the shared existential semantics (sparql/filters.h):
+  /// they bind satisfying literals while matching, are excluded from
+  /// SELECT *, and assignments differing only in them collapse to one row.
   std::vector<std::vector<std::string>> Evaluate(const SelectQuery& query) {
     bindings_.clear();
     rows_.clear();
+    witness_seen_.clear();
+    filter_cmps_.clear();
     query_ = &query;
+    auto analysis = AnalyzeFilters(query);
+    EXPECT_TRUE(analysis.ok()) << analysis.status();
+    if (!analysis.ok()) return {};
+    for (const VarFilter& vf : analysis->var_filters) {
+      filter_cmps_[vf.var] = &vf.comparisons;
+    }
     CollectVariables();
     Recurse(0);
     if (query.distinct) {
@@ -81,7 +103,7 @@ class BruteForceReference {
   void CollectVariables() {
     vars_.clear();
     auto add = [this](const PatternTerm& t) {
-      if (t.is_variable() &&
+      if (t.is_variable() && !filter_cmps_.count(t.value) &&
           std::find(vars_.begin(), vars_.end(), t.value) == vars_.end()) {
         vars_.push_back(t.value);
       }
@@ -98,7 +120,14 @@ class BruteForceReference {
     if (!slot.is_variable()) {
       return slot.ToTerm() == term;
     }
-    if (term.is_literal()) return false;  // paper model
+    auto fit = filter_cmps_.find(slot.value);
+    if (fit != filter_cmps_.end()) {
+      // FILTERed literal variable: binds literals passing its conjunction.
+      if (!term.is_literal()) return false;
+      if (!SatisfiesAll(LiteralValueOf(term), *fit->second)) return false;
+    } else if (term.is_literal()) {
+      return false;  // paper model: resource variables never bind literals
+    }
     std::string token = term.ToNTriples();
     auto it = bindings_.find(slot.value);
     if (it != bindings_.end()) return it->second == token;
@@ -109,6 +138,16 @@ class BruteForceReference {
 
   void Recurse(size_t depth) {
     if (depth == query_->patterns.size()) {
+      if (!filter_cmps_.empty()) {
+        // Existential collapse: assignments that differ only in FILTERed
+        // variables produce one row (vars_ excludes them).
+        std::string key;
+        for (const std::string& v : vars_) {
+          key += bindings_.at(v);
+          key += '\x1f';
+        }
+        if (!witness_seen_.insert(std::move(key)).second) return;
+      }
       std::vector<std::string> row;
       if (query_->select_all) {
         for (const std::string& v : vars_) row.push_back(bindings_.at(v));
@@ -136,17 +175,23 @@ class BruteForceReference {
 
   std::vector<Triple> data_;
   const SelectQuery* query_ = nullptr;
-  std::vector<std::string> vars_;
+  std::vector<std::string> vars_;  // non-FILTERed variables only
   std::map<std::string, std::string> bindings_;
+  std::map<std::string, const std::vector<ValueComparison>*> filter_cmps_;
+  std::set<std::string> witness_seen_;
   std::vector<std::vector<std::string>> rows_;
 };
 
 /// Random small multigraph dataset for property tests: `num_entities`
 /// resources, `num_edges` edges over `num_predicates` predicates, plus
-/// literal attributes.
+/// literal attributes. `num_numeric_attrs` additionally draws integer-typed
+/// literals (values in [0, 50)) under `urn:num0` / `urn:num1` — the
+/// substrate of FILTER range tests — from an independent rng stream, so
+/// passing 0 reproduces the historical datasets exactly.
 inline std::vector<Triple> RandomDataset(uint64_t seed, int num_entities,
                                          int num_edges, int num_predicates,
-                                         int num_literal_values = 4) {
+                                         int num_literal_values = 4,
+                                         int num_numeric_attrs = 0) {
   Rng rng(seed);
   std::vector<Triple> data;
   auto ent = [](uint64_t i) {
@@ -169,6 +214,17 @@ inline std::vector<Triple> RandomDataset(uint64_t seed, int num_entities,
     data.emplace_back(ent(rng.Uniform(num_entities)),
                       pred(rng.Uniform(num_predicates)),
                       Term::Literal(value));
+  }
+  Rng nrng(seed * 0x9E3779B97F4A7C15ull + 1);
+  for (int i = 0; i < num_numeric_attrs; ++i) {
+    // Two-step strings: GCC 12 misfires -Wrestrict on the inlined
+    // `const char* + std::string&&` at -O2 (see above).
+    std::string pred_iri = "urn:num";
+    pred_iri += std::to_string(nrng.Uniform(2));
+    data.emplace_back(
+        ent(nrng.Uniform(num_entities)), Term::Iri(std::move(pred_iri)),
+        Term::Literal(std::to_string(nrng.Uniform(50)),
+                      "http://www.w3.org/2001/XMLSchema#integer"));
   }
   return data;
 }
@@ -235,6 +291,41 @@ inline std::string RandomQueryFromData(const std::vector<Triple>& data,
   std::string head = "SELECT";
   for (const std::string& v : var_order) head += " " + v;
   return head + " WHERE {\n" + body + "}";
+}
+
+/// Random conjunctive query with a FILTER predicate attached: a base query
+/// from RandomQueryFromData plus one filtered pattern `?s <urn:numK> ?F .
+/// FILTER(?F op c)` on one of its subject variables (or a fresh variable
+/// when the base query kept everything constant). Thresholds span the
+/// numeric value range of RandomDataset, so generated queries cover empty,
+/// partial, and full selectivities.
+inline std::string RandomFilterQueryFromData(const std::vector<Triple>& data,
+                                             uint64_t seed,
+                                             int num_patterns) {
+  Rng rng(seed ^ 0xF117E4);
+  std::string base = RandomQueryFromData(data, seed, num_patterns);
+
+  // Pick a variable to constrain: the first one mentioned in the query.
+  size_t qpos = base.find('?');
+  if (qpos == std::string::npos) return base;
+  size_t qend = qpos + 1;
+  while (qend < base.size() &&
+         (std::isalnum(static_cast<unsigned char>(base[qend])) ||
+          base[qend] == '_')) {
+    ++qend;
+  }
+  std::string var = base.substr(qpos, qend - qpos);
+
+  static const char* kOps[] = {">", ">=", "<", "<=", "=", "!="};
+  const char* op = kOps[rng.Uniform(std::size(kOps))];
+  const uint64_t threshold = rng.Uniform(55);  // values live in [0, 50)
+  const std::string pred = "urn:num" + std::to_string(rng.Uniform(2));
+
+  std::string pattern = "  " + var + " <" + pred + "> ?FQ .\n  FILTER(?FQ " +
+                        op + " " + std::to_string(threshold) + ")\n";
+  size_t close = base.rfind('}');
+  if (close == std::string::npos) return base;
+  return base.substr(0, close) + pattern + base.substr(close);
 }
 
 }  // namespace testutil

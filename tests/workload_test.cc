@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
+#include <utility>
+
 #include "core/amber_engine.h"
 #include "gen/scale_free.h"
 #include "gen/workload.h"
@@ -117,6 +121,109 @@ TEST_F(WorkloadTest, ConstantInjection) {
   }
   EXPECT_GT(with_constants, 10);
   EXPECT_GT(with_literals, 10);
+}
+
+class FilterWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScaleFreeOptions options;
+    options.seed = 99;
+    options.num_entities = 600;
+    options.num_edge_triples = 4000;
+    options.num_predicates = 20;
+    options.attr_fraction = 0.4;
+    options.numeric_attr_fraction = 0.7;
+    options.num_numeric_predicates = 4;
+    options.numeric_value_range = 500;
+    data_ = GenerateScaleFree(options);
+  }
+  std::vector<Triple> data_;
+};
+
+TEST_F(FilterWorkloadTest, FilterQueriesParseAndStayAnswerable) {
+  auto engine = AmberEngine::Build(data_);
+  ASSERT_TRUE(engine.ok());
+  WorkloadGenerator gen(data_);
+  WorkloadOptions options;
+  options.query_size = 6;
+  options.count = 15;
+  options.literal_fraction = 0.5;
+  options.filter_probability = 1.0;
+  options.filter_selectivity = 0.2;
+  auto queries = gen.Generate(QueryShape::kStar, options);
+  ASSERT_GE(queries.size(), 10u);
+  int with_filters = 0;
+  for (const std::string& text : queries) {
+    auto parsed = SparqlParser::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+    with_filters += !parsed->filters.empty();
+    // The window is slid to contain the source triple's value, so every
+    // query keeps its witness embedding.
+    auto count = engine->CountSparql(text, {});
+    ASSERT_TRUE(count.ok()) << count.status() << "\n" << text;
+    EXPECT_GE(count->count, 1u) << text;
+  }
+  EXPECT_GT(with_filters, 5);
+}
+
+TEST_F(FilterWorkloadTest, SelectivityKnobTracksValueCoverage) {
+  // The knob's contract: a FILTER window covers ~the requested fraction of
+  // the predicate's global (multiset) value list.
+  std::map<std::string, std::vector<double>> values_of;
+  for (const Triple& t : data_) {
+    if (!t.object.is_literal()) continue;
+    LiteralValue v = LiteralValueOf(t.object);
+    if (v.numeric) values_of[t.predicate.value].push_back(v.number);
+  }
+
+  WorkloadGenerator gen(data_);
+  auto coverage_at = [&](double selectivity) -> double {
+    WorkloadOptions options;
+    options.query_size = 4;
+    options.count = 12;
+    options.literal_fraction = 0.6;
+    options.filter_probability = 1.0;
+    options.filter_selectivity = selectivity;
+    double coverage_sum = 0;
+    int filters_seen = 0;
+    for (const std::string& text :
+         gen.Generate(QueryShape::kStar, options)) {
+      auto parsed = SparqlParser::Parse(text);
+      EXPECT_TRUE(parsed.ok()) << parsed.status();
+      if (!parsed.ok()) continue;
+      // Group the >= / <= pair per variable into one window.
+      std::map<std::string, std::pair<double, double>> window;
+      for (const FilterPredicate& f : parsed->filters) {
+        double c = std::strtod(f.value.value.c_str(), nullptr);
+        auto [it, inserted] = window.try_emplace(f.var, c, c);
+        if (f.op == CompareOp::kGe) it->second.first = c;
+        if (f.op == CompareOp::kLe) it->second.second = c;
+      }
+      for (const auto& [var, bounds] : window) {
+        // Find the predicate of the pattern binding this variable.
+        for (const TriplePattern& p : parsed->patterns) {
+          if (!p.object.is_variable() || p.object.value != var) continue;
+          const std::vector<double>& values = values_of[p.predicate.value];
+          EXPECT_FALSE(values.empty()) << p.predicate.value;
+          if (values.empty()) continue;
+          int inside = 0;
+          for (double v : values) {
+            inside += (v >= bounds.first && v <= bounds.second);
+          }
+          coverage_sum += static_cast<double>(inside) / values.size();
+          ++filters_seen;
+        }
+      }
+    }
+    EXPECT_GT(filters_seen, 0);
+    return filters_seen ? coverage_sum / filters_seen : 0.0;
+  };
+
+  const double narrow = coverage_at(0.02);
+  const double wide = coverage_at(0.9);
+  EXPECT_LT(narrow, 0.3);
+  EXPECT_GT(wide, 0.5);
+  EXPECT_LT(narrow, wide);
 }
 
 TEST_F(WorkloadTest, OversizedRequestReturnsFewerQueries) {
