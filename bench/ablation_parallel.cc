@@ -1,0 +1,127 @@
+// Parallel online-stage ablation (ROADMAP / the paper's "parallel
+// processing version" future-work item): AMbER thread sweep on
+// table1-class workloads — complex queries on DBPEDIA-profile data.
+//
+// One engine, one workload set, ExecOptions::num_threads swept over
+// {1, 2, 4, 8} (override with AMBER_BENCH_THREAD_SWEEP, a comma list).
+// Emits BENCH_ablation_parallel.json with one series per thread count
+// ("AMbER-1t".."AMbER-8t"); the "size" axis stays the query size.
+//
+// Besides timing, the driver *verifies the determinism contract* on the
+// workload: for every size, the first queries are materialized at 1 thread
+// and at the sweep maximum and their row vectors must be identical —
+// including order — or the run aborts non-zero. Expected timing shape:
+// ≥1.5x speedup at 4 threads on a multi-core host; parity (not
+// regression) on a single core, where the sweep degenerates to queueing
+// the same serial work.
+//
+// Env knobs (bench_common.h): AMBER_BENCH_SCALE / _QUERIES / _TIMEOUT_MS /
+// _SIZES / _JSON_DIR, plus AMBER_BENCH_THREAD_SWEEP above.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.h"
+#include "sparql/parser.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace amber;
+  using namespace amber::bench;
+
+  BenchConfig config = BenchConfig::FromEnv();
+  if (std::getenv("AMBER_BENCH_SIZES") == nullptr) config.sizes = {30, 50};
+
+  std::vector<int> sweep = {1, 2, 4, 8};
+  if (const char* env = std::getenv("AMBER_BENCH_THREAD_SWEEP")) {
+    sweep.clear();
+    for (std::string_view piece : StrSplit(env, ',')) {
+      int v = std::atoi(std::string(piece).c_str());
+      if (v > 0) sweep.push_back(v);
+    }
+    if (sweep.empty()) sweep = {1};
+  }
+
+  DatasetBundle dataset = MakeDataset("DBPEDIA", config.scale);
+  std::fprintf(stderr, "[Ablation parallel] dataset: %zu triples\n",
+               dataset.triples.size());
+  auto built = AmberEngine::Build(dataset.triples);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  AmberEngine engine = std::move(built).value();
+  auto workloads = MakeWorkloads(dataset, QueryShape::kComplex, config);
+
+  // Determinism gate before timing: serial vs max-threads rows must be
+  // bit-identical (order included) on a sample of the workload.
+  const int max_threads = *std::max_element(sweep.begin(), sweep.end());
+  if (max_threads > 1) {
+    for (size_t i = 0; i < workloads.size(); ++i) {
+      for (size_t qi = 0; qi < workloads[i].size() && qi < 2; ++qi) {
+        const std::string& text = workloads[i][qi];
+        ExecOptions serial;
+        serial.timeout = std::chrono::milliseconds(config.timeout_ms);
+        ExecOptions parallel = serial;
+        parallel.num_threads = max_threads;
+        auto a = engine.MaterializeSparql(text, serial);
+        auto b = engine.MaterializeSparql(text, parallel);
+        if (!a.ok() || !b.ok()) continue;
+        if (a->stats.timed_out || b->stats.timed_out) continue;
+        if (a->rows != b->rows) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION at size %d query %zu: serial "
+                       "%zu rows vs %d-thread %zu rows (or order differs)\n",
+                       config.sizes[i], qi, a->rows.size(), max_threads,
+                       b->rows.size());
+          return 1;
+        }
+      }
+    }
+    std::fprintf(stderr, "  determinism gate passed (1 vs %d threads)\n",
+                 max_threads);
+  }
+
+  std::vector<std::string> names;
+  std::vector<std::vector<SeriesPoint>> series;
+  for (int threads : sweep) {
+    names.push_back("AMbER-" + std::to_string(threads) + "t");
+    std::fprintf(stderr, "  running %s...\n", names.back().c_str());
+    series.push_back(RunSeries(&engine, workloads, config.sizes,
+                               config.timeout_ms, threads));
+  }
+
+  std::printf("\nAblation: parallel online stage (complex queries, "
+              "DBPEDIA-like data)\n");
+  std::printf("%-8s", "size");
+  for (const std::string& n : names) std::printf("%14s", n.c_str());
+  std::printf("%14s\n", "speedup@max");
+  for (size_t i = 0; i < config.sizes.size(); ++i) {
+    std::printf("%-8d", config.sizes[i]);
+    for (const auto& s : series) {
+      if (s[i].answered > 0) {
+        std::printf("%12.3fms", s[i].avg_ms);
+      } else {
+        std::printf("%14s", "-");
+      }
+    }
+    const double base = series.front()[i].avg_ms;
+    const double best = series.back()[i].avg_ms;
+    if (series.front()[i].answered > 0 && series.back()[i].answered > 0 &&
+        best > 0) {
+      std::printf("%13.2fx", base / best);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: near-linear gains while chunks outnumber "
+              "cores; parity on one core (rows identical by the "
+              "deterministic merge either way).\n");
+
+  WriteSeriesJson("Ablation parallel", names, series, config);
+  return 0;
+}

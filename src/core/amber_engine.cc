@@ -1,10 +1,7 @@
 #include "core/amber_engine.h"
 
-#include <atomic>
-#include <mutex>
-#include <thread>
-
 #include "core/matcher.h"
+#include "core/parallel_exec.h"
 #include "core/query_plan.h"
 #include "rdf/ntriples.h"
 #include "util/amf.h"
@@ -75,60 +72,27 @@ Result<uint64_t> AmberEngine::Execute(
                                                        : nullptr,
                                graph_.NumVertices());
 
-    const bool parallel = options.num_threads > 1 &&
-                          plan.components.size() == 1 && !qg.distinct() &&
-                          materialize_into == nullptr;
+    // The parallel mode covers every execution shape except fully ground
+    // queries (no components => nothing to partition): results are
+    // bit-identical to serial by the deterministic chunk-order merge of
+    // parallel_exec.h.
+    const bool parallel =
+        options.num_threads > 1 && !plan.components.empty();
     if (parallel) {
-      // Shard CandInit across workers; each worker owns a Matcher and a
-      // CountingSink, merged at the end.
-      Matcher root_matcher(graph_, indexes_, qg, plan, options);
-      std::vector<VertexId> root = root_matcher.ComputeRootCandidates();
-      stats->initial_candidates = root.size();
-      // The CandInit work above accrued hot-path counters in root_matcher,
-      // which never Runs; flush them so serial and parallel stats agree.
-      root_matcher.FlushHotPathStats(stats);
-      const size_t num_workers =
-          std::min<size_t>(static_cast<size_t>(options.num_threads),
-                           std::max<size_t>(root.size(), 1));
-      std::vector<std::thread> workers;
-      std::vector<ExecStats> worker_stats(num_workers);
-      std::vector<uint64_t> worker_counts(num_workers, 0);
-      std::vector<Status> worker_status(num_workers);
-      std::atomic<size_t> next_shard{0};
-      const size_t shard = (root.size() + num_workers - 1) / num_workers;
-      for (size_t w = 0; w < num_workers; ++w) {
-        workers.emplace_back([&, w] {
-          size_t begin = w * shard;
-          size_t end = std::min(root.size(), begin + shard);
-          if (begin >= end) return;
-          std::vector<VertexId> slice(root.begin() + begin,
-                                      root.begin() + end);
-          Matcher matcher(graph_, indexes_, qg, plan, options);
-          CountingSink sink(cap);
-          worker_status[w] = matcher.Run(&sink, &worker_stats[w], &slice);
-          worker_counts[w] = sink.count();
-        });
-      }
-      for (auto& t : workers) t.join();
-      for (size_t w = 0; w < num_workers; ++w) {
-        AMBER_RETURN_IF_ERROR(worker_status[w]);
-        // initial_candidates was attributed above; avoid double counting.
-        worker_stats[w].initial_candidates = 0;
-        stats->MergeFrom(worker_stats[w]);
-        rows = SaturatingAdd(rows, worker_counts[w]);
-      }
-      if (cap != 0 && rows >= cap) {
-        rows = cap;
-        stats->truncated = true;
-      }
+      AMBER_ASSIGN_OR_RETURN(
+          ParallelRunResult pr,
+          RunMatcherParallel(graph_, indexes_, qg, plan, options, cap, stats,
+                             materialize_into));
+      rows = pr.rows;
+      stats->truncated = stats->truncated || pr.truncated;
     } else {
       Matcher matcher(graph_, indexes_, qg, plan, options);
       if (materialize_into != nullptr) {
         if (qg.distinct()) {
           DistinctSink sink(/*keep_rows=*/true, cap);
-          AMBER_RETURN_IF_ERROR(
-              matcher.Run(&sink, stats, nullptr, /*bag_multiplicity=*/false));
-          *materialize_into = sink.rows();
+          AMBER_RETURN_IF_ERROR(matcher.Run(&sink, stats, std::nullopt,
+                                            /*bag_multiplicity=*/false));
+          *materialize_into = sink.TakeRows();
           rows = sink.count();
         } else {
           CollectingSink sink(cap);
@@ -138,8 +102,8 @@ Result<uint64_t> AmberEngine::Execute(
         }
       } else if (qg.distinct()) {
         DistinctSink sink(/*keep_rows=*/false, cap);
-        AMBER_RETURN_IF_ERROR(
-            matcher.Run(&sink, stats, nullptr, /*bag_multiplicity=*/false));
+        AMBER_RETURN_IF_ERROR(matcher.Run(&sink, stats, std::nullopt,
+                                          /*bag_multiplicity=*/false));
         rows = sink.count();
       } else {
         CountingSink sink(cap);

@@ -31,7 +31,10 @@ struct ExecOptions {
   uint64_t max_rows = 0;
 
   /// Number of worker threads for root-candidate partitioning (>1 enables
-  /// the parallel mode; the paper lists this as future work).
+  /// the parallel mode; the paper lists this as future work). The parallel
+  /// mode covers SELECT, DISTINCT, LIMIT and materialization, and returns
+  /// rows bit-identical to serial execution (deterministic chunk-order
+  /// merge; see docs/ARCHITECTURE.md, "The parallel online stage").
   int num_threads = 1;
 
   /// Planner options (Ablation A: vertex-ordering heuristics).
@@ -89,6 +92,15 @@ struct ExecStats {
   /// High-water scratch-arena footprint of one Matcher (max over workers).
   uint64_t peak_arena_bytes = 0;
 
+  // -- Parallel online stage (docs/ARCHITECTURE.md, "The parallel online
+  // stage"). Zero on the serial path.
+
+  /// Worker threads that participated in this execution (max over merges,
+  /// so a query-level aggregate reports the widest fan-out).
+  uint64_t threads_used = 0;
+  /// Root-candidate chunks dispatched to the worker queue.
+  uint64_t tasks_dispatched = 0;
+
   void MergeFrom(const ExecStats& o) {
     rows += o.rows;
     timed_out = timed_out || o.timed_out;
@@ -105,6 +117,8 @@ struct ExecStats {
     range_scan_elements += o.range_scan_elements;
     predicate_checks += o.predicate_checks;
     peak_arena_bytes = std::max(peak_arena_bytes, o.peak_arena_bytes);
+    threads_used = std::max(threads_used, o.threads_used);
+    tasks_dispatched += o.tasks_dispatched;
   }
 };
 
@@ -186,6 +200,15 @@ class CollectingSink : public EmbeddingSink {
   uint64_t cap_;
 };
 
+/// Byte key identifying a projected row for DISTINCT deduplication. The
+/// parallel merge dedups across chunks with the same keys DistinctSink
+/// builds per chunk — both MUST use this helper so the encodings can never
+/// drift apart.
+inline std::string RowDedupKey(std::span<const VertexId> row) {
+  return std::string(reinterpret_cast<const char*>(row.data()),
+                     row.size() * sizeof(VertexId));
+}
+
 /// Deduplicates projected rows (SELECT DISTINCT), optionally keeping them.
 class DistinctSink : public EmbeddingSink {
  public:
@@ -196,9 +219,7 @@ class DistinctSink : public EmbeddingSink {
 
   bool wants_rows() const override { return true; }
   bool OnRow(std::span<const VertexId> row) override {
-    std::string key(reinterpret_cast<const char*>(row.data()),
-                    row.size() * sizeof(VertexId));
-    if (seen_.insert(std::move(key)).second) {
+    if (seen_.insert(RowDedupKey(row)).second) {
       if (keep_rows_) rows_.emplace_back(row.begin(), row.end());
       ++count_;
     }
@@ -208,6 +229,10 @@ class DistinctSink : public EmbeddingSink {
 
   uint64_t count() const { return count_; }
   const std::vector<std::vector<VertexId>>& rows() const { return rows_; }
+  std::vector<std::vector<VertexId>>&& TakeRows() { return std::move(rows_); }
+  /// The dedup key set (the parallel count-only merge unions these instead
+  /// of retaining rows).
+  std::unordered_set<std::string>&& TakeSeen() { return std::move(seen_); }
 
  private:
   bool keep_rows_;

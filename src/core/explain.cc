@@ -69,7 +69,8 @@ void AppendVertexLine(const QueryGraph& q, uint32_t u,
 Result<std::string> ExplainQuery(const SelectQuery& query,
                                  const RdfDictionaries& dicts,
                                  const IndexSet* indexes,
-                                 const PlanOptions& options) {
+                                 const PlanOptions& options,
+                                 const ExecOptions* exec) {
   AMBER_ASSIGN_OR_RETURN(QueryGraph q, QueryGraph::Build(query, dicts));
 
   std::string out;
@@ -96,6 +97,23 @@ Result<std::string> ExplainQuery(const SelectQuery& query,
          " core, " + std::to_string(plan.NumSatelliteVertices()) +
          " satellite, " + std::to_string(plan.components.size()) +
          " component(s)\n";
+
+  if (exec != nullptr) {
+    // Mirrors AmberEngine::Execute's parallel gate: >1 threads and at
+    // least one component (fully ground queries have nothing to shard).
+    if (exec->num_threads > 1 && !plan.components.empty()) {
+      const uint32_t uinit = plan.components[0].core_order[0];
+      out += "Parallel online stage: " +
+             std::to_string(exec->num_threads) + " threads over CandInit(?" +
+             q.vertices()[uinit].name +
+             ") chunks, deterministic chunk-order merge (rows bit-identical "
+             "to serial)\n";
+    } else {
+      out += "Parallel online stage: serial (num_threads=" +
+             std::to_string(exec->num_threads < 1 ? 1 : exec->num_threads) +
+             ")\n";
+    }
+  }
 
   for (size_t ci = 0; ci < plan.components.size(); ++ci) {
     const ComponentPlan& cp = plan.components[ci];

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "core/exec.h"
 #include "core/query_plan.h"
 #include "index/index_set.h"
 #include "sparql/ast.h"
@@ -20,10 +21,14 @@ namespace amber {
 
 /// Renders the execution plan of `query` against data described by `dicts`
 /// (and, when `indexes` is non-null, initial candidate counts from S).
+/// When `exec` is non-null, also reports how the parallel online stage
+/// would run under those execution options (partition unit, worker count,
+/// determinism contract) — or that execution stays serial.
 Result<std::string> ExplainQuery(const SelectQuery& query,
                                  const RdfDictionaries& dicts,
                                  const IndexSet* indexes,
-                                 const PlanOptions& options = {});
+                                 const PlanOptions& options = {},
+                                 const ExecOptions* exec = nullptr);
 
 }  // namespace amber
 

@@ -25,51 +25,98 @@ uint64_t VectorBytes(const std::vector<T>& v) {
 
 }  // namespace
 
-Matcher::Matcher(const Multigraph& g, const IndexSet& indexes,
-                 const QueryGraph& q, const QueryPlan& plan,
-                 const ExecOptions& options)
-    : g_(g), indexes_(indexes), q_(q), plan_(plan), options_(options) {
-  core_match_.assign(q_.NumVertices(), kInvalidId);
-  sat_match_.assign(q_.NumVertices(), {});
+MatcherScratch::MatcherScratch(const Multigraph& g, const IndexSet& indexes,
+                               const QueryGraph& q, const QueryPlan& plan,
+                               const ExecOptions& options) {
+  core_match.assign(q.NumVertices(), kInvalidId);
+  sat_match.assign(q.NumVertices(), {});
   size_t total_depth = 0;
-  for (const ComponentPlan& cp : plan_.components) {
-    depth_base_.push_back(total_depth);
+  for (const ComponentPlan& cp : plan.components) {
+    depth_base.push_back(total_depth);
     total_depth += cp.core_order.size();
     for (const auto& sats : cp.satellites) {
-      satellite_list_.insert(satellite_list_.end(), sats.begin(), sats.end());
+      satellite_list.insert(satellite_list.end(), sats.begin(), sats.end());
     }
   }
-  scratch_.resize(total_depth);
-  row_buffer_.resize(q_.projection().size());
+  depths.resize(total_depth);
+  row_buffer.resize(q.projection().size());
 
-  local_state_.assign(q_.NumVertices(), LocalState::kUnknown);
-  local_cache_.resize(q_.NumVertices());
-  preds_pushed_.resize(q_.NumVertices());
-  for (uint32_t u = 0; u < q_.NumVertices(); ++u) {
-    const std::vector<PredicateConstraint>& preds = q_.vertices()[u].preds;
-    preds_pushed_[u].resize(preds.size(), 0);
+  local_state.assign(q.NumVertices(), LocalState::kUnknown);
+  local_cache.resize(q.NumVertices());
+  preds_pushed.resize(q.NumVertices());
+  for (uint32_t u = 0; u < q.NumVertices(); ++u) {
+    const std::vector<PredicateConstraint>& preds = q.vertices()[u].preds;
+    preds_pushed[u].resize(preds.size(), 0);
     for (size_t i = 0; i < preds.size(); ++i) {
-      preds_pushed_[u][i] =
-          options_.use_value_index && plan_.is_core[u] &&
+      preds_pushed[u][i] =
+          options.use_value_index && plan.is_core[u] &&
           RangeScanWorthPushing(
-              indexes_.value.EstimateRange(preds[i].predicate,
-                                           preds[i].comparisons),
-              g_.NumVertices());
+              indexes.value.EstimateRange(preds[i].predicate,
+                                          preds[i].comparisons),
+              g.NumVertices());
     }
   }
-  comp_cand_cached_.assign(plan_.components.size(), false);
-  comp_cand_cache_.resize(plan_.components.size());
+  comp_cand_cached.assign(plan.components.size(), false);
+  comp_cand_cache.resize(plan.components.size());
 
   // Projected satellites (unique), in first-appearance order; Emit()'s
   // odometer runs over these.
-  for (uint32_t u : q_.projection()) {
-    if (!plan_.is_core[u] &&
-        std::find(expand_.begin(), expand_.end(), u) == expand_.end()) {
-      expand_.push_back(u);
+  for (uint32_t u : q.projection()) {
+    if (!plan.is_core[u] &&
+        std::find(expand.begin(), expand.end(), u) == expand.end()) {
+      expand.push_back(u);
     }
   }
-  pick_.resize(expand_.size());
+  pick.resize(expand.size());
 }
+
+uint64_t MatcherScratch::ArenaBytes() const {
+  uint64_t total = 0;
+  for (const DepthScratch& ds : depths) {
+    total += VectorBytes(ds.constraints) + VectorBytes(ds.views) +
+             VectorBytes(ds.cursors) + VectorBytes(ds.cand);
+    for (const std::vector<VertexId>& list : ds.lists) {
+      total += VectorBytes(list);
+    }
+  }
+  for (const std::vector<VertexId>& list : sat_match) {
+    total += VectorBytes(list);
+  }
+  for (const std::vector<VertexId>& list : local_cache) {
+    total += VectorBytes(list);
+  }
+  for (const std::vector<VertexId>& list : comp_cand_cache) {
+    total += VectorBytes(list);
+  }
+  total += VectorBytes(sat_tmp) + VectorBytes(range_tmp) +
+           VectorBytes(core_match) + VectorBytes(row_buffer) +
+           VectorBytes(pick) + nbr_scratch.ByteSize();
+  return total;
+}
+
+Matcher::Matcher(const Multigraph& g, const IndexSet& indexes,
+                 const QueryGraph& q, const QueryPlan& plan,
+                 const ExecOptions& options, MatcherScratch* scratch)
+    : g_(g),
+      indexes_(indexes),
+      q_(q),
+      plan_(plan),
+      options_(options),
+      s_(scratch) {
+  assert(s_ != nullptr);
+}
+
+Matcher::Matcher(const Multigraph& g, const IndexSet& indexes,
+                 const QueryGraph& q, const QueryPlan& plan,
+                 const ExecOptions& options)
+    : g_(g),
+      indexes_(indexes),
+      q_(q),
+      plan_(plan),
+      options_(options),
+      owned_scratch_(
+          std::make_unique<MatcherScratch>(g, indexes, q, plan, options)),
+      s_(owned_scratch_.get()) {}
 
 bool Matcher::DeadlineExpired() {
   // Amortize the clock read: every 64th check actually reads the clock.
@@ -82,7 +129,8 @@ void Matcher::PairCandidates(const QueryEdge& e, bool u_is_from, VertexId vn,
   // u --types--> un: candidates must appear among vn's in-neighbours with a
   // superset multi-edge; un --types--> u: among vn's out-neighbours.
   const Direction d = u_is_from ? Direction::kIn : Direction::kOut;
-  indexes_.neighborhood.SupersetNeighbors(vn, d, e.types, out, &nbr_scratch_);
+  indexes_.neighborhood.SupersetNeighbors(vn, d, e.types, out,
+                                          &s_->nbr_scratch);
 }
 
 void Matcher::ProbeFilter(const QueryEdge& e, bool u_is_from, VertexId vn,
@@ -92,16 +140,19 @@ void Matcher::ProbeFilter(const QueryEdge& e, bool u_is_from, VertexId vn,
   // materializing vn's neighbour list is the whole point — c is one of few
   // surviving candidates and usually low-degree, vn is the hub.
   const Direction d = u_is_from ? Direction::kOut : Direction::kIn;
-  probe_checks_ += cand->size();
+  s_->probe_checks += cand->size();
   std::erase_if(*cand, [&](VertexId c) {
-    return !indexes_.neighborhood.Contains(c, d, e.types, vn, &nbr_scratch_);
+    return !indexes_.neighborhood.Contains(c, d, e.types, vn,
+                                           &s_->nbr_scratch);
   });
-  probe_hits_ += cand->size();
+  s_->probe_hits += cand->size();
 }
 
 const std::vector<VertexId>* Matcher::CachedLocalCandidates(uint32_t u) {
-  if (local_state_[u] == LocalState::kNone) return nullptr;
-  if (local_state_[u] == LocalState::kCached) return &local_cache_[u];
+  if (s_->local_state[u] == MatcherScratch::LocalState::kNone) return nullptr;
+  if (s_->local_state[u] == MatcherScratch::LocalState::kCached) {
+    return &s_->local_cache[u];
+  }
 
   const QueryVertex& qv = q_.vertices()[u];
   // FILTER constraints only enter the cached list when pushed; residual
@@ -116,13 +167,13 @@ const std::vector<VertexId>* Matcher::CachedLocalCandidates(uint32_t u) {
     }
   }
   if (qv.attrs.empty() && qv.iris.empty() && !push_preds) {
-    local_state_[u] = LocalState::kNone;
+    s_->local_state[u] = MatcherScratch::LocalState::kNone;
     return nullptr;
   }
-  // Cold path: computed once per query vertex per Matcher, then served from
+  // Cold path: computed once per query vertex per scratch, then served from
   // the cache for every subsequent refinement (RefineByVertex used to
   // recompute this per satellite per embedding).
-  std::vector<VertexId>& result = local_cache_[u];
+  std::vector<VertexId>& result = s_->local_cache[u];
   result.clear();
   std::vector<VertexId> tmp;
   bool first = true;
@@ -141,26 +192,27 @@ const std::vector<VertexId>* Matcher::CachedLocalCandidates(uint32_t u) {
                                  &scan_stats);
         first = false;
       } else if (!result.empty()) {
-        indexes_.value.RangeScan(pc.predicate, pc.comparisons, &range_tmp_,
+        indexes_.value.RangeScan(pc.predicate, pc.comparisons, &s_->range_tmp,
                                  &scan_stats);
-        IntersectInPlace(&result, std::span<const VertexId>(range_tmp_),
-                         &icounters_);
+        IntersectInPlace(&result, std::span<const VertexId>(s_->range_tmp),
+                         &s_->icounters);
       }
-      range_scans_ += scan_stats.scans;
-      range_scan_elements_ += scan_stats.elements;
+      s_->range_scans += scan_stats.scans;
+      s_->range_scan_elements += scan_stats.elements;
     }
   }
   auto refine = [&](VertexId anchor, Direction d,
                     std::span<const EdgeTypeId> types) {
     if (first) {
       indexes_.neighborhood.SupersetNeighbors(anchor, d, types, &result,
-                                              &nbr_scratch_);
+                                              &s_->nbr_scratch);
       first = false;
     } else if (!result.empty()) {
       tmp.clear();
       indexes_.neighborhood.SupersetNeighbors(anchor, d, types, &tmp,
-                                              &nbr_scratch_);
-      IntersectInPlace(&result, std::span<const VertexId>(tmp), &icounters_);
+                                              &s_->nbr_scratch);
+      IntersectInPlace(&result, std::span<const VertexId>(tmp),
+                       &s_->icounters);
     }
   };
   for (const IriConstraint& c : qv.iris) {  // C^I_u
@@ -169,7 +221,7 @@ const std::vector<VertexId>* Matcher::CachedLocalCandidates(uint32_t u) {
     if (!c.out_types.empty()) refine(c.anchor, Direction::kIn, c.out_types);
     if (!c.in_types.empty()) refine(c.anchor, Direction::kOut, c.in_types);
   }
-  local_state_[u] = LocalState::kCached;
+  s_->local_state[u] = MatcherScratch::LocalState::kCached;
   return &result;
 }
 
@@ -177,7 +229,7 @@ void Matcher::RefineByVertex(uint32_t u, std::vector<VertexId>* cand) {
   if (cand->empty()) return;
   const std::vector<VertexId>* local = CachedLocalCandidates(u);
   if (local != nullptr) {
-    IntersectInPlace(cand, std::span<const VertexId>(*local), &icounters_);
+    IntersectInPlace(cand, std::span<const VertexId>(*local), &s_->icounters);
   }
   const QueryVertex& qv = q_.vertices()[u];
   if (!qv.self_types.empty()) {
@@ -191,7 +243,7 @@ void Matcher::RefineByVertex(uint32_t u, std::vector<VertexId>* cand) {
     if (cand->empty()) break;
     if (ConstraintPushed(u, i)) continue;  // already intersected above
     const PredicateConstraint& pc = qv.preds[i];
-    predicate_checks_ += cand->size();
+    s_->predicate_checks += cand->size();
     std::erase_if(*cand, [&](VertexId v) {
       return !indexes_.value.VertexMatches(g_.Attributes(v), pc.predicate,
                                            pc.comparisons);
@@ -219,12 +271,12 @@ const std::vector<VertexId>& Matcher::CachedComponentCandidates(size_t ci) {
   // Components after the first are re-entered once per upstream embedding;
   // their CandInit does not depend on earlier assignments, so compute it
   // once per run.
-  if (!comp_cand_cached_[ci]) {
-    comp_cand_cache_[ci] =
+  if (!s_->comp_cand_cached[ci]) {
+    s_->comp_cand_cache[ci] =
         InitialCandidates(plan_.components[ci].core_order[0]);
-    comp_cand_cached_[ci] = true;
+    s_->comp_cand_cached[ci] = true;
   }
-  return comp_cand_cache_[ci];
+  return s_->comp_cand_cache[ci];
 }
 
 std::vector<VertexId> Matcher::ComputeRootCandidates() {
@@ -235,7 +287,7 @@ std::vector<VertexId> Matcher::ComputeRootCandidates() {
 bool Matcher::MatchSatellites(const std::vector<uint32_t>& sats, uint32_t uc,
                               VertexId vc) {
   for (uint32_t us : sats) {
-    std::vector<VertexId>& cand = sat_match_[us];
+    std::vector<VertexId>& cand = s_->sat_match[us];
     cand.clear();
     const std::vector<std::pair<uint32_t, bool>>& incident =
         q_.IncidentEdges(us);
@@ -265,7 +317,7 @@ bool Matcher::MatchSatellites(const std::vector<uint32_t>& sats, uint32_t uc,
 
     PairCandidates(q_.edges()[incident[seed].first], incident[seed].second,
                    vc, &cand);
-    ++lists_materialized_;
+    ++s_->lists_materialized;
     for (size_t idx = 0; idx < incident.size() && !cand.empty(); ++idx) {
       if (idx == seed) continue;
       const auto& [edge_idx, us_is_from] = incident[idx];
@@ -282,11 +334,11 @@ bool Matcher::MatchSatellites(const std::vector<uint32_t>& sats, uint32_t uc,
       if (bound > kProbeMinBound && bound / kProbeSkewFactor > cand.size()) {
         ProbeFilter(e, us_is_from, vc, &cand);
       } else {
-        sat_tmp_.clear();
-        PairCandidates(e, us_is_from, vc, &sat_tmp_);
-        ++lists_materialized_;
-        IntersectInPlace(&cand, std::span<const VertexId>(sat_tmp_),
-                         &icounters_);
+        s_->sat_tmp.clear();
+        PairCandidates(e, us_is_from, vc, &s_->sat_tmp);
+        ++s_->lists_materialized;
+        IntersectInPlace(&cand, std::span<const VertexId>(s_->sat_tmp),
+                         &s_->icounters);
       }
     }
     RefineByVertex(us, &cand);
@@ -301,73 +353,76 @@ Matcher::Flow Matcher::Emit() {
   if (!sink_->wants_rows()) {
     // GenEmb fast path: |embeddings| = product of satellite set sizes.
     uint64_t count = 1;
-    for (uint32_t us : satellite_list_) {
-      count = SaturatingMul(count, sat_match_[us].size());
+    for (uint32_t us : s_->satellite_list) {
+      count = SaturatingMul(count, s_->sat_match[us].size());
     }
     return sink_->OnCount(count) ? Flow::kContinue : Flow::kStop;
   }
 
-  // Cartesian expansion. Projected satellites (expand_) enumerate their
+  // Cartesian expansion. Projected satellites (expand) enumerate their
   // sets; the multiplicity of non-projected satellites repeats rows (bag
   // semantics) unless the sink deduplicates (DISTINCT).
   const std::vector<uint32_t>& proj = q_.projection();
   uint64_t multiplicity = 1;
   if (bag_multiplicity_) {
-    for (uint32_t us : satellite_list_) {
-      if (std::find(expand_.begin(), expand_.end(), us) == expand_.end()) {
-        multiplicity = SaturatingMul(multiplicity, sat_match_[us].size());
+    for (uint32_t us : s_->satellite_list) {
+      if (std::find(s_->expand.begin(), s_->expand.end(), us) ==
+          s_->expand.end()) {
+        multiplicity = SaturatingMul(multiplicity, s_->sat_match[us].size());
       }
     }
   }
 
   // Odometer over the projected satellite sets.
-  pick_.assign(expand_.size(), 0);
+  s_->pick.assign(s_->expand.size(), 0);
   while (true) {
     for (size_t i = 0; i < proj.size(); ++i) {
       const uint32_t u = proj[i];
       if (plan_.is_core[u]) {
-        row_buffer_[i] = core_match_[u];
+        s_->row_buffer[i] = s_->core_match[u];
       } else {
         const size_t slot = static_cast<size_t>(
-            std::find(expand_.begin(), expand_.end(), u) - expand_.begin());
-        row_buffer_[i] = sat_match_[u][pick_[slot]];
+            std::find(s_->expand.begin(), s_->expand.end(), u) -
+            s_->expand.begin());
+        s_->row_buffer[i] = s_->sat_match[u][s_->pick[slot]];
       }
     }
     for (uint64_t m = 0; m < multiplicity; ++m) {
-      if (!sink_->OnRow(row_buffer_)) return Flow::kStop;
+      if (!sink_->OnRow(s_->row_buffer)) return Flow::kStop;
     }
     // Advance the odometer.
     size_t d = 0;
-    while (d < expand_.size()) {
-      if (++pick_[d] < sat_match_[expand_[d]].size()) break;
-      pick_[d] = 0;
+    while (d < s_->expand.size()) {
+      if (++s_->pick[d] < s_->sat_match[s_->expand[d]].size()) break;
+      s_->pick[d] = 0;
       ++d;
     }
-    if (d == expand_.size()) break;
+    if (d == s_->expand.size()) break;
   }
   return Flow::kContinue;
 }
 
-Matcher::Flow Matcher::MatchComponent(size_t ci,
-                                      const std::vector<VertexId>* root) {
+Matcher::Flow Matcher::MatchComponent(
+    size_t ci, const std::optional<std::span<const VertexId>>& root) {
   if (ci == plan_.components.size()) return Emit();
   const ComponentPlan& cp = plan_.components[ci];
   const uint32_t uinit = cp.core_order[0];
 
-  const std::vector<VertexId>* cand = (ci == 0 && root != nullptr)
-                                          ? root
-                                          : &CachedComponentCandidates(ci);
-  if (ci == 0) stats_->initial_candidates += cand->size();
+  const std::span<const VertexId> cand =
+      (ci == 0 && root.has_value())
+          ? *root
+          : std::span<const VertexId>(CachedComponentCandidates(ci));
+  if (ci == 0) stats_->initial_candidates += cand.size();
 
-  for (VertexId vinit : *cand) {
+  for (VertexId vinit : cand) {
     if (DeadlineExpired()) return Flow::kTimeout;
     if (!cp.satellites[0].empty() &&
         !MatchSatellites(cp.satellites[0], uinit, vinit)) {
       continue;
     }
-    core_match_[uinit] = vinit;
+    s_->core_match[uinit] = vinit;
     Flow f = Recurse(ci, 1);
-    core_match_[uinit] = kInvalidId;
+    s_->core_match[uinit] = kInvalidId;
     if (f != Flow::kContinue) return f;
   }
   return Flow::kContinue;
@@ -377,12 +432,12 @@ Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
   ++stats_->recursion_calls;
   const ComponentPlan& cp = plan_.components[ci];
   if (depth == cp.core_order.size()) {
-    return MatchComponent(ci + 1, nullptr);
+    return MatchComponent(ci + 1, std::nullopt);
   }
   if (DeadlineExpired()) return Flow::kTimeout;
 
   const uint32_t unxt = cp.core_order[depth];
-  DepthScratch& ds = scratch_[depth_base_[ci] + depth];
+  MatcherScratch::DepthScratch& ds = s_->depths[s_->depth_base[ci] + depth];
 
   // Constraints from every already-matched core neighbour (Algorithm 4
   // lines 5-7), each with the O(1) neighbour-count upper bound on its
@@ -392,13 +447,14 @@ Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
   for (const auto& [edge_idx, u_is_from] : q_.IncidentEdges(unxt)) {
     const QueryEdge& e = q_.edges()[edge_idx];
     const uint32_t other = u_is_from ? e.to : e.from;
-    const VertexId vn = core_match_[other];
+    const VertexId vn = s_->core_match[other];
     if (vn == kInvalidId) continue;  // satellite or not yet matched
     const Direction d = u_is_from ? Direction::kIn : Direction::kOut;
     const uint32_t bound =
         static_cast<uint32_t>(indexes_.neighborhood.NeighborCount(vn, d));
     if (bound == 0) return Flow::kContinue;
-    ds.constraints.push_back(Constraint{&e, vn, bound, u_is_from});
+    ds.constraints.push_back(
+        MatcherScratch::Constraint{&e, vn, bound, u_is_from});
     min_bound = std::min(min_bound, bound);
   }
   assert(!ds.constraints.empty() && "ordering guarantees a matched neighbour");
@@ -408,7 +464,7 @@ Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
   // bound constraint always materializes, so there is always a seed.
   ds.views.clear();
   size_t used = 0;
-  for (Constraint& c : ds.constraints) {
+  for (MatcherScratch::Constraint& c : ds.constraints) {
     c.probe =
         c.bound > kProbeMinBound && c.bound / kProbeSkewFactor > min_bound;
     if (c.probe) continue;
@@ -416,7 +472,7 @@ Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
     std::vector<VertexId>& list = ds.lists[used];
     list.clear();
     PairCandidates(*c.edge, c.u_is_from, c.vn, &list);
-    ++lists_materialized_;
+    ++s_->lists_materialized;
     if (list.empty()) return Flow::kContinue;
     ds.views.emplace_back(list.data(), list.size());
     ++used;
@@ -428,14 +484,14 @@ Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
     std::swap(ds.cand, ds.lists[0]);
   } else {
     IntersectKWay(std::span<const std::span<const VertexId>>(ds.views),
-                  &ds.cursors, &ds.cand, &icounters_);
+                  &ds.cursors, &ds.cand, &s_->icounters);
   }
   if (ds.cand.empty()) return Flow::kContinue;
   RefineByVertex(unxt, &ds.cand);
 
   // Probe the deferred hub constraints against the (now small) survivor
   // set — per-candidate trie seeks instead of hub-sized materialization.
-  for (const Constraint& c : ds.constraints) {
+  for (const MatcherScratch::Constraint& c : ds.constraints) {
     if (!c.probe || ds.cand.empty()) continue;
     ProbeFilter(*c.edge, c.u_is_from, c.vn, &ds.cand);
   }
@@ -445,87 +501,68 @@ Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
   for (VertexId vnxt : ds.cand) {
     if (DeadlineExpired()) return Flow::kTimeout;
     if (!sats.empty() && !MatchSatellites(sats, unxt, vnxt)) continue;
-    core_match_[unxt] = vnxt;
+    s_->core_match[unxt] = vnxt;
     Flow f = Recurse(ci, depth + 1);
-    core_match_[unxt] = kInvalidId;
+    s_->core_match[unxt] = kInvalidId;
     if (f != Flow::kContinue) return f;
   }
   return Flow::kContinue;
 }
 
-uint64_t Matcher::ArenaBytes() const {
-  uint64_t total = 0;
-  for (const DepthScratch& ds : scratch_) {
-    total += VectorBytes(ds.constraints) + VectorBytes(ds.views) +
-             VectorBytes(ds.cursors) + VectorBytes(ds.cand);
-    for (const std::vector<VertexId>& list : ds.lists) {
-      total += VectorBytes(list);
-    }
-  }
-  for (const std::vector<VertexId>& list : sat_match_) {
-    total += VectorBytes(list);
-  }
-  for (const std::vector<VertexId>& list : local_cache_) {
-    total += VectorBytes(list);
-  }
-  for (const std::vector<VertexId>& list : comp_cand_cache_) {
-    total += VectorBytes(list);
-  }
-  total += VectorBytes(sat_tmp_) + VectorBytes(range_tmp_) +
-           VectorBytes(core_match_) + VectorBytes(row_buffer_) +
-           VectorBytes(pick_) + nbr_scratch_.ByteSize();
-  return total;
-}
-
 void Matcher::FlushHotPathStats(ExecStats* stats) {
-  stats->lists_materialized += lists_materialized_;
-  stats->galloped_elements += icounters_.galloped_elements;
-  stats->scanned_elements += icounters_.scanned_elements;
-  stats->probe_checks += probe_checks_;
-  stats->probe_hits += probe_hits_;
-  stats->range_scans += range_scans_;
-  stats->range_scan_elements += range_scan_elements_;
-  stats->predicate_checks += predicate_checks_;
-  stats->peak_arena_bytes = std::max(stats->peak_arena_bytes, ArenaBytes());
-  lists_materialized_ = 0;
-  probe_checks_ = 0;
-  probe_hits_ = 0;
-  range_scans_ = 0;
-  range_scan_elements_ = 0;
-  predicate_checks_ = 0;
-  icounters_ = IntersectCounters{};
+  stats->lists_materialized += s_->lists_materialized;
+  stats->galloped_elements += s_->icounters.galloped_elements;
+  stats->scanned_elements += s_->icounters.scanned_elements;
+  stats->probe_checks += s_->probe_checks;
+  stats->probe_hits += s_->probe_hits;
+  stats->range_scans += s_->range_scans;
+  stats->range_scan_elements += s_->range_scan_elements;
+  stats->predicate_checks += s_->predicate_checks;
+  stats->peak_arena_bytes =
+      std::max(stats->peak_arena_bytes, s_->ArenaBytes());
+  s_->lists_materialized = 0;
+  s_->probe_checks = 0;
+  s_->probe_hits = 0;
+  s_->range_scans = 0;
+  s_->range_scan_elements = 0;
+  s_->predicate_checks = 0;
+  s_->icounters = IntersectCounters{};
 }
 
-Status Matcher::Run(EmbeddingSink* sink, ExecStats* stats,
-                    const std::vector<VertexId>* root_candidates,
-                    bool bag_multiplicity) {
-  sink_ = sink;
-  stats_ = stats;
-  bag_multiplicity_ = bag_multiplicity;
-  deadline_ = Deadline::After(options_.timeout);
-  deadline_tick_ = 0;
-
+bool Matcher::GroundChecksPass() {
   // Ground checks (patterns without variables) gate the whole query.
   for (const GroundEdge& e : q_.ground_edges()) {
-    if (!g_.HasEdge(e.subject, e.predicate, e.object)) {
-      FlushHotPathStats(stats_);
-      return Status::OK();
-    }
+    if (!g_.HasEdge(e.subject, e.predicate, e.object)) return false;
   }
   for (const GroundAttribute& a : q_.ground_attributes()) {
     std::span<const AttributeId> attrs = g_.Attributes(a.subject);
     if (!std::binary_search(attrs.begin(), attrs.end(), a.attribute)) {
-      FlushHotPathStats(stats_);
-      return Status::OK();
+      return false;
     }
   }
   for (const GroundPredicate& gp : q_.ground_predicates()) {
-    ++predicate_checks_;
+    ++s_->predicate_checks;
     if (!indexes_.value.VertexMatches(g_.Attributes(gp.subject),
                                       gp.predicate, gp.comparisons)) {
-      FlushHotPathStats(stats_);
-      return Status::OK();
+      return false;
     }
+  }
+  return true;
+}
+
+Status Matcher::Run(EmbeddingSink* sink, ExecStats* stats,
+                    const RunControl& control) {
+  sink_ = sink;
+  stats_ = stats;
+  bag_multiplicity_ = control.bag_multiplicity;
+  deadline_ = control.deadline.has_value()
+                  ? *control.deadline
+                  : Deadline::After(options_.timeout);
+  deadline_tick_ = 0;
+
+  if (!control.skip_ground_checks && !GroundChecksPass()) {
+    FlushHotPathStats(stats_);
+    return Status::OK();
   }
 
   if (plan_.components.empty()) {
@@ -539,7 +576,7 @@ Status Matcher::Run(EmbeddingSink* sink, ExecStats* stats,
     return Status::OK();
   }
 
-  Flow f = MatchComponent(0, root_candidates);
+  Flow f = MatchComponent(0, control.root_candidates);
   if (f == Flow::kTimeout) stats_->timed_out = true;
   if (f == Flow::kStop) stats_->truncated = true;
   FlushHotPathStats(stats_);

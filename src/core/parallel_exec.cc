@@ -1,0 +1,313 @@
+#include "core/parallel_exec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "core/matcher.h"
+#include "util/thread_pool.h"
+
+namespace amber {
+
+namespace {
+
+// Chunks per worker in the shared queue. More chunks than workers gives
+// work-stealing-style load balancing (a worker that drew a cheap chunk
+// claims another) without the merge cost growing past O(#chunks).
+constexpr size_t kChunksPerWorker = 8;
+
+/// Counting sink with a shared row budget: the local count is exact (summed
+/// at merge time), while the shared counter lets every worker stop as soon
+/// as the fleet has counted `cap` rows in total — for counting, the result
+/// is min(sum, cap) regardless of *which* rows were counted, so a global
+/// (unordered) budget preserves determinism.
+class BudgetCountingSink : public EmbeddingSink {
+ public:
+  BudgetCountingSink(uint64_t cap, std::atomic<uint64_t>* global)
+      : cap_(cap), global_(global) {}
+
+  bool wants_rows() const override { return false; }
+  bool OnRow(std::span<const VertexId>) override { return OnCount(1); }
+  bool OnCount(uint64_t count) override {
+    local_ = SaturatingAdd(local_, count);
+    if (cap_ == 0) return true;
+    // Increments are clamped to the cap so the shared counter cannot wrap
+    // even with saturated satellite products.
+    const uint64_t inc = std::min(count, cap_);
+    const uint64_t total =
+        global_->fetch_add(inc, std::memory_order_relaxed) + inc;
+    return total < cap_;
+  }
+
+  uint64_t count() const { return local_; }
+
+ private:
+  uint64_t cap_;
+  std::atomic<uint64_t>* global_;
+  uint64_t local_ = 0;
+};
+
+/// Collects up to `cap` rows for one chunk, aborting early when the
+/// *completed prefix of earlier chunks* already holds the full cap — those
+/// rows shadow anything this chunk could contribute, so stopping cannot
+/// change the merged output (the ordered early-cutoff of the determinism
+/// contract).
+class OrderedChunkSink : public EmbeddingSink {
+ public:
+  OrderedChunkSink(uint64_t cap, const std::atomic<uint64_t>* prefix_rows,
+                   std::vector<std::vector<VertexId>>* out)
+      : cap_(cap), prefix_rows_(prefix_rows), out_(out) {}
+
+  bool wants_rows() const override { return true; }
+  bool OnRow(std::span<const VertexId> row) override {
+    if (cap_ != 0 &&
+        prefix_rows_->load(std::memory_order_acquire) >= cap_) {
+      return false;
+    }
+    out_->emplace_back(row.begin(), row.end());
+    return cap_ == 0 || out_->size() < cap_;
+  }
+  bool OnCount(uint64_t) override { return true; }  // unused in row mode
+
+ private:
+  uint64_t cap_;
+  const std::atomic<uint64_t>* prefix_rows_;
+  std::vector<std::vector<VertexId>>* out_;
+};
+
+}  // namespace
+
+Result<ParallelRunResult> RunMatcherParallel(
+    const Multigraph& g, const IndexSet& indexes, const QueryGraph& q,
+    const QueryPlan& plan, const ExecOptions& options, uint64_t cap,
+    ExecStats* stats, std::vector<std::vector<VertexId>>* materialize_into) {
+  const bool distinct = q.distinct();
+  const bool want_rows = materialize_into != nullptr;
+
+  // ONE absolute deadline for the whole query, shared by every chunk Run:
+  // ExecOptions::timeout is a per-query budget, exactly as in serial mode.
+  const Deadline deadline = Deadline::After(options.timeout);
+
+  ParallelRunResult out;
+
+  // Ground checks and CandInit run once, on the calling thread (workers
+  // skip both). The root matcher never Runs, so its hot-path counters are
+  // flushed here to keep serial and parallel stats in agreement.
+  Matcher root_matcher(g, indexes, q, plan, options);
+  if (!root_matcher.GroundChecksPass()) {
+    root_matcher.FlushHotPathStats(stats);
+    return out;  // a constant pattern is absent => no rows
+  }
+  const std::vector<VertexId> root = root_matcher.ComputeRootCandidates();
+  stats->initial_candidates = root.size();
+  root_matcher.FlushHotPathStats(stats);
+
+  if (root.empty()) return out;  // component 0 unmatchable => no rows
+
+  const size_t num_workers =
+      std::min<size_t>(static_cast<size_t>(options.num_threads), root.size());
+  const size_t target_chunks =
+      std::min(root.size(), num_workers * kChunksPerWorker);
+  const size_t chunk_size = (root.size() + target_chunks - 1) / target_chunks;
+  const size_t num_chunks = (root.size() + chunk_size - 1) / chunk_size;
+
+  // Per-chunk output slots: written by exactly one worker, read after the
+  // pool barrier (ThreadPool::Wait provides the happens-before edge).
+  struct ChunkOut {
+    std::vector<std::vector<VertexId>> rows;  // materializing modes
+    std::unordered_set<std::string> keys;     // DISTINCT count-only mode
+    uint64_t count = 0;                       // plain counting mode
+  };
+  std::vector<ChunkOut> chunks(num_chunks);
+  std::vector<ExecStats> worker_stats(num_workers);
+  std::vector<Status> worker_status(num_workers);
+
+  std::atomic<size_t> next_chunk{0};
+  // Counting budget: rows counted by the whole fleet (counting mode only).
+  std::atomic<uint64_t> counted{0};
+  // Ordered cutoff state: rows produced by the longest fully-finished
+  // prefix of chunks. Guarded by prefix_mu; published via prefix_rows.
+  std::mutex prefix_mu;
+  std::vector<uint8_t> chunk_done(num_chunks, 0);
+  std::vector<uint64_t> chunk_row_counts(num_chunks, 0);
+  size_t prefix_next = 0;
+  uint64_t prefix_total = 0;
+  std::atomic<uint64_t> prefix_rows{0};
+
+  auto finish_chunk = [&](size_t c, uint64_t rows_produced) {
+    std::lock_guard<std::mutex> lock(prefix_mu);
+    chunk_row_counts[c] = rows_produced;
+    chunk_done[c] = 1;
+    while (prefix_next < num_chunks && chunk_done[prefix_next]) {
+      prefix_total = SaturatingAdd(prefix_total, chunk_row_counts[prefix_next]);
+      ++prefix_next;
+    }
+    prefix_rows.store(prefix_total, std::memory_order_release);
+  };
+
+  auto worker = [&](size_t wi) {
+    // One scratch arena per worker, reused across every chunk it claims:
+    // caches (LocalCandidates, component CandInit) stay warm and the
+    // steady-state recursion stays allocation-free.
+    MatcherScratch scratch(g, indexes, q, plan, options);
+    Matcher matcher(g, indexes, q, plan, options, &scratch);
+    while (true) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const size_t begin = c * chunk_size;
+      const size_t end = std::min(root.size(), begin + chunk_size);
+      const std::span<const VertexId> slice(root.data() + begin, end - begin);
+
+      // Early cutoff. Counting: once the fleet has counted `cap` rows the
+      // result is pinned at the cap, so remaining chunks are moot.
+      // Materializing: a chunk is shadowed only when *earlier* chunks
+      // (a superset of the finished prefix, which never reaches an
+      // in-flight chunk) already hold the cap. DISTINCT chunks always run:
+      // cross-chunk duplicates make their contribution unknowable here.
+      if (cap != 0 && !distinct) {
+        const bool moot =
+            want_rows
+                ? prefix_rows.load(std::memory_order_acquire) >= cap
+                : counted.load(std::memory_order_relaxed) >= cap;
+        if (moot) {
+          finish_chunk(c, 0);
+          continue;
+        }
+      }
+
+      Matcher::RunControl control;
+      control.root_candidates = slice;
+      control.deadline = deadline;
+      control.skip_ground_checks = true;  // gated once, before dispatch
+
+      Status status;
+      uint64_t produced = 0;
+      if (distinct) {
+        // Local dedup per chunk. A chunk never contributes more than `cap`
+        // unique rows: at most |merged prefix| of its first cap
+        // local-uniques can be shadowed by earlier chunks, and the merge
+        // takes at most cap - |merged prefix| new rows from it. The merge
+        // needs rows (in local first-occurrence order) when materializing,
+        // but only the key set when counting — |union| is order-free.
+        control.bag_multiplicity = false;
+        DistinctSink sink(/*keep_rows=*/want_rows, cap);
+        status = matcher.Run(&sink, &worker_stats[wi], control);
+        if (want_rows) {
+          chunks[c].rows = sink.TakeRows();
+          produced = chunks[c].rows.size();
+        } else {
+          chunks[c].keys = sink.TakeSeen();
+          produced = chunks[c].keys.size();
+        }
+      } else if (want_rows) {
+        OrderedChunkSink sink(cap, &prefix_rows, &chunks[c].rows);
+        status = matcher.Run(&sink, &worker_stats[wi], control);
+        produced = chunks[c].rows.size();
+      } else {
+        BudgetCountingSink sink(cap, &counted);
+        status = matcher.Run(&sink, &worker_stats[wi], control);
+        chunks[c].count = sink.count();
+        produced = chunks[c].count;
+      }
+      finish_chunk(c, produced);
+      if (!status.ok()) {
+        worker_status[wi] = std::move(status);
+        break;
+      }
+      // Once the shared deadline fired there is no point claiming further
+      // chunks; sibling workers notice the same expiry on their next
+      // claim or within one check interval inside Run.
+      if (worker_stats[wi].timed_out) break;
+    }
+  };
+
+  {
+    // The calling thread participates as worker 0; the pool only holds the
+    // helpers. This saves one thread spawn per query (visible on short
+    // queries and single-core hosts) and keeps the caller's core busy.
+    std::optional<ThreadPool> pool;
+    if (num_workers > 1) {
+      pool.emplace(num_workers - 1);
+      for (size_t w = 1; w < num_workers; ++w) {
+        pool->Submit([&worker, w] { worker(w); });
+      }
+    }
+    worker(0);
+    if (pool.has_value()) pool->Wait();
+  }
+
+  for (size_t w = 0; w < num_workers; ++w) {
+    AMBER_RETURN_IF_ERROR(worker_status[w]);
+    // initial_candidates was attributed to the root computation above.
+    worker_stats[w].initial_candidates = 0;
+    stats->MergeFrom(worker_stats[w]);
+  }
+  stats->threads_used = std::max<uint64_t>(stats->threads_used, num_workers);
+  stats->tasks_dispatched += num_chunks;
+
+  // Deterministic merge: chunk order == root candidate order == the order
+  // serial enumeration visits, so these walks reproduce serial output
+  // byte for byte. `truncated` mirrors the serial sinks: set exactly when
+  // the merged row count reaches the cap.
+  if (distinct && want_rows) {
+    std::unordered_set<std::string> seen;
+    uint64_t count = 0;
+    for (ChunkOut& chunk : chunks) {
+      if (cap != 0 && count >= cap) break;
+      for (auto& row : chunk.rows) {
+        if (!seen.insert(RowDedupKey(row)).second) continue;
+        ++count;
+        materialize_into->push_back(std::move(row));
+        if (cap != 0 && count >= cap) {
+          out.truncated = true;
+          break;
+        }
+      }
+    }
+    out.rows = count;
+  } else if (distinct) {
+    // Count-only DISTINCT: |union of per-chunk key sets| is independent of
+    // merge order, so splice the sets instead of replaying rows.
+    std::unordered_set<std::string> seen;
+    for (ChunkOut& chunk : chunks) {
+      seen.merge(chunk.keys);
+    }
+    uint64_t count = seen.size();
+    if (cap != 0 && count >= cap) {
+      count = cap;
+      out.truncated = true;
+    }
+    out.rows = count;
+  } else if (want_rows) {
+    uint64_t count = 0;
+    for (ChunkOut& chunk : chunks) {
+      if (cap != 0 && count >= cap) break;
+      for (auto& row : chunk.rows) {
+        materialize_into->push_back(std::move(row));
+        ++count;
+        if (cap != 0 && count >= cap) {
+          out.truncated = true;
+          break;
+        }
+      }
+    }
+    out.rows = count;
+  } else {
+    uint64_t total = 0;
+    for (const ChunkOut& chunk : chunks) {
+      total = SaturatingAdd(total, chunk.count);
+    }
+    if (cap != 0 && total >= cap) {
+      total = cap;
+      out.truncated = true;
+    }
+    out.rows = total;
+  }
+  return out;
+}
+
+}  // namespace amber

@@ -1,0 +1,65 @@
+// The parallel online matching stage (the paper's explicit "parallel
+// processing version" future-work item; docs/ARCHITECTURE.md, "The parallel
+// online stage").
+//
+// Unit of parallelism: one CandInit candidate of the first component's
+// initial vertex. The root candidate list is split into fixed chunks that
+// workers claim from a shared queue (util/thread_pool.h); each worker owns
+// a MatcherScratch arena reused across all the chunks it processes, so the
+// per-worker steady state stays allocation-free.
+//
+// Determinism contract: for every combination of SELECT / DISTINCT / LIMIT
+// and counting vs materializing execution, the parallel mode returns rows
+// (and counts) BIT-IDENTICAL to serial execution. Serial enumeration visits
+// root candidates in CandInit order, so concatenating per-chunk results in
+// chunk order reproduces the serial row order exactly; DISTINCT replays the
+// chunks through one ordered global dedup; LIMIT takes the ordered prefix.
+// A shared row budget provides early cutoff without breaking the contract:
+// a chunk may only be skipped or stopped when chunks strictly *before* it
+// have already produced the full row cap (their rows shadow everything this
+// chunk could contribute). The only nondeterministic case is a timeout —
+// exactly as in serial execution, a timed-out query reports partial
+// results and stats.timed_out.
+
+#ifndef AMBER_CORE_PARALLEL_EXEC_H_
+#define AMBER_CORE_PARALLEL_EXEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/exec.h"
+#include "graph/multigraph.h"
+#include "index/index_set.h"
+#include "sparql/query_graph.h"
+#include "util/status.h"
+
+namespace amber {
+
+/// Outcome of a parallel matching run.
+struct ParallelRunResult {
+  /// Result rows (bag semantics; distinct rows under DISTINCT), capped.
+  uint64_t rows = 0;
+  /// True when the row cap stopped enumeration early (matches the serial
+  /// sinks: set exactly when the cap was reached).
+  bool truncated = false;
+};
+
+/// Runs the matcher across `options.num_threads` workers and merges
+/// deterministically. `cap` is the effective row cap (0 = unlimited).
+/// When `materialize_into` is non-null it receives the result rows in
+/// serial order. Requires a satisfiable query with at least one component
+/// (the engine keeps ground-only queries on the serial path) and
+/// `options.num_threads > 1`.
+///
+/// Stats: per-counter sums over workers, max for peak_arena_bytes, plus
+/// threads_used / tasks_dispatched; initial_candidates is attributed once
+/// (to the root CandInit computation), as in serial execution.
+Result<ParallelRunResult> RunMatcherParallel(
+    const Multigraph& g, const IndexSet& indexes, const QueryGraph& q,
+    const QueryPlan& plan, const ExecOptions& options, uint64_t cap,
+    ExecStats* stats,
+    std::vector<std::vector<VertexId>>* materialize_into);
+
+}  // namespace amber
+
+#endif  // AMBER_CORE_PARALLEL_EXEC_H_

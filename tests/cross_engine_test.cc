@@ -6,6 +6,7 @@
 // indexes and both baselines together.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <memory>
 #include <sstream>
@@ -150,7 +151,8 @@ class ArtifactRoundTripTest : public ::testing::Test {
     auto streamed = AmberEngine::Load(ss);
     ASSERT_TRUE(streamed.ok()) << streamed.status();
 
-    const std::string path = testing::TempDir() + "/cross_" + tag + ".amf";
+    const std::string path = testing::TempDir() + "/cross_" + tag + "_" +
+                             std::to_string(::getpid()) + ".amf";
     ASSERT_TRUE(fresh->SaveFile(path).ok());
     auto mapped = AmberEngine::OpenFile(path);
     ASSERT_TRUE(mapped.ok()) << mapped.status();
@@ -215,7 +217,11 @@ class CrossEngineFilterTest : public ::testing::Test {
     ASSERT_TRUE(streamed.ok()) << streamed.status();
     streamed_ = std::make_unique<AmberEngine>(std::move(streamed).value());
 
-    const std::string path = testing::TempDir() + "/cross_filter.amf";
+    // Unique per process: ctest -j runs this fixture's cases as concurrent
+    // processes, and writing one shared path while a sibling has it mmap'ed
+    // is a SIGBUS.
+    const std::string path = testing::TempDir() + "/cross_filter_" +
+                             std::to_string(::getpid()) + ".amf";
     ASSERT_TRUE(amber_->SaveFile(path).ok());
     auto mapped = AmberEngine::OpenFile(path);
     ASSERT_TRUE(mapped.ok()) << mapped.status();

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json trajectory.
+
+Compares a directory of freshly produced bench results (the CI bench-smoke
+output) against a committed baseline directory (bench/results/ci-smoke/)
+and fails on *step-function* regressions. CI runners are noisy, so the
+tolerance is deliberately generous: a point only fails when it is slower
+than `baseline * ratio + slack_ms`, or when an engine that used to answer
+queries stops answering entirely.
+
+Only files following the harness schema of docs/BENCHMARKS.md (a top-level
+"engines" list of {"name", "series": [{"size", "avg_ms", ...}]}) are
+compared; other JSON (e.g. google-benchmark's BENCH_micro_index.json) is
+skipped. Files whose "config" tuple differs between baseline and current
+are skipped too — cross-config timings are not comparable.
+
+Usage:
+  tools/bench_diff.py BASELINE_DIR CURRENT_DIR [--ratio R] [--slack-ms S]
+
+Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage or
+missing-file error (a tracked baseline file absent from CURRENT_DIR fails
+the gate: a bench silently dropping out of CI is itself a regression).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_harness_json(path):
+    """Returns the parsed file, or None when it is not harness-schema."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"  ERROR reading {path}: {e}")
+        return None
+    if not isinstance(data, dict) or "engines" not in data:
+        return None
+    return data
+
+
+def index_points(data):
+    """(engine_name, size) -> point dict."""
+    points = {}
+    for engine in data.get("engines", []):
+        for point in engine.get("series", []):
+            points[(engine.get("name"), point.get("size"))] = point
+    return points
+
+
+def compare_file(name, base, cur, ratio, slack_ms):
+    """Returns a list of regression strings for one bench file."""
+    if base.get("config") != cur.get("config"):
+        print(f"  SKIP {name}: config changed "
+              f"{base.get('config')} -> {cur.get('config')}")
+        return []
+
+    regressions = []
+    base_points = index_points(base)
+    cur_points = index_points(cur)
+    for key, bp in sorted(base_points.items(), key=lambda kv: str(kv[0])):
+        engine, size = key
+        cp = cur_points.get(key)
+        if cp is None:
+            regressions.append(
+                f"{name}: series ({engine}, size {size}) disappeared")
+            continue
+        b_answered = bp.get("answered", 0)
+        c_answered = cp.get("answered", 0)
+        if b_answered > 0 and c_answered == 0:
+            regressions.append(
+                f"{name}: {engine} @ size {size} stopped answering "
+                f"(was {b_answered}/{bp.get('total')})")
+            continue
+        b_ms = bp.get("avg_ms", 0.0)
+        c_ms = cp.get("avg_ms", 0.0)
+        if b_answered > 0 and b_ms > 0 and c_ms > b_ms * ratio + slack_ms:
+            regressions.append(
+                f"{name}: {engine} @ size {size} regressed "
+                f"{b_ms:.3f}ms -> {c_ms:.3f}ms "
+                f"(limit {b_ms * ratio + slack_ms:.3f}ms)")
+        else:
+            delta = (c_ms / b_ms - 1.0) * 100.0 if b_ms > 0 else 0.0
+            print(f"  ok   {name}: {engine} @ {size}: "
+                  f"{b_ms:.3f}ms -> {c_ms:.3f}ms ({delta:+.0f}%)")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir", type=Path)
+    parser.add_argument("current_dir", type=Path)
+    parser.add_argument("--ratio", type=float, default=4.0,
+                        help="fail when current > baseline*ratio + slack "
+                             "(default %(default)s)")
+    parser.add_argument("--slack-ms", type=float, default=25.0,
+                        help="absolute grace so sub-millisecond noise never "
+                             "trips the ratio (default %(default)s)")
+    args = parser.parse_args()
+
+    if not args.baseline_dir.is_dir():
+        print(f"baseline dir {args.baseline_dir} does not exist")
+        return 2
+    if not args.current_dir.is_dir():
+        print(f"current dir {args.current_dir} does not exist")
+        return 2
+
+    baseline_files = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"no BENCH_*.json baselines under {args.baseline_dir}")
+        return 2
+
+    regressions = []
+    compared = 0
+    for base_path in baseline_files:
+        base = load_harness_json(base_path)
+        if base is None:
+            print(f"  SKIP {base_path.name}: not harness schema")
+            continue
+        cur_path = args.current_dir / base_path.name
+        if not cur_path.exists():
+            regressions.append(
+                f"{base_path.name}: missing from {args.current_dir} "
+                "(bench dropped out of the smoke run?)")
+            continue
+        cur = load_harness_json(cur_path)
+        if cur is None:
+            regressions.append(f"{base_path.name}: current file unreadable "
+                               "or not harness schema")
+            continue
+        compared += 1
+        regressions.extend(
+            compare_file(base_path.name, base, cur, args.ratio,
+                         args.slack_ms))
+
+    print(f"\ncompared {compared} bench file(s) against "
+          f"{args.baseline_dir} (ratio {args.ratio}, slack "
+          f"{args.slack_ms}ms)")
+    if regressions:
+        print(f"\n{len(regressions)} PERF REGRESSION(S):")
+        for r in regressions:
+            print(f"  FAIL {r}")
+        return 1
+    print("no step-function regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
