@@ -1,0 +1,302 @@
+// Closed-loop serving-throughput benchmark for the QueryService runtime
+// (ROADMAP "query-serving runtime"; docs/BENCHMARKS.md "Throughput").
+//
+// N concurrent clients (swept over AMBER_BENCH_CLIENTS, default
+// 1,2,4,8,16,32,64) each issue requests back-to-back for a fixed wall
+// window, against three configurations at EQUAL per-query thread count:
+//
+//   service-pooled   QueryService with the cache bypassed: every request
+//                    executes, borrowing helpers from the one persistent
+//                    pool (ExecOptions::pool).
+//   service-cached   QueryService with the plan/result cache on: the
+//                    steady-state repeat-heavy serving mix.
+//   per-query-spawn  The same service with ServiceOptions::share_pool off:
+//                    a transient helper pool is spawned and torn down
+//                    inside every single query (the pre-service behavior
+//                    this runtime replaces). Identical normalization,
+//                    admission and response assembly — the ONLY variable
+//                    is the pool strategy.
+//
+// Reported per (series, clients) point: sustained qps plus p50/p99 request
+// latency. Expected shape: service-pooled >= per-query-spawn on qps at
+// every client count (pool spawn/teardown is pure overhead; parity on a
+// 1-core host where T degenerates to 1), and service-cached far above
+// both. Emits BENCH_throughput.json — the harness series schema with qps /
+// p50_ms / p99_ms attached to every point; tools/bench_diff.py gates qps.
+//
+// Env knobs (bench_common.h): AMBER_BENCH_SCALE / _QUERIES / _TIMEOUT_MS /
+// _SIZES / _EXEC_THREADS / _JSON_DIR, plus:
+//   AMBER_BENCH_CLIENTS      comma list of client counts (default
+//                            1,2,4,8,16,32,64)
+//   AMBER_BENCH_DURATION_MS  measured window per point (default 1000)
+//   AMBER_BENCH_MAX_ROWS     row cap per response, applied identically to
+//                            every series (default 512). A serving mix
+//                            returns bounded pages, not unbounded star
+//                            joins; without the cap, row materialization
+//                            drowns the pool-vs-spawn signal.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_common.h"
+#include "server/query_service.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace amber;
+using namespace amber::bench;
+using Clock = std::chrono::steady_clock;
+
+/// One (series, clients) measurement.
+struct ThroughputPoint {
+  int clients = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double avg_ms = 0.0;
+  int answered = 0;  // completed without timing out
+  int total = 0;     // requests issued
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+/// Runs `clients` closed-loop client threads for `window`; `issue` answers
+/// one request for query index `qi` and returns false on timeout.
+ThroughputPoint RunPoint(int clients, std::chrono::milliseconds window,
+                         size_t num_queries,
+                         const std::function<bool(size_t)>& issue) {
+  std::mutex mu;
+  std::vector<double> latencies;
+  std::atomic<int> answered{0};
+  std::atomic<int> total{0};
+
+  const auto start = Clock::now();
+  const auto stop = start + window;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> local;
+      size_t qi = static_cast<size_t>(c);  // stagger the query mix
+      while (Clock::now() < stop) {
+        const auto t0 = Clock::now();
+        const bool ok = issue(qi % num_queries);
+        const auto t1 = Clock::now();
+        ++total;
+        if (ok) ++answered;
+        local.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        ++qi;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  ThroughputPoint point;
+  point.clients = clients;
+  point.total = total.load();
+  point.answered = answered.load();
+  point.qps = elapsed_s > 0 ? point.total / elapsed_s : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  point.p50_ms = Percentile(latencies, 0.50);
+  point.p99_ms = Percentile(latencies, 0.99);
+  double sum = 0;
+  for (double v : latencies) sum += v;
+  point.avg_ms = latencies.empty() ? 0.0 : sum / latencies.size();
+  return point;
+}
+
+/// BENCH_throughput.json: the harness series schema ("size" = client
+/// count) with qps / p50_ms / p99_ms attached to every point.
+void WriteThroughputJson(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<ThroughputPoint>>& series,
+    const BenchConfig& config) {
+  const char* dir = std::getenv("AMBER_BENCH_JSON_DIR");
+  if (!dir || !*dir) return;
+  const std::string path = std::string(dir) + "/BENCH_throughput.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "{\n  \"figure\": \"Throughput\",\n";
+  os << "  \"config\": {\"scale\": " << config.scale
+     << ", \"queries_per_point\": " << config.queries_per_point
+     << ", \"timeout_ms\": " << config.timeout_ms << "},\n";
+  os << "  \"engines\": [\n";
+  for (size_t e = 0; e < names.size(); ++e) {
+    os << "    {\"name\": \"" << names[e] << "\", \"series\": [";
+    for (size_t i = 0; i < series[e].size(); ++i) {
+      const ThroughputPoint& p = series[e][i];
+      const double unanswered =
+          100.0 * (p.total - p.answered) / std::max(1, p.total);
+      os << (i ? ", " : "") << "{\"size\": " << p.clients
+         << ", \"avg_ms\": " << p.avg_ms
+         << ", \"unanswered_pct\": " << unanswered
+         << ", \"answered\": " << p.answered << ", \"total\": " << p.total
+         << ", \"qps\": " << p.qps << ", \"p50_ms\": " << p.p50_ms
+         << ", \"p99_ms\": " << p.p99_ms << "}";
+    }
+    os << "]}" << (e + 1 < names.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::fprintf(stderr, "  wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config = BenchConfig::FromEnv();
+  // Throughput defaults (overridable by the usual env knobs): small fast
+  // queries — a serving mix, not the paper's heavyweight figure shapes —
+  // and 2 online threads per query so pool reuse actually has helpers to
+  // hand out.
+  if (std::getenv("AMBER_BENCH_SIZES") == nullptr) config.sizes = {4, 6};
+  if (std::getenv("AMBER_BENCH_EXEC_THREADS") == nullptr)
+    config.exec_threads = 2;
+
+  std::vector<int> client_counts = {1, 2, 4, 8, 16, 32, 64};
+  if (const char* env = std::getenv("AMBER_BENCH_CLIENTS")) {
+    client_counts.clear();
+    for (std::string_view piece : StrSplit(env, ',')) {
+      int v = std::atoi(std::string(piece).c_str());
+      if (v > 0) client_counts.push_back(v);
+    }
+    if (client_counts.empty()) client_counts = {4};
+  }
+  std::chrono::milliseconds window(1000);
+  if (const char* env = std::getenv("AMBER_BENCH_DURATION_MS")) {
+    const int v = std::atoi(env);
+    if (v > 0) window = std::chrono::milliseconds(v);
+  }
+  uint64_t max_rows = 512;
+  if (const char* env = std::getenv("AMBER_BENCH_MAX_ROWS")) {
+    const int v = std::atoi(env);
+    if (v > 0) max_rows = static_cast<uint64_t>(v);
+  }
+
+  DatasetBundle dataset = MakeDataset("LUBM", config.scale);
+  std::fprintf(stderr,
+               "[Throughput] dataset: %zu triples, %d exec threads/query, "
+               "%lld ms/point\n",
+               dataset.triples.size(), config.exec_threads,
+               static_cast<long long>(window.count()));
+  auto built = AmberEngine::Build(dataset.triples);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  AmberEngine engine = std::move(built).value();
+
+  // One flat pool of query texts drawn from the per-size workloads.
+  std::vector<std::string> queries;
+  for (auto& sized : MakeWorkloads(dataset, QueryShape::kStar, config)) {
+    for (auto& q : sized) queries.push_back(std::move(q));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries generated\n");
+    return 1;
+  }
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int max_clients =
+      *std::max_element(client_counts.begin(), client_counts.end());
+  ServiceOptions service_options;
+  service_options.pool_threads =
+      std::clamp(hw > 0 ? hw - 1 : 1, 1, 16);
+  service_options.max_in_flight = max_clients;  // admission never rejects
+  service_options.max_queued = max_clients;
+  service_options.default_thread_budget = config.exec_threads;
+  service_options.max_thread_budget = config.exec_threads;
+  service_options.cache_entries = 2 * queries.size();
+  service_options.max_result_rows = max_rows;
+  service_options.default_deadline =
+      std::chrono::milliseconds(config.timeout_ms);
+
+  const std::vector<std::string> names = {"service-pooled", "service-cached",
+                                          "per-query-spawn"};
+  std::vector<std::vector<ThroughputPoint>> series(names.size());
+
+  for (int clients : client_counts) {
+    std::fprintf(stderr, "  %d clients...\n", clients);
+
+    {  // service-pooled: every request executes on the persistent pool.
+      QueryService service(&engine, service_options);
+      series[0].push_back(RunPoint(clients, window, queries.size(),
+                                   [&](size_t qi) {
+                                     RequestOptions req;
+                                     req.bypass_cache = true;
+                                     auto resp =
+                                         service.Query(queries[qi], req);
+                                     return resp.ok() && !resp->timed_out;
+                                   }));
+    }
+    {  // service-cached: the repeat-heavy steady state.
+      QueryService service(&engine, service_options);
+      series[1].push_back(RunPoint(clients, window, queries.size(),
+                                   [&](size_t qi) {
+                                     auto resp = service.Query(queries[qi]);
+                                     return resp.ok() && !resp->timed_out;
+                                   }));
+    }
+    {  // per-query-spawn: a transient helper pool inside every query.
+      ServiceOptions spawn_options = service_options;
+      spawn_options.share_pool = false;
+      QueryService service(&engine, spawn_options);
+      series[2].push_back(RunPoint(clients, window, queries.size(),
+                                   [&](size_t qi) {
+                                     RequestOptions req;
+                                     req.bypass_cache = true;
+                                     auto resp =
+                                         service.Query(queries[qi], req);
+                                     return resp.ok() && !resp->timed_out;
+                                   }));
+    }
+  }
+
+  std::printf("\nServing throughput (closed loop, %zu-query star mix, "
+              "%d online threads/query)\n",
+              queries.size(), config.exec_threads);
+  std::printf("%-10s", "clients");
+  for (const std::string& n : names) {
+    std::printf("  %16s", (n + " qps").c_str());
+  }
+  std::printf("  %12s  %12s\n", "pooled p50", "pooled p99");
+  for (size_t i = 0; i < client_counts.size(); ++i) {
+    std::printf("%-10d", client_counts[i]);
+    for (const auto& s : series) {
+      std::printf("  %16.1f", s[i].qps);
+    }
+    std::printf("  %10.3fms  %10.3fms\n", series[0][i].p50_ms,
+                series[0][i].p99_ms);
+  }
+  std::printf("\nExpected shape: service-pooled >= per-query-spawn at every "
+              "client count (pool spawn is pure overhead; parity on a "
+              "1-core host), service-cached far above both.\n");
+  std::fflush(stdout);
+
+  WriteThroughputJson(names, series, config);
+  return 0;
+}

@@ -1,20 +1,24 @@
-// Artifact server warm-up recipe: build the offline artifacts ONCE, persist
-// them as a single mmap-able AMF file, then re-open that file the way a
-// query server (or every shard of one) would on startup — mmap + validate,
-// zero per-element copies — and answer a query immediately.
+// Artifact server: the full serving recipe. Build the offline artifacts
+// ONCE, persist them as a single mmap-able AMF file, then start a
+// QueryService over the re-opened artifact — the way a production shard
+// boots — and serve concurrent clients with admission control, per-request
+// deadlines, LIMIT/OFFSET pagination and the normalized-query plan/result
+// cache.
 //
 //   $ ./examples/artifact_server [artifact.amf]
 //
-// The second run of a real server skips the build entirely: if the artifact
+// A real server's second boot skips the build entirely: if the artifact
 // exists it is opened directly. Delete the file to force a rebuild.
 
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/amber_engine.h"
 #include "gen/lubm.h"
+#include "server/query_service.h"
 #include "util/clock.h"
-#include "util/string_util.h"
 
 int main(int argc, char** argv) {
   using namespace amber;
@@ -27,6 +31,15 @@ int main(int argc, char** argv) {
       "?dept . "
       "?prof <http://swat.cse.lehigh.edu/onto/univ-bench.owl#teacherOf> "
       "?course . }";
+  // The same query, respelled: different whitespace, comments, variable
+  // names. The service's normalized cache key makes this a HIT.
+  const char* respelled =
+      "# same query, different spelling\n"
+      "SELECT ?p ?d\n"
+      "WHERE {\n"
+      "  ?p <http://swat.cse.lehigh.edu/onto/univ-bench.owl#worksFor> ?d .\n"
+      "  ?p <http://swat.cse.lehigh.edu/onto/univ-bench.owl#teacherOf> ?c .\n"
+      "}";
 
   // ---- Offline, once: build + persist ------------------------------------
   // (A production deployment runs this in a pipeline, not in the server.)
@@ -47,44 +60,78 @@ int main(int argc, char** argv) {
     }
     std::printf("offline: built in %.1f ms (4 threads)\n",
                 sw.ElapsedMillis());
-
-    sw.Reset();
     if (Status s = engine->SaveFile(path); !s.ok()) {
       std::fprintf(stderr, "save error: %s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("offline: saved AMF artifact to %s in %.1f ms\n",
-                path.c_str(), sw.ElapsedMillis());
+    std::printf("offline: saved AMF artifact to %s\n", path.c_str());
   }
   // The built engine is gone; everything below is what a server does.
 
-  // ---- Server startup: mmap the artifact ---------------------------------
+  // ---- Server boot: mmap the artifact, start the service -----------------
   Stopwatch sw;
-  auto server = AmberEngine::OpenFile(path);
-  if (!server.ok()) {
+  auto engine = AmberEngine::OpenFile(path);
+  if (!engine.ok()) {
     std::fprintf(stderr, "open error: %s\n",
-                 server.status().ToString().c_str());
+                 engine.status().ToString().c_str());
     return 1;
   }
-  const double open_ms = sw.ElapsedMillis();
-  std::printf(
-      "server: opened artifact in %.2f ms — %zu vertices, %llu edges, "
-      "CSRs and index pools borrowed from the mapping (no copies)\n",
-      open_ms, server->graph().NumVertices(),
-      static_cast<unsigned long long>(server->graph().NumEdges()));
+  ServiceOptions service_options;
+  service_options.pool_threads = 4;     // one persistent pool, all requests
+  service_options.max_in_flight = 8;    // admission: execute at most 8
+  service_options.max_queued = 16;      // ... queue 16 more, then reject
+  service_options.cache_entries = 64;   // normalized plan/result LRU
+  service_options.default_deadline = std::chrono::milliseconds(1000);
+  QueryService service(&engine.value(), service_options);
+  std::printf("server: booted in %.2f ms — %zu vertices mapped, pool of %d "
+              "workers, cache of %zu entries\n",
+              sw.ElapsedMillis(), engine->graph().NumVertices(),
+              service_options.pool_threads, service_options.cache_entries);
 
-  // ---- First query on the freshly mapped engine --------------------------
-  sw.Reset();
-  auto count = server->CountSparql(query, {});
-  if (!count.ok()) {
-    std::fprintf(stderr, "query error: %s\n",
-                 count.status().ToString().c_str());
-    return 1;
+  // ---- Concurrent clients ------------------------------------------------
+  // Four clients page through the same result set; the first execution
+  // fills the cache, every later page is served from the retained handle.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&service, c, query] {
+      RequestOptions page;
+      page.offset = static_cast<uint64_t>(c) * 5;
+      page.limit = 5;
+      page.thread_budget = 2;  // borrow one pool helper
+      auto resp = service.Query(query, page);
+      if (!resp.ok()) {
+        std::fprintf(stderr, "client %d: %s\n", c,
+                     resp.status().ToString().c_str());
+        return;
+      }
+      std::printf("client %d: rows [%llu, %llu) of %llu%s\n", c,
+                  static_cast<unsigned long long>(page.offset),
+                  static_cast<unsigned long long>(page.offset +
+                                                  resp->rows.size()),
+                  static_cast<unsigned long long>(resp->total_rows),
+                  resp->cache_hit ? " (cache hit)" : "");
+    });
   }
-  std::printf("server: first query answered in %.2f ms: %llu rows\n",
-              sw.ElapsedMillis(),
-              static_cast<unsigned long long>(count->count));
-  std::printf("server: warm-up total (open + first query): %.2f ms\n",
-              open_ms + sw.ElapsedMillis());
+  for (auto& t : clients) t.join();
+
+  // A respelled equivalent query: normalization makes it hit the cache,
+  // and the response carries the request's own variable names (?p ?d).
+  auto hit = service.Query(respelled, {});
+  if (hit.ok()) {
+    std::printf("respelled query: %s, %llu rows, vars",
+                hit->cache_hit ? "cache HIT" : "miss",
+                static_cast<unsigned long long>(hit->total_rows));
+    for (const auto& v : hit->var_names) std::printf(" ?%s", v.c_str());
+    std::printf("\n");
+  }
+
+  ServiceStats stats = service.Stats();
+  std::printf("server: %llu queries, %llu hits / %llu misses, %llu rows "
+              "served, peak in-flight %llu\n",
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.rows_served),
+              static_cast<unsigned long long>(stats.peak_in_flight));
   return 0;
 }

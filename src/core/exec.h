@@ -20,6 +20,8 @@
 
 namespace amber {
 
+class ThreadPool;  // util/thread_pool.h
+
 /// Per-query execution options.
 struct ExecOptions {
   /// Per-query wall-clock budget; zero means unlimited. The paper uses 60 s
@@ -36,6 +38,16 @@ struct ExecOptions {
   /// rows bit-identical to serial execution (deterministic chunk-order
   /// merge; see docs/ARCHITECTURE.md, "The parallel online stage").
   int num_threads = 1;
+
+  /// When non-null, the parallel mode borrows its helper workers from this
+  /// externally owned pool instead of spawning a transient one per query
+  /// (thread spawn is ~0.1 ms — visible on microsecond queries). The pool
+  /// is shared: helpers are plain Submit() tasks and completion is tracked
+  /// per query, so many concurrent queries can borrow the same pool (the
+  /// server/query_service.h runtime owns one per service). The caller must
+  /// keep the pool alive for the duration of the call. Ignored when
+  /// `num_threads <= 1`; null preserves the spawn-per-query behaviour.
+  ThreadPool* pool = nullptr;
 
   /// Planner options (Ablation A: vertex-ordering heuristics).
   PlanOptions plan;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <latch>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -225,10 +226,32 @@ Result<ParallelRunResult> RunMatcherParallel(
     }
   };
 
-  {
-    // The calling thread participates as worker 0; the pool only holds the
-    // helpers. This saves one thread spawn per query (visible on short
-    // queries and single-core hosts) and keeps the caller's core busy.
+  if (options.pool != nullptr && num_workers > 1) {
+    // Borrowed-pool mode (the serving runtime): helpers run as plain tasks
+    // on the caller-owned shared pool, so no threads are spawned per query
+    // and many concurrent queries can multiplex one pool. Completion is
+    // tracked per query with a latch — ThreadPool::Wait() is a whole-pool
+    // barrier and would wait on *other* queries' tasks too. A helper that
+    // starts late (pool busy) just finds the chunk queue drained and
+    // returns; worker 0 (the calling thread) always makes progress, so a
+    // query never waits on another query to be admitted to the pool.
+    std::latch done(static_cast<ptrdiff_t>(num_workers - 1));
+    for (size_t w = 1; w < num_workers; ++w) {
+      const bool submitted = options.pool->Submit([&worker, &done, w] {
+        worker(w);
+        done.count_down();
+      });
+      // A shut-down pool accepts nothing; run without that helper.
+      if (!submitted) done.count_down();
+    }
+    worker(0);
+    // The latch is both the completion barrier and the happens-before edge
+    // publishing every helper's chunk outputs to this thread.
+    done.wait();
+  } else {
+    // Spawn-per-query mode: the calling thread participates as worker 0;
+    // the transient pool only holds the helpers. This saves one thread
+    // spawn per query and keeps the caller's core busy.
     std::optional<ThreadPool> pool;
     if (num_workers > 1) {
       pool.emplace(num_workers - 1);

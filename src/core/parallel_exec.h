@@ -8,6 +8,13 @@
 // a MatcherScratch arena reused across all the chunks it processes, so the
 // per-worker steady state stays allocation-free.
 //
+// Pool ownership: when ExecOptions::pool is set, helper workers are
+// borrowed from that externally owned pool (per-query completion tracked
+// with a latch, so concurrent queries can multiplex one pool — the serving
+// runtime of server/query_service.h owns one persistent pool per service).
+// Otherwise a transient pool is spawned for this query and torn down at the
+// end, exactly as before.
+//
 // Determinism contract: for every combination of SELECT / DISTINCT / LIMIT
 // and counting vs materializing execution, the parallel mode returns rows
 // (and counts) BIT-IDENTICAL to serial execution. Serial enumeration visits

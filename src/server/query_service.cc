@@ -1,0 +1,306 @@
+#include "server/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sparql/formatter.h"
+#include "sparql/parser.h"
+
+namespace amber {
+
+namespace {
+
+/// Remaining budget at `now`, or a negative value when expired. Zero
+/// budget means unlimited and always returns zero.
+std::chrono::milliseconds RemainingBudget(
+    std::chrono::steady_clock::time_point start,
+    std::chrono::milliseconds budget,
+    std::chrono::steady_clock::time_point now) {
+  if (budget.count() <= 0) return std::chrono::milliseconds(0);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - start);
+  return budget - elapsed;
+}
+
+}  // namespace
+
+Result<NormalizedQuery> NormalizeQuery(std::string_view text) {
+  AMBER_ASSIGN_OR_RETURN(SelectQuery q, SparqlParser::Parse(text));
+  NormalizedQuery out;
+  std::unordered_map<std::string, std::string> orig_to_canon;
+  auto canon = [&](std::string* name) {
+    auto [it, inserted] = orig_to_canon.try_emplace(*name);
+    if (inserted) {
+      // First appearance: assign the next canonical name.
+      it->second = "v" + std::to_string(orig_to_canon.size() - 1);
+      out.canon_to_orig.emplace(it->second, *name);
+    }
+    *name = it->second;
+  };
+  // First-appearance order over patterns, then filters, then projection:
+  // any two queries equal up to variable renaming visit their variables in
+  // corresponding order, so they canonicalize identically.
+  for (TriplePattern& p : q.patterns) {
+    if (p.subject.is_variable()) canon(&p.subject.value);
+    if (p.predicate.is_variable()) canon(&p.predicate.value);
+    if (p.object.is_variable()) canon(&p.object.value);
+  }
+  for (FilterPredicate& f : q.filters) canon(&f.var);
+  for (std::string& v : q.projection) canon(&v);
+  out.key = FormatQuery(q);
+  out.query = std::move(q);
+  return out;
+}
+
+QueryService::QueryService(QueryEngine* engine, const ServiceOptions& options)
+    : engine_(engine),
+      options_(options),
+      pool_(static_cast<size_t>(std::max(options.pool_threads, 1))) {}
+
+QueryService::~QueryService() { pool_.Shutdown(); }
+
+QueryService::Admission QueryService::Admit(
+    std::chrono::steady_clock::time_point start,
+    std::chrono::milliseconds budget) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.max_in_flight <= 0 || in_flight_ < options_.max_in_flight) {
+    ++in_flight_;
+    stats_.peak_in_flight = std::max<uint64_t>(
+        stats_.peak_in_flight, static_cast<uint64_t>(in_flight_));
+    return Admission::kAdmitted;
+  }
+  if (queued_ >= std::max(options_.max_queued, 0)) {
+    return Admission::kRejected;
+  }
+  ++queued_;
+  const bool bounded = budget.count() > 0;
+  const auto wait_deadline = start + budget;
+  bool got_slot;
+  if (bounded) {
+    got_slot = admission_cv_.wait_until(lock, wait_deadline, [this] {
+      return in_flight_ < options_.max_in_flight;
+    });
+  } else {
+    admission_cv_.wait(
+        lock, [this] { return in_flight_ < options_.max_in_flight; });
+    got_slot = true;
+  }
+  --queued_;
+  if (!got_slot) {
+    // Budget expired while waiting. Wake the next waiter in case a slot
+    // freed concurrently with the timeout.
+    admission_cv_.notify_one();
+    return Admission::kExpired;
+  }
+  ++in_flight_;
+  stats_.peak_in_flight = std::max<uint64_t>(
+      stats_.peak_in_flight, static_cast<uint64_t>(in_flight_));
+  return Admission::kAdmitted;
+}
+
+void QueryService::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  admission_cv_.notify_one();
+}
+
+QueryService::CacheEntry* QueryService::LookupLocked(const std::string& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch
+  return &it->second;
+}
+
+void QueryService::UpsertLocked(const std::string& key, CacheEntry&& fresh) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    lru_.push_front(key);
+    fresh.lru_it = lru_.begin();
+    cache_.emplace(key, std::move(fresh));
+    while (cache_.size() > options_.cache_entries) {
+      cache_.erase(lru_.back());
+      lru_.pop_back();
+      ++stats_.cache_evictions;
+    }
+    return;
+  }
+  // Merge: a concurrent miss (or the other mode of the same query) may
+  // have filled one half already; keep whatever is present — both runs
+  // computed identical results by the determinism contract.
+  CacheEntry& e = it->second;
+  if (fresh.have_rows && !e.have_rows) {
+    e.have_rows = true;
+    e.var_names = std::move(fresh.var_names);
+    e.rows = std::move(fresh.rows);
+    e.truncated = fresh.truncated;
+  }
+  if (fresh.have_count && !e.have_count) {
+    e.have_count = true;
+    e.count = fresh.count;
+  }
+  lru_.splice(lru_.begin(), lru_, e.lru_it);  // touch
+}
+
+QueryResponse QueryService::BuildResponse(const CacheEntry& entry,
+                                          const NormalizedQuery& nq,
+                                          const RequestOptions& request,
+                                          bool cache_hit) {
+  QueryResponse resp;
+  resp.cache_hit = cache_hit;
+  resp.stats = entry.exec_stats;
+  resp.timed_out = entry.exec_stats.timed_out;
+  if (request.count_only) {
+    // A complete (untruncated) row handle is an exact count too.
+    resp.total_rows =
+        entry.have_count ? entry.count : static_cast<uint64_t>(
+                                             entry.rows.size());
+    return resp;
+  }
+  resp.truncated = entry.truncated;
+  resp.total_rows = entry.rows.size();
+  // Map the canonical variable spellings back to this request's own.
+  resp.var_names.reserve(entry.var_names.size());
+  for (const std::string& canon : entry.var_names) {
+    auto it = nq.canon_to_orig.find(canon);
+    resp.var_names.push_back(it != nq.canon_to_orig.end() ? it->second
+                                                          : canon);
+  }
+  // The page: rows [offset, offset+limit) of the retained handle.
+  const uint64_t begin =
+      std::min<uint64_t>(request.offset, entry.rows.size());
+  uint64_t end = entry.rows.size();
+  if (request.limit != 0) {
+    end = std::min<uint64_t>(begin + request.limit, end);
+  }
+  resp.rows.assign(entry.rows.begin() + static_cast<ptrdiff_t>(begin),
+                   entry.rows.begin() + static_cast<ptrdiff_t>(end));
+  return resp;
+}
+
+Result<QueryResponse> QueryService::Query(std::string_view text,
+                                          const RequestOptions& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::chrono::milliseconds budget = request.deadline.count() > 0
+                                               ? request.deadline
+                                               : options_.default_deadline;
+
+  AMBER_ASSIGN_OR_RETURN(NormalizedQuery nq, NormalizeQuery(text));
+
+  const bool use_cache = options_.cache_entries > 0 && !request.bypass_cache;
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    CacheEntry* entry = LookupLocked(nq.key);
+    // A hit must actually be able to answer this request's mode: rows for
+    // a materializing request; an exact count (stored, or derivable from a
+    // complete row handle) for a counting one.
+    const bool usable =
+        entry != nullptr &&
+        (request.count_only
+             ? (entry->have_count || (entry->have_rows && !entry->truncated))
+             : entry->have_rows);
+    if (usable) {
+      ++stats_.cache_hits;
+      ++stats_.queries;
+      QueryResponse resp = BuildResponse(*entry, nq, request, true);
+      stats_.rows_served += resp.rows.size();
+      return resp;
+    }
+    ++stats_.cache_misses;
+  }
+
+  // Admission: acquire an execution slot inside the request's own budget.
+  switch (Admit(start, budget)) {
+    case Admission::kRejected: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+      return Status::ResourceExhausted(
+          "query service saturated (max_in_flight=" +
+          std::to_string(options_.max_in_flight) +
+          ", max_queued=" + std::to_string(options_.max_queued) + ")");
+    }
+    case Admission::kExpired: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.timed_out;
+      ++stats_.queries;
+      QueryResponse resp;
+      resp.timed_out = true;
+      return resp;
+    }
+    case Admission::kAdmitted:
+      break;
+  }
+  struct SlotGuard {
+    QueryService* s;
+    ~SlotGuard() { s->Release(); }
+  } slot_guard{this};
+
+  // The deadline is a per-query budget from Query() entry: whatever the
+  // queue consumed is gone. Re-check before touching the engine.
+  ExecOptions exec;
+  if (budget.count() > 0) {
+    const auto remaining =
+        RemainingBudget(start, budget, std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.timed_out;
+      ++stats_.queries;
+      QueryResponse resp;
+      resp.timed_out = true;
+      return resp;
+    }
+    exec.timeout = remaining;
+  }
+  const int max_budget = options_.max_thread_budget > 0
+                             ? options_.max_thread_budget
+                             : options_.pool_threads + 1;
+  const int want = request.thread_budget > 0 ? request.thread_budget
+                                             : options_.default_thread_budget;
+  exec.num_threads = std::clamp(want, 1, max_budget);
+  if (options_.share_pool) exec.pool = &pool_;
+
+  // Execute on the canonical parse (the plan half of the cache): results
+  // depend on variables positionally, never on their spelling.
+  CacheEntry fresh;
+  if (request.count_only) {
+    AMBER_ASSIGN_OR_RETURN(CountResult cr, engine_->Count(nq.query, exec));
+    fresh.have_count = true;
+    fresh.count = cr.count;
+    fresh.exec_stats = cr.stats;
+  } else {
+    exec.max_rows = options_.max_result_rows;
+    AMBER_ASSIGN_OR_RETURN(MaterializedRows mr,
+                           engine_->Materialize(nq.query, exec));
+    fresh.have_rows = true;
+    fresh.var_names = std::move(mr.var_names);
+    fresh.rows = std::move(mr.rows);
+    fresh.truncated = mr.stats.truncated;
+    fresh.exec_stats = mr.stats;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  if (fresh.exec_stats.timed_out) ++stats_.timed_out;
+  stats_.exec.MergeFrom(fresh.exec_stats);
+  QueryResponse resp = BuildResponse(fresh, nq, request, false);
+  stats_.rows_served += resp.rows.size();
+  // A timed-out run holds partial results; caching it would poison every
+  // later hit. Complete runs are upserted (plan + result handle).
+  if (use_cache && !fresh.exec_stats.timed_out) {
+    fresh.query = std::move(nq.query);
+    UpsertLocked(nq.key, std::move(fresh));
+  }
+  return resp;
+}
+
+ServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats out = stats_;
+  out.cache_entries = cache_.size();
+  out.in_flight = static_cast<uint64_t>(in_flight_);
+  out.queued = static_cast<uint64_t>(queued_);
+  return out;
+}
+
+}  // namespace amber

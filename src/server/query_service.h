@@ -1,0 +1,272 @@
+// The query-serving runtime: one QueryService per engine turns the
+// one-query-at-a-time AMbER engine into a request-serving layer built for
+// sustained concurrent traffic (docs/ARCHITECTURE.md, "Serving runtime").
+//
+// Three responsibilities sit above the immutable engine:
+//
+//  1. Pool ownership. The service owns ONE persistent util/thread_pool.h
+//     pool shared across every request. Parallel executions borrow helper
+//     workers from it (ExecOptions::pool) instead of spawning a thread
+//     pool per query — thread spawn is ~0.1 ms, visible on microsecond
+//     queries. Requests execute on the calling client thread; only the
+//     extra workers of a multi-threaded request come from the pool.
+//
+//  2. Admission control. At most `max_in_flight` requests execute
+//     concurrently; up to `max_queued` more wait for a slot. Beyond that,
+//     Query() fails fast with Status::kResourceExhausted — load sheds at
+//     the door instead of collapsing under a convoy. A request's deadline
+//     is a per-QUERY budget that starts at Query() entry: time spent
+//     queued is charged against it, and a request whose budget expires in
+//     the queue returns `timed_out` without ever touching the engine.
+//
+//  3. Plan/result cache. An LRU cache keyed on *normalized* query text
+//     (parse -> canonical variable renaming -> canonical formatting, so
+//     whitespace, comments and variable names don't fragment the key
+//     space) retains the parsed query plus a handle to its full result
+//     set. Repeats — including LIMIT/OFFSET pages over the same query —
+//     are served from the handle without re-execution. Results produced
+//     by a timed-out (partial) run are never cached.
+//
+// Thread-safety: Query() may be called concurrently from any number of
+// client threads. Responses are bit-identical to what a serial,
+// single-client run of the underlying engine would return (the parallel
+// online stage's determinism contract extends through the service), so a
+// cached response, an uncached response and a serial reference can be
+// compared byte for byte. Concurrent misses of the same key may both
+// execute (no single-flight); both compute identical results and the
+// cache upsert merges them.
+
+#ifndef AMBER_SERVER_QUERY_SERVICE_H_
+#define AMBER_SERVER_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/exec.h"
+#include "core/query_engine.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace amber {
+
+/// Service-wide configuration, fixed at construction.
+struct ServiceOptions {
+  /// Worker threads in the persistent pool (helpers for multi-threaded
+  /// requests; every request additionally runs on its client thread).
+  int pool_threads = 4;
+
+  /// Admission: requests executing concurrently. <= 0 disables the limit.
+  int max_in_flight = 8;
+
+  /// Admission: requests allowed to wait for an execution slot before
+  /// Query() rejects with kResourceExhausted. <= 0 means no waiting room
+  /// (reject as soon as max_in_flight is reached).
+  int max_queued = 8;
+
+  /// Online-stage workers for requests that don't ask for a budget
+  /// (RequestOptions::thread_budget == 0). 1 = serial execution.
+  int default_thread_budget = 1;
+
+  /// Hard cap on any request's thread budget. <= 0 defaults to
+  /// pool_threads + 1 (all helpers plus the client thread).
+  int max_thread_budget = 0;
+
+  /// Ablation knob (bench/throughput.cc): when false, executions do NOT
+  /// borrow from the persistent pool — each multi-threaded query spawns
+  /// and tears down its own transient helpers, the pre-service behavior.
+  /// Everything else (normalization, admission, caching, response
+  /// assembly) is unchanged, isolating the pool strategy.
+  bool share_pool = true;
+
+  /// Deadline for requests that don't set one. Zero = unlimited.
+  std::chrono::milliseconds default_deadline{0};
+
+  /// LRU plan/result cache capacity in entries. 0 disables the cache.
+  size_t cache_entries = 64;
+
+  /// Row cap on the retained result handle of one materializing
+  /// execution (0 = unlimited). A handle truncated by this cap is cached
+  /// with `truncated` set; pages beyond it report truncation.
+  uint64_t max_result_rows = 0;
+};
+
+/// Per-request knobs (the ExecutionOptions-style surface).
+struct RequestOptions {
+  /// Per-query wall-clock budget starting at Query() entry (queue wait
+  /// included). Zero = the service default.
+  std::chrono::milliseconds deadline{0};
+
+  /// Online-stage workers for this request (1 = serial; capped by
+  /// ServiceOptions::max_thread_budget). Zero = the service default.
+  int thread_budget = 0;
+
+  /// Pagination over the retained result handle: skip `offset` rows, then
+  /// return up to `limit` rows (0 = all remaining). Pagination is a view
+  /// over the full result — it does not change what is executed or
+  /// cached, so every page of one query comes from one handle.
+  uint64_t offset = 0;
+  uint64_t limit = 0;
+
+  /// Count rows instead of materializing them (no row payload in the
+  /// response; served from a complete cached handle when possible).
+  bool count_only = false;
+
+  /// Skip the cache entirely (no lookup, no insert). Differential tests
+  /// use this to compare cached and uncached responses.
+  bool bypass_cache = false;
+};
+
+/// One answered request.
+struct QueryResponse {
+  /// Projected variable names in the REQUEST's own spelling (cache hits
+  /// against a variable-renamed equivalent query are mapped back).
+  /// Empty for count_only requests.
+  std::vector<std::string> var_names;
+
+  /// The requested page: rows [offset, offset+limit) of the result set.
+  std::vector<std::vector<std::string>> rows;
+
+  /// Rows in the full retained result set (before pagination), or the
+  /// count for count_only requests.
+  uint64_t total_rows = 0;
+
+  /// The retained set was cut short (query LIMIT or max_result_rows).
+  bool truncated = false;
+
+  /// The per-query budget expired (in the queue or inside the engine).
+  /// Mirrors the engine contract: a timeout is a response, not an error.
+  bool timed_out = false;
+
+  /// Served from the plan/result cache without executing.
+  bool cache_hit = false;
+
+  /// Stats of the execution that produced the retained handle (for cache
+  /// hits: the original miss's execution).
+  ExecStats stats;
+};
+
+/// Monotonic service-level counters; Stats() returns a consistent snapshot.
+struct ServiceStats {
+  /// Requests answered (cache hits, executions, and in-budget timeouts).
+  uint64_t queries = 0;
+  /// Requests rejected with kResourceExhausted at admission.
+  uint64_t rejected = 0;
+  /// Requests whose budget expired (queued or executing).
+  uint64_t timed_out = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  /// Entries currently retained (gauge, not a counter).
+  uint64_t cache_entries = 0;
+  /// Page rows returned to clients.
+  uint64_t rows_served = 0;
+  /// High-water mark of concurrently executing requests.
+  uint64_t peak_in_flight = 0;
+  /// Requests executing / waiting right now (gauges).
+  uint64_t in_flight = 0;
+  uint64_t queued = 0;
+  /// Engine-level counters merged over every execution the service ran.
+  ExecStats exec;
+};
+
+/// A parse with canonical variable names: the cache-key form.
+struct NormalizedQuery {
+  /// Canonical text — the cache key. Whitespace, comments and variable
+  /// spellings are erased by construction; everything semantic (pattern
+  /// list, filters, projection order, DISTINCT, LIMIT) survives, so
+  /// distinct keys never alias distinct semantics.
+  std::string key;
+  /// The query with variables renamed to v0, v1, ... in first-appearance
+  /// order (patterns, then filters, then projection).
+  SelectQuery query;
+  /// Canonical name -> this request's original spelling, for mapping
+  /// response var_names back.
+  std::unordered_map<std::string, std::string> canon_to_orig;
+};
+
+/// Parses and canonicalizes `text`. Two texts normalize to the same key
+/// iff they are the same query up to whitespace, comments and variable
+/// renaming. Exposed for the cache-correctness tests.
+Result<NormalizedQuery> NormalizeQuery(std::string_view text);
+
+/// \brief The serving runtime over one engine. See file comment.
+class QueryService {
+ public:
+  /// `engine` is borrowed and must outlive the service. Any QueryEngine
+  /// works; only AMbER uses the shared pool (baselines run serially).
+  QueryService(QueryEngine* engine, const ServiceOptions& options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Answers one request. Blocking; safe to call from many client threads
+  /// concurrently. Errors: kResourceExhausted (admission), or whatever
+  /// the parser/engine reports. Timeouts are responses, not errors.
+  Result<QueryResponse> Query(std::string_view text,
+                              const RequestOptions& request = {});
+
+  /// Consistent snapshot of the service counters.
+  ServiceStats Stats() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  /// Retained per-key state: the parsed plan plus the result handle(s).
+  struct CacheEntry {
+    SelectQuery query;  // canonical names (the plan half of the cache)
+    bool have_rows = false;
+    bool have_count = false;
+    std::vector<std::string> var_names;  // canonical spelling
+    std::vector<std::vector<std::string>> rows;
+    bool truncated = false;
+    uint64_t count = 0;
+    ExecStats exec_stats;  // the execution that produced the handle
+    std::list<std::string>::iterator lru_it;
+  };
+
+  enum class Admission { kAdmitted, kRejected, kExpired };
+
+  /// Blocks until an execution slot is free, the queue overflows, or the
+  /// deadline passes. On kAdmitted the caller owns one slot.
+  Admission Admit(std::chrono::steady_clock::time_point start,
+                  std::chrono::milliseconds budget);
+  void Release();
+
+  /// Cache lookup; touches the LRU. Caller holds mu_.
+  CacheEntry* LookupLocked(const std::string& key);
+  /// Insert-or-merge `fresh` under `key`; evicts past capacity. Caller
+  /// holds mu_.
+  void UpsertLocked(const std::string& key, CacheEntry&& fresh);
+
+  /// Builds the paginated response for this request from an entry.
+  QueryResponse BuildResponse(const CacheEntry& entry,
+                              const NormalizedQuery& nq,
+                              const RequestOptions& request, bool cache_hit);
+
+  QueryEngine* engine_;
+  const ServiceOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable admission_cv_;
+  int in_flight_ = 0;
+  int queued_ = 0;
+  ServiceStats stats_;
+
+  // LRU cache: map owns the entries; lru_ front = most recent.
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::list<std::string> lru_;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SERVER_QUERY_SERVICE_H_

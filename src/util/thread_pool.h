@@ -1,6 +1,13 @@
 // A fixed-size thread pool used by the optional parallel query mode
-// (the paper's "parallel processing version" future-work item) and by
-// parallel index construction.
+// (the paper's "parallel processing version" future-work item), by
+// parallel index construction, and — as a long-lived pool shared across
+// requests — by the serving runtime (server/query_service.h).
+//
+// Sharing caveat: Wait() and ParallelFor() are whole-pool barriers (they
+// wait for EVERY outstanding task, not just the caller's). Callers that
+// share one pool across concurrent producers must track their own task
+// completion (core/parallel_exec.cc uses a per-query std::latch) and use
+// only Submit().
 
 #ifndef AMBER_UTIL_THREAD_POOL_H_
 #define AMBER_UTIL_THREAD_POOL_H_

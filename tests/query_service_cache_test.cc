@@ -1,0 +1,330 @@
+// Cache correctness for the serving runtime: key normalization
+// (whitespace / comment / variable-rename equivalences collapse to one
+// key; semantically different queries never collide), LRU eviction and the
+// hit/miss/eviction counters, differential identity of cached vs uncached
+// responses, count/rows handle sharing, and the no-caching-of-timeouts
+// rule.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/amber_engine.h"
+#include "server/query_service.h"
+#include "test_util.h"
+
+namespace amber {
+namespace {
+
+AmberEngine MustBuild(const std::vector<Triple>& data) {
+  auto engine = AmberEngine::Build(data);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  return std::move(engine).value();
+}
+
+std::string MustKey(const std::string& text) {
+  auto nq = NormalizeQuery(text);
+  EXPECT_TRUE(nq.ok()) << nq.status() << "\n" << text;
+  return nq.ok() ? nq->key : "<parse error: " + text + ">";
+}
+
+TEST(QueryServiceCacheTest, NormalizationCollapsesSpellingVariants) {
+  const std::string canonical = MustKey(
+      "SELECT ?a ?c WHERE { ?a <urn:p0> ?b . ?b <urn:p1> ?c . }");
+
+  // Whitespace and newlines.
+  EXPECT_EQ(MustKey("SELECT   ?a\t?c\nWHERE  {\n  ?a <urn:p0> ?b .\n"
+                    "  ?b <urn:p1> ?c .\n}"),
+            canonical);
+  // Comments.
+  EXPECT_EQ(MustKey("# leading comment\nSELECT ?a ?c # trailing\n"
+                    "WHERE { ?a <urn:p0> ?b . # mid\n ?b <urn:p1> ?c . }"),
+            canonical);
+  // Variable renaming (including $-style variables).
+  EXPECT_EQ(MustKey("SELECT ?x ?z WHERE { ?x <urn:p0> ?y . "
+                    "?y <urn:p1> ?z . }"),
+            canonical);
+  EXPECT_EQ(MustKey("SELECT $s $o WHERE { $s <urn:p0> $m . "
+                    "$m <urn:p1> $o . }"),
+            canonical);
+
+  // FILTER queries normalize too (filter variable renamed consistently).
+  EXPECT_EQ(
+      MustKey("SELECT ?a WHERE { ?a <urn:num0> ?v . FILTER(?v > 10) }"),
+      MustKey("SELECT ?x WHERE { ?x <urn:num0> ?w .\n# c\nFILTER(?w > 10)\n"
+              "}"));
+}
+
+TEST(QueryServiceCacheTest, SemanticallyDifferentQueriesNeverCollide) {
+  const char* base = "SELECT ?a WHERE { ?a <urn:p0> ?b . }";
+  const char* variants[] = {
+      // Different predicate.
+      "SELECT ?a WHERE { ?a <urn:p1> ?b . }",
+      // Different projected position.
+      "SELECT ?b WHERE { ?a <urn:p0> ?b . }",
+      // Extra pattern.
+      "SELECT ?a WHERE { ?a <urn:p0> ?b . ?b <urn:p0> ?c . }",
+      // DISTINCT.
+      "SELECT DISTINCT ?a WHERE { ?a <urn:p0> ?b . }",
+      // LIMIT (different cap = different result set).
+      "SELECT ?a WHERE { ?a <urn:p0> ?b . } LIMIT 2",
+      // Reversed direction.
+      "SELECT ?a WHERE { ?b <urn:p0> ?a . }",
+      // Same shape but the two variables collapsed into one (self-loop).
+      "SELECT ?a WHERE { ?a <urn:p0> ?a . }",
+  };
+  const std::string base_key = MustKey(base);
+  for (const char* v : variants) {
+    EXPECT_NE(MustKey(v), base_key) << v;
+  }
+  // Projection ORDER is semantic (column order): must not collide.
+  EXPECT_NE(
+      MustKey("SELECT ?a ?b WHERE { ?a <urn:p0> ?b . }"),
+      MustKey("SELECT ?b ?a WHERE { ?a <urn:p0> ?b . }"));
+  // Different FILTER constants / operators must not collide.
+  EXPECT_NE(
+      MustKey("SELECT ?a WHERE { ?a <urn:num0> ?v . FILTER(?v > 10) }"),
+      MustKey("SELECT ?a WHERE { ?a <urn:num0> ?v . FILTER(?v > 11) }"));
+  EXPECT_NE(
+      MustKey("SELECT ?a WHERE { ?a <urn:num0> ?v . FILTER(?v > 10) }"),
+      MustKey("SELECT ?a WHERE { ?a <urn:num0> ?v . FILTER(?v >= 10) }"));
+}
+
+TEST(QueryServiceCacheTest, SpellingVariantsHitAndKeepRequestVarNames) {
+  auto data = testutil::RandomDataset(7, 12, 70, 3);
+  AmberEngine engine = MustBuild(data);
+  ServiceOptions options;
+  options.cache_entries = 8;
+  QueryService service(&engine, options);
+
+  auto first = service.Query(
+      "SELECT ?a ?c WHERE { ?a <urn:p0> ?b . ?b <urn:p1> ?c . }", {});
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->cache_hit);
+  EXPECT_EQ(first->var_names, (std::vector<std::string>{"a", "c"}));
+
+  // Renamed + reformatted variant: must HIT, and must come back with the
+  // *request's* variable spellings, not the cached canonical ones.
+  auto second = service.Query(
+      "# cached?\nSELECT ?first ?last\nWHERE {\n ?first <urn:p0> ?mid .\n"
+      " ?mid <urn:p1> ?last . }",
+      {});
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->var_names, (std::vector<std::string>{"first", "last"}));
+  EXPECT_EQ(second->rows, first->rows);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+}
+
+TEST(QueryServiceCacheTest, EvictionIsLruAndCountersArePinned) {
+  auto data = testutil::RandomDataset(9, 12, 60, 3);
+  AmberEngine engine = MustBuild(data);
+  ServiceOptions options;
+  options.cache_entries = 2;
+  QueryService service(&engine, options);
+
+  const std::string q1 = "SELECT ?a WHERE { ?a <urn:p0> ?b . }";
+  const std::string q2 = "SELECT ?a WHERE { ?a <urn:p1> ?b . }";
+  const std::string q3 = "SELECT ?a WHERE { ?a <urn:p2> ?b . }";
+
+  ASSERT_TRUE(service.Query(q1, {}).ok());  // miss -> {q1}
+  ASSERT_TRUE(service.Query(q2, {}).ok());  // miss -> {q1, q2}
+  ASSERT_TRUE(service.Query(q1, {}).ok());  // hit, q1 now most recent
+  ASSERT_TRUE(service.Query(q3, {}).ok());  // miss -> evicts q2 (LRU)
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_misses, 3u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_evictions, 1u);
+  EXPECT_EQ(stats.cache_entries, 2u);
+
+  // q1 must still be cached (was touched); q2 must have been evicted.
+  auto r1 = service.Query(q1, {});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->cache_hit);
+  auto r2 = service.Query(q2, {});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->cache_hit);
+}
+
+TEST(QueryServiceCacheTest, CachedAndUncachedResponsesDifferentiallyIdentical) {
+  auto data = testutil::RandomDataset(13, 15, 90, 3);
+  AmberEngine engine = MustBuild(data);
+  ServiceOptions options;
+  options.cache_entries = 32;
+  QueryService service(&engine, options);
+
+  std::vector<std::string> texts;
+  for (int qi = 0; qi < 6; ++qi) {
+    texts.push_back(testutil::RandomQueryFromData(data, 300 + qi, 3));
+  }
+  texts.push_back(
+      "SELECT DISTINCT ?a WHERE { ?a <urn:p0> ?b . ?b <urn:p1> ?c . } "
+      "LIMIT 3");
+  texts.push_back(
+      "SELECT ?a ?c WHERE { ?a <urn:p0> ?b . ?b <urn:p1> ?c . } LIMIT 5");
+
+  for (const std::string& text : texts) {
+    for (const auto& [offset, limit] :
+         std::vector<std::pair<uint64_t, uint64_t>>{
+             {0, 0}, {0, 3}, {2, 2}, {5, 0}}) {
+      RequestOptions cached;
+      cached.offset = offset;
+      cached.limit = limit;
+      RequestOptions bypass = cached;
+      bypass.bypass_cache = true;
+
+      auto warm = service.Query(text, cached);   // miss or hit
+      auto hit = service.Query(text, cached);    // definitely a hit
+      auto raw = service.Query(text, bypass);    // fresh execution
+      ASSERT_TRUE(warm.ok() && hit.ok() && raw.ok());
+      EXPECT_TRUE(hit->cache_hit);
+      EXPECT_FALSE(raw->cache_hit);
+      EXPECT_EQ(hit->rows, raw->rows) << text;
+      EXPECT_EQ(warm->rows, raw->rows) << text;
+      EXPECT_EQ(hit->var_names, raw->var_names);
+      EXPECT_EQ(hit->total_rows, raw->total_rows);
+      EXPECT_EQ(hit->truncated, raw->truncated);
+    }
+  }
+}
+
+TEST(QueryServiceCacheTest, CountServedFromCompleteRowHandle) {
+  auto data = testutil::RandomDataset(17, 12, 70, 3);
+  AmberEngine engine = MustBuild(data);
+  ServiceOptions options;
+  options.cache_entries = 8;
+  QueryService service(&engine, options);
+
+  const std::string text =
+      "SELECT ?a ?c WHERE { ?a <urn:p0> ?b . ?b <urn:p1> ?c . }";
+  auto rows = service.Query(text, {});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(rows->truncated);
+
+  RequestOptions count;
+  count.count_only = true;
+  auto counted = service.Query(text, count);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_TRUE(counted->cache_hit);  // complete row handle answers counts
+  EXPECT_EQ(counted->total_rows, rows->total_rows);
+
+  // The reverse: a count-only entry canNOT answer a materializing request.
+  const std::string other =
+      "SELECT ?a WHERE { ?a <urn:p1> ?b . }";
+  auto counted_first = service.Query(other, count);
+  ASSERT_TRUE(counted_first.ok());
+  EXPECT_FALSE(counted_first->cache_hit);
+  auto rows_after = service.Query(other, {});
+  ASSERT_TRUE(rows_after.ok());
+  EXPECT_FALSE(rows_after->cache_hit);  // rows were not retained yet
+  EXPECT_EQ(rows_after->total_rows, counted_first->total_rows);
+  // ... but now the entry holds both handles: both modes hit.
+  auto both = service.Query(other, count);
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both->cache_hit);
+}
+
+TEST(QueryServiceCacheTest, TruncatedHandleDoesNotAnswerCounts) {
+  auto data = testutil::RandomDataset(19, 15, 120, 3);
+  AmberEngine engine = MustBuild(data);
+  ServiceOptions options;
+  options.cache_entries = 8;
+  options.max_result_rows = 2;  // force truncation of retained handles
+  QueryService service(&engine, options);
+
+  const std::string text =
+      "SELECT ?a ?c WHERE { ?a <urn:p0> ?b . ?b <urn:p1> ?c . }";
+  ExecOptions serial;
+  auto reference = engine.MaterializeSparql(text, serial);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GT(reference->rows.size(), 2u) << "fixture must exceed the cap";
+
+  auto rows = service.Query(text, {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->truncated);
+  EXPECT_EQ(rows->total_rows, 2u);
+  // The truncated prefix is still the serial prefix, bit for bit.
+  EXPECT_EQ(rows->rows[0], reference->rows[0]);
+  EXPECT_EQ(rows->rows[1], reference->rows[1]);
+
+  // A count request must NOT be served from the truncated handle: it
+  // re-executes (uncapped count) and returns the true total.
+  RequestOptions count;
+  count.count_only = true;
+  auto counted = service.Query(text, count);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_FALSE(counted->cache_hit);
+  EXPECT_EQ(counted->total_rows, reference->rows.size());
+}
+
+/// Engine stub whose executions always report a timeout: pins the rule
+/// that timed-out (partial) results never enter the cache.
+class TimingOutEngine : public QueryEngine {
+ public:
+  std::string name() const override { return "TimingOut"; }
+  Result<CountResult> Count(const SelectQuery&,
+                            const ExecOptions&) override {
+    ++executions;
+    CountResult r;
+    r.count = 0;
+    r.stats.timed_out = true;
+    return r;
+  }
+  Result<MaterializedRows> Materialize(const SelectQuery&,
+                                       const ExecOptions&) override {
+    ++executions;
+    MaterializedRows r;
+    r.stats.timed_out = true;
+    return r;
+  }
+  int executions = 0;
+};
+
+TEST(QueryServiceCacheTest, TimedOutResultsAreNeverCached) {
+  TimingOutEngine engine;
+  ServiceOptions options;
+  options.cache_entries = 8;
+  QueryService service(&engine, options);
+
+  const std::string text = "SELECT ?a WHERE { ?a <urn:p0> ?b . }";
+  for (int i = 0; i < 3; ++i) {
+    auto resp = service.Query(text, {});
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->timed_out);
+    EXPECT_FALSE(resp->cache_hit);
+  }
+  EXPECT_EQ(engine.executions, 3);  // every request re-executed
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_entries, 0u);
+  EXPECT_EQ(stats.timed_out, 3u);
+}
+
+TEST(QueryServiceCacheTest, CacheDisabledAlwaysExecutes) {
+  auto data = testutil::RandomDataset(29, 10, 50, 3);
+  AmberEngine engine = MustBuild(data);
+  ServiceOptions options;
+  options.cache_entries = 0;  // disabled
+  QueryService service(&engine, options);
+
+  const std::string text = "SELECT ?a WHERE { ?a <urn:p0> ?b . }";
+  auto a = service.Query(text, {});
+  auto b = service.Query(text, {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(a->cache_hit);
+  EXPECT_FALSE(b->cache_hit);
+  EXPECT_EQ(a->rows, b->rows);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);  // disabled cache records nothing
+  EXPECT_EQ(stats.cache_entries, 0u);
+}
+
+}  // namespace
+}  // namespace amber

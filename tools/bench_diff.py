@@ -50,7 +50,7 @@ def index_points(data):
     return points
 
 
-def compare_file(name, base, cur, ratio, slack_ms):
+def compare_file(name, base, cur, ratio, slack_ms, qps_floor=10.0):
     """Returns a list of regression strings for one bench file."""
     if base.get("config") != cur.get("config"):
         print(f"  SKIP {name}: config changed "
@@ -85,10 +85,24 @@ def compare_file(name, base, cur, ratio, slack_ms):
             delta = (c_ms / b_ms - 1.0) * 100.0 if b_ms > 0 else 0.0
             print(f"  ok   {name}: {engine} @ {size}: "
                   f"{b_ms:.3f}ms -> {c_ms:.3f}ms ({delta:+.0f}%)")
+        # Throughput points additionally gate on sustained qps: fail when a
+        # series that used to clear the noise floor drops below
+        # baseline/ratio. The floor keeps near-idle points (tiny smoke
+        # windows) from tripping on scheduling noise.
+        b_qps = bp.get("qps", 0.0)
+        c_qps = cp.get("qps", 0.0)
+        if b_qps >= qps_floor and c_qps < b_qps / ratio:
+            regressions.append(
+                f"{name}: {engine} @ size {size} qps collapsed "
+                f"{b_qps:.1f} -> {c_qps:.1f} "
+                f"(limit {b_qps / ratio:.1f})")
+        elif b_qps > 0:
+            print(f"  ok   {name}: {engine} @ {size}: "
+                  f"{b_qps:.1f} -> {c_qps:.1f} qps")
     return regressions
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline_dir", type=Path)
     parser.add_argument("current_dir", type=Path)
@@ -98,7 +112,10 @@ def main():
     parser.add_argument("--slack-ms", type=float, default=25.0,
                         help="absolute grace so sub-millisecond noise never "
                              "trips the ratio (default %(default)s)")
-    args = parser.parse_args()
+    parser.add_argument("--qps-floor", type=float, default=10.0,
+                        help="qps points below this baseline rate are never "
+                             "gated (default %(default)s)")
+    args = parser.parse_args(argv)
 
     if not args.baseline_dir.is_dir():
         print(f"baseline dir {args.baseline_dir} does not exist")
@@ -133,7 +150,7 @@ def main():
         compared += 1
         regressions.extend(
             compare_file(base_path.name, base, cur, args.ratio,
-                         args.slack_ms))
+                         args.slack_ms, args.qps_floor))
 
     print(f"\ncompared {compared} bench file(s) against "
           f"{args.baseline_dir} (ratio {args.ratio}, slack "

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py (the CI perf-regression gate).
+
+Written as plain pytest-collectable functions (CI runs `pytest
+tools/test_bench_diff.py`), with a no-dependency fallback runner so
+`python3 tools/test_bench_diff.py` works on hosts without pytest.
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_diff  # noqa: E402
+
+
+def harness(avg_ms=1.0, answered=2, total=2, qps=None, config=None,
+            engine="AMbER", size=10):
+    """One harness-schema bench dict with a single (engine, size) point."""
+    point = {"size": size, "avg_ms": avg_ms, "unanswered_pct": 0.0,
+             "answered": answered, "total": total}
+    if qps is not None:
+        point["qps"] = qps
+        point["p50_ms"] = avg_ms
+        point["p99_ms"] = avg_ms * 2
+    return {
+        "figure": "Test figure",
+        "config": config or {"scale": 0.05, "queries_per_point": 2,
+                             "timeout_ms": 500},
+        "engines": [{"name": engine, "series": [point]}],
+    }
+
+
+def write_dirs(baseline, current, name="BENCH_test.json"):
+    """Writes two temp dirs holding one bench file each; returns paths."""
+    root = Path(tempfile.mkdtemp(prefix="bench_diff_test_"))
+    base_dir = root / "base"
+    cur_dir = root / "cur"
+    base_dir.mkdir()
+    cur_dir.mkdir()
+    if baseline is not None:
+        (base_dir / name).write_text(json.dumps(baseline))
+    if current is not None:
+        (cur_dir / name).write_text(json.dumps(current))
+    return base_dir, cur_dir
+
+
+def run_main(base_dir, cur_dir, *extra):
+    return bench_diff.main([str(base_dir), str(cur_dir), *extra])
+
+
+# ---------------------------------------------------------------------------
+# Latency gate.
+# ---------------------------------------------------------------------------
+
+def test_equal_results_pass():
+    base, cur = write_dirs(harness(avg_ms=2.0), harness(avg_ms=2.0))
+    assert run_main(base, cur) == 0
+
+
+def test_within_tolerance_passes():
+    # 3x slower is under the default ratio 4 + 25ms slack.
+    base, cur = write_dirs(harness(avg_ms=10.0), harness(avg_ms=30.0))
+    assert run_main(base, cur) == 0
+
+
+def test_step_function_regression_fails():
+    # 100ms -> 1000ms blows through 100*4 + 25.
+    base, cur = write_dirs(harness(avg_ms=100.0), harness(avg_ms=1000.0))
+    assert run_main(base, cur) == 1
+
+
+def test_slack_absorbs_sub_millisecond_noise():
+    # 0.1ms -> 5ms is a 50x ratio but far inside the 25ms slack.
+    base, cur = write_dirs(harness(avg_ms=0.1), harness(avg_ms=5.0))
+    assert run_main(base, cur) == 0
+
+
+def test_custom_ratio_and_slack():
+    base, cur = write_dirs(harness(avg_ms=100.0), harness(avg_ms=250.0))
+    assert run_main(base, cur, "--ratio", "2.0", "--slack-ms", "0") == 1
+    assert run_main(base, cur, "--ratio", "3.0", "--slack-ms", "0") == 0
+
+
+def test_stopped_answering_fails():
+    base, cur = write_dirs(harness(answered=2),
+                           harness(answered=0, avg_ms=0.0))
+    assert run_main(base, cur) == 1
+
+
+def test_never_answered_engine_is_not_gated():
+    # An engine at 0 answered in the BASELINE can't regress.
+    base, cur = write_dirs(harness(answered=0, avg_ms=0.0),
+                           harness(answered=0, avg_ms=0.0))
+    assert run_main(base, cur) == 0
+
+
+def test_series_disappearing_fails():
+    base, cur = write_dirs(harness(size=10), harness(size=20))
+    assert run_main(base, cur) == 1
+
+
+# ---------------------------------------------------------------------------
+# File-level behavior.
+# ---------------------------------------------------------------------------
+
+def test_missing_current_file_fails():
+    base, cur = write_dirs(harness(), None)
+    assert run_main(base, cur) == 1
+
+
+def test_missing_baseline_dir_is_usage_error():
+    base, cur = write_dirs(harness(), harness())
+    assert run_main(base / "nope", cur) == 2
+
+
+def test_empty_baseline_dir_is_usage_error():
+    base, cur = write_dirs(None, harness())
+    assert run_main(base, cur) == 2
+
+
+def test_non_harness_baseline_skipped():
+    # google-benchmark-style JSON (no "engines") must be ignored, and with
+    # nothing else to compare the gate still passes.
+    base, cur = write_dirs({"benchmarks": [{"name": "x", "real_time": 1}]},
+                           None)
+    assert run_main(base, cur) == 0
+
+
+def test_unreadable_current_file_fails():
+    base, cur = write_dirs(harness(), None)
+    (cur / "BENCH_test.json").write_text("{not json")
+    assert run_main(base, cur) == 1
+
+
+def test_config_change_skips_comparison():
+    # Different config tuple: timings aren't comparable; even a huge
+    # "regression" must be skipped rather than failed.
+    base, cur = write_dirs(
+        harness(avg_ms=1.0, config={"scale": 1.0}),
+        harness(avg_ms=9999.0, config={"scale": 0.05}))
+    assert run_main(base, cur) == 0
+
+
+# ---------------------------------------------------------------------------
+# Throughput (BENCH_throughput.json) qps gate.
+# ---------------------------------------------------------------------------
+
+def throughput(qps, avg_ms=1.0):
+    return harness(avg_ms=avg_ms, qps=qps, engine="service-pooled", size=4)
+
+
+def test_throughput_schema_passes_when_stable():
+    base, cur = write_dirs(throughput(qps=500.0), throughput(qps=480.0),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+
+
+def test_qps_collapse_fails():
+    # 500 -> 100 qps is below 500/4: a step-function throughput loss.
+    base, cur = write_dirs(throughput(qps=500.0), throughput(qps=100.0),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 1
+
+
+def test_qps_above_quarter_of_baseline_passes():
+    base, cur = write_dirs(throughput(qps=500.0), throughput(qps=130.0),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+
+
+def test_qps_floor_shields_tiny_smoke_points():
+    # Baseline under the 10-qps floor: scheduling noise, never gated.
+    base, cur = write_dirs(throughput(qps=8.0), throughput(qps=1.0),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+    # Raising the floor shields bigger points too.
+    big_base, big_cur = write_dirs(throughput(qps=500.0),
+                                   throughput(qps=100.0),
+                                   name="BENCH_throughput.json")
+    assert run_main(big_base, big_cur, "--qps-floor", "1000") == 0
+
+
+def test_points_without_qps_skip_the_qps_gate():
+    # Plain figure files have no qps field; only the latency gate applies.
+    base, cur = write_dirs(harness(avg_ms=1.0), harness(avg_ms=1.0))
+    assert run_main(base, cur) == 0
+
+
+if __name__ == "__main__":
+    failures = 0
+    for name, fn in sorted(globals().items()):
+        if name.startswith("test_") and callable(fn):
+            try:
+                fn()
+                print(f"PASS {name}")
+            except AssertionError as e:
+                failures += 1
+                print(f"FAIL {name}: {e}")
+    sys.exit(1 if failures else 0)
