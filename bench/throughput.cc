@@ -16,6 +16,14 @@
 //                    this runtime replaces). Identical normalization,
 //                    admission and response assembly — the ONLY variable
 //                    is the pool strategy.
+//   service-degraded-<R>pct
+//                    One series per AMBER_BENCH_FAULT_RATE entry: the
+//                    cache-bypassed service under a seeded R% transient
+//                    fault probability at the service.execute site, with
+//                    deadline-aware retries (2, 1ms initial backoff) and
+//                    overload shedding enabled. The robustness floor the
+//                    gate defends: the runtime must keep answering —
+//                    degraded qps, not a collapse to zero.
 //
 // Reported per (series, clients) point: sustained qps plus p50/p99 request
 // latency. Expected shape: service-pooled >= per-query-spawn on qps at
@@ -34,6 +42,9 @@
 //                            returns bounded pages, not unbounded star
 //                            joins; without the cap, row materialization
 //                            drowns the pool-vs-spawn signal.
+//   AMBER_BENCH_FAULT_RATE   comma list of transient-fault percentages for
+//                            the service-degraded series (default 1,10;
+//                            empty string disables the sweep).
 
 #include <algorithm>
 #include <atomic>
@@ -43,12 +54,14 @@
 #include <fstream>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bench_common.h"
 #include "server/query_service.h"
+#include "util/fault_injector.h"
 #include "util/string_util.h"
 
 namespace {
@@ -195,6 +208,14 @@ int main() {
     const int v = std::atoi(env);
     if (v > 0) max_rows = static_cast<uint64_t>(v);
   }
+  std::vector<int> fault_rates = {1, 10};
+  if (const char* env = std::getenv("AMBER_BENCH_FAULT_RATE")) {
+    fault_rates.clear();  // empty string disables the sweep
+    for (std::string_view piece : StrSplit(env, ',')) {
+      const int v = std::atoi(std::string(piece).c_str());
+      if (v >= 0 && v <= 100) fault_rates.push_back(v);
+    }
+  }
 
   DatasetBundle dataset = MakeDataset("LUBM", config.scale);
   std::fprintf(stderr,
@@ -235,8 +256,11 @@ int main() {
   service_options.default_deadline =
       std::chrono::milliseconds(config.timeout_ms);
 
-  const std::vector<std::string> names = {"service-pooled", "service-cached",
-                                          "per-query-spawn"};
+  std::vector<std::string> names = {"service-pooled", "service-cached",
+                                    "per-query-spawn"};
+  for (int rate : fault_rates) {
+    names.push_back("service-degraded-" + std::to_string(rate) + "pct");
+  }
   std::vector<std::vector<ThroughputPoint>> series(names.size());
 
   for (int clients : client_counts) {
@@ -274,6 +298,32 @@ int main() {
                                      return resp.ok() && !resp->timed_out;
                                    }));
     }
+    for (size_t f = 0; f < fault_rates.size(); ++f) {
+      // service-degraded: the cache-bypassed service under a seeded R%
+      // transient fault probability at service.execute, with retries and
+      // shedding on. "answered" here counts requests that survived the
+      // faults — the robustness floor the diff gate defends.
+      ServiceOptions degraded = service_options;
+      degraded.max_retries = 2;
+      degraded.initial_backoff = std::chrono::milliseconds(1);
+      degraded.shed_high_water = std::max(1, clients / 2);
+      QueryService service(&engine, degraded);
+      std::optional<ScopedFault> fault;
+      if (fault_rates[f] > 0) {
+        FaultSpec spec;  // default code kUnavailable: retryable
+        spec.probability = fault_rates[f] / 100.0;
+        spec.seed = 1000u * static_cast<uint64_t>(clients) + f;
+        fault.emplace(faults::kServiceExecute, spec);
+      }
+      series[3 + f].push_back(RunPoint(clients, window, queries.size(),
+                                       [&](size_t qi) {
+                                         RequestOptions req;
+                                         req.bypass_cache = true;
+                                         auto resp =
+                                             service.Query(queries[qi], req);
+                                         return resp.ok() && !resp->timed_out;
+                                       }));
+    }
   }
 
   std::printf("\nServing throughput (closed loop, %zu-query star mix, "
@@ -294,7 +344,9 @@ int main() {
   }
   std::printf("\nExpected shape: service-pooled >= per-query-spawn at every "
               "client count (pool spawn is pure overhead; parity on a "
-              "1-core host), service-cached far above both.\n");
+              "1-core host), service-cached far above both, and every "
+              "service-degraded series still answering (reduced qps, "
+              "never zero).\n");
   std::fflush(stdout);
 
   WriteThroughputJson(names, series, config);

@@ -6,6 +6,7 @@
 #include "rdf/ntriples.h"
 #include "util/amf.h"
 #include "util/clock.h"
+#include "util/fault_injector.h"
 #include "util/serde.h"
 #include "util/thread_pool.h"
 
@@ -58,6 +59,11 @@ Result<AmberEngine> AmberEngine::BuildFromFile(const std::string& path) {
 Result<uint64_t> AmberEngine::Execute(
     const SelectQuery& query, const ExecOptions& options, ExecStats* stats,
     std::vector<std::vector<VertexId>>* materialize_into) {
+  // Transient-fault site: chaos tests inject kUnavailable / allocation
+  // pressure here; the serving layer's retry policy treats the injected
+  // Status exactly like an organic engine failure.
+  AMBER_RETURN_IF_ERROR(
+      FaultInjector::Global().Inject(faults::kEngineExecute));
   Stopwatch sw;
   AMBER_ASSIGN_OR_RETURN(QueryGraph qg, QueryGraph::Build(query, dicts_));
   const uint64_t cap = EffectiveRowCap(query, options);

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/matcher.h"
+#include "util/fault_injector.h"
 #include "util/thread_pool.h"
 
 namespace amber {
@@ -159,6 +160,17 @@ Result<ParallelRunResult> RunMatcherParallel(
     while (true) {
       const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
+      // Per-chunk fault site: a firing poisons this worker's status (the
+      // whole query fails, exactly like an organic chunk error) but still
+      // marks the chunk finished so sibling workers' prefix accounting
+      // never deadlocks on it.
+      if (Status fault =
+              FaultInjector::Global().Inject(faults::kParallelChunk);
+          !fault.ok()) {
+        worker_status[wi] = std::move(fault);
+        finish_chunk(c, 0);
+        break;
+      }
       const size_t begin = c * chunk_size;
       const size_t end = std::min(root.size(), begin + chunk_size);
       const std::span<const VertexId> slice(root.data() + begin, end - begin);

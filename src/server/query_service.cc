@@ -1,10 +1,12 @@
 #include "server/query_service.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "sparql/formatter.h"
 #include "sparql/parser.h"
+#include "util/fault_injector.h"
 
 namespace amber {
 
@@ -61,12 +63,20 @@ QueryService::~QueryService() { pool_.Shutdown(); }
 
 QueryService::Admission QueryService::Admit(
     std::chrono::steady_clock::time_point start,
-    std::chrono::milliseconds budget) {
+    std::chrono::milliseconds budget, bool* shed) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (options_.max_in_flight <= 0 || in_flight_ < options_.max_in_flight) {
+  // Overload shedding decision belongs to the admission moment: the
+  // request counts itself, so with shed_high_water = H the (H+1)th
+  // concurrent execution is the first to run degraded.
+  auto admit_locked = [this, shed] {
     ++in_flight_;
     stats_.peak_in_flight = std::max<uint64_t>(
         stats_.peak_in_flight, static_cast<uint64_t>(in_flight_));
+    *shed = options_.shed_high_water > 0 &&
+            in_flight_ > options_.shed_high_water;
+  };
+  if (options_.max_in_flight <= 0 || in_flight_ < options_.max_in_flight) {
+    admit_locked();
     return Admission::kAdmitted;
   }
   if (queued_ >= std::max(options_.max_queued, 0)) {
@@ -92,9 +102,7 @@ QueryService::Admission QueryService::Admit(
     admission_cv_.notify_one();
     return Admission::kExpired;
   }
-  ++in_flight_;
-  stats_.peak_in_flight = std::max<uint64_t>(
-      stats_.peak_in_flight, static_cast<uint64_t>(in_flight_));
+  admit_locked();
   return Admission::kAdmitted;
 }
 
@@ -113,34 +121,92 @@ QueryService::CacheEntry* QueryService::LookupLocked(const std::string& key) {
   return &it->second;
 }
 
+uint64_t QueryService::EntryBytes(const std::string& key,
+                                  const CacheEntry& e) {
+  // Deterministic O(cells) accounting of what the entry retains: row and
+  // cell payloads plus per-object header overhead (sizes, not
+  // capacities, so the figure is reproducible across allocators).
+  uint64_t bytes = sizeof(CacheEntry) + key.size();
+  bytes += e.var_names.size() * sizeof(std::string);
+  for (const std::string& name : e.var_names) bytes += name.size();
+  bytes += e.rows.size() * sizeof(std::vector<std::string>);
+  for (const auto& row : e.rows) {
+    bytes += row.size() * sizeof(std::string);
+    for (const std::string& cell : row) bytes += cell.size();
+  }
+  return bytes;
+}
+
+void QueryService::EvictLocked() {
+  while (!cache_.empty() &&
+         (cache_.size() > options_.cache_entries ||
+          (options_.cache_bytes > 0 &&
+           cache_bytes_used_ > options_.cache_bytes))) {
+    auto it = cache_.find(lru_.back());
+    cache_bytes_used_ -= it->second.bytes;
+    cache_.erase(it);
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+}
+
 void QueryService::UpsertLocked(const std::string& key, CacheEntry&& fresh) {
   auto it = cache_.find(key);
   if (it == cache_.end()) {
+    fresh.bytes = EntryBytes(key, fresh);
+    // Oversized bypass: an entry alone bigger than the whole byte budget
+    // would evict every other entry and then itself — serve it once and
+    // keep the cache for results that fit.
+    if (options_.cache_bytes > 0 && fresh.bytes > options_.cache_bytes) {
+      return;
+    }
     lru_.push_front(key);
     fresh.lru_it = lru_.begin();
+    cache_bytes_used_ += fresh.bytes;
     cache_.emplace(key, std::move(fresh));
-    while (cache_.size() > options_.cache_entries) {
-      cache_.erase(lru_.back());
-      lru_.pop_back();
-      ++stats_.cache_evictions;
-    }
+    EvictLocked();
     return;
   }
   // Merge: a concurrent miss (or the other mode of the same query) may
   // have filled one half already; keep whatever is present — both runs
   // computed identical results by the determinism contract.
   CacheEntry& e = it->second;
+  bool grew = false;
   if (fresh.have_rows && !e.have_rows) {
     e.have_rows = true;
     e.var_names = std::move(fresh.var_names);
     e.rows = std::move(fresh.rows);
     e.truncated = fresh.truncated;
+    grew = true;
   }
   if (fresh.have_count && !e.have_count) {
     e.have_count = true;
     e.count = fresh.count;
+    grew = true;
+  }
+  if (grew) {
+    cache_bytes_used_ -= e.bytes;
+    e.bytes = EntryBytes(key, e);
+    cache_bytes_used_ += e.bytes;
   }
   lru_.splice(lru_.begin(), lru_, e.lru_it);  // touch
+  // A merge can push past the byte budget; the merged entry was just
+  // touched to the LRU front, so it is evicted only if nothing else
+  // remains to give back.
+  EvictLocked();
+}
+
+void QueryService::PublishFlightLocked(
+    const std::string& flight_key, Flight* flight, Status status,
+    std::shared_ptr<const CacheEntry> entry) {
+  flight->status = std::move(status);
+  flight->entry = std::move(entry);
+  flight->done = true;
+  // Retiring the flight and resolving it are one atomic step under mu_:
+  // any later request either found this flight (and wakes here) or will
+  // miss it and consult the cache / lead its own flight.
+  flights_.erase(flight_key);
+  flight->cv.notify_all();
 }
 
 QueryResponse QueryService::BuildResponse(const CacheEntry& entry,
@@ -189,8 +255,14 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
   AMBER_ASSIGN_OR_RETURN(NormalizedQuery nq, NormalizeQuery(text));
 
   const bool use_cache = options_.cache_entries > 0 && !request.bypass_cache;
+  // Rows and counts of one query are distinct flights: a count result
+  // cannot answer a materializing follower or vice versa.
+  const std::string flight_key =
+      nq.key + (request.count_only ? "#count" : "#rows");
+  std::shared_ptr<Flight> flight;  // set iff this request leads a flight
+
   if (use_cache) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     CacheEntry* entry = LookupLocked(nq.key);
     // A hit must actually be able to answer this request's mode: rows for
     // a materializing request; an exact count (stored, or derivable from a
@@ -208,22 +280,71 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
       return resp;
     }
     ++stats_.cache_misses;
+
+    if (options_.single_flight) {
+      auto [it, inserted] =
+          flights_.try_emplace(flight_key, std::make_shared<Flight>());
+      if (!inserted) {
+        // Follower: another request is already executing this exact
+        // (key, mode). Wait for its published outcome under OUR deadline
+        // — an expired follower answers timed_out on its own without
+        // cancelling the leader.
+        std::shared_ptr<Flight> lead = it->second;
+        ++stats_.single_flight_hits;
+        ++lead->waiters;
+        bool resolved;
+        if (budget.count() > 0) {
+          resolved = lead->cv.wait_until(lock, start + budget,
+                                         [&] { return lead->done; });
+        } else {
+          lead->cv.wait(lock, [&] { return lead->done; });
+          resolved = true;
+        }
+        --lead->waiters;
+        if (!resolved) {
+          ++stats_.timed_out;
+          ++stats_.queries;
+          QueryResponse resp;
+          resp.timed_out = true;
+          return resp;
+        }
+        // Leader failure propagates to every waiter; it is never cached.
+        if (!lead->status.ok()) return lead->status;
+        ++stats_.queries;
+        if (lead->entry->exec_stats.timed_out) ++stats_.timed_out;
+        QueryResponse resp = BuildResponse(*lead->entry, nq, request, true);
+        stats_.rows_served += resp.rows.size();
+        return resp;
+      }
+      flight = it->second;  // leader: must publish on EVERY exit below
+    }
   }
 
   // Admission: acquire an execution slot inside the request's own budget.
-  switch (Admit(start, budget)) {
+  bool shed = false;
+  switch (Admit(start, budget, &shed)) {
     case Admission::kRejected: {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.rejected;
-      return Status::ResourceExhausted(
+      Status status = Status::ResourceExhausted(
           "query service saturated (max_in_flight=" +
           std::to_string(options_.max_in_flight) +
           ", max_queued=" + std::to_string(options_.max_queued) + ")");
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+      if (flight != nullptr) {
+        PublishFlightLocked(flight_key, flight.get(), status, nullptr);
+      }
+      return status;
     }
     case Admission::kExpired: {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.timed_out;
       ++stats_.queries;
+      if (flight != nullptr) {
+        auto marker = std::make_shared<CacheEntry>();
+        marker->exec_stats.timed_out = true;
+        PublishFlightLocked(flight_key, flight.get(), Status::OK(),
+                            std::move(marker));
+      }
       QueryResponse resp;
       resp.timed_out = true;
       return resp;
@@ -236,55 +357,132 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
     ~SlotGuard() { s->Release(); }
   } slot_guard{this};
 
-  // The deadline is a per-query budget from Query() entry: whatever the
-  // queue consumed is gone. Re-check before touching the engine.
   ExecOptions exec;
-  if (budget.count() > 0) {
-    const auto remaining =
-        RemainingBudget(start, budget, std::chrono::steady_clock::now());
-    if (remaining.count() <= 0) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.timed_out;
-      ++stats_.queries;
-      QueryResponse resp;
-      resp.timed_out = true;
-      return resp;
-    }
-    exec.timeout = remaining;
-  }
   const int max_budget = options_.max_thread_budget > 0
                              ? options_.max_thread_budget
                              : options_.pool_threads + 1;
   const int want = request.thread_budget > 0 ? request.thread_budget
                                              : options_.default_thread_budget;
   exec.num_threads = std::clamp(want, 1, max_budget);
+  const int shed_budget = std::max(options_.shed_thread_budget, 1);
+  if (shed && exec.num_threads > shed_budget) {
+    // Overload: degrade gracefully by shedding PARALLELISM, not the
+    // request — it still runs, on a reduced thread budget.
+    exec.num_threads = shed_budget;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_thread_budgets;
+  }
   if (options_.share_pool) exec.pool = &pool_;
+  if (!request.count_only) exec.max_rows = options_.max_result_rows;
 
-  // Execute on the canonical parse (the plan half of the cache): results
-  // depend on variables positionally, never on their spelling.
+  // One execution attempt on the canonical parse (the plan half of the
+  // cache): results depend on variables positionally, never on their
+  // spelling. Fills `*out` on success.
+  auto execute_once = [&](CacheEntry* out) -> Status {
+    AMBER_RETURN_IF_ERROR(
+        FaultInjector::Global().Inject(faults::kServiceExecute));
+    if (request.count_only) {
+      Result<CountResult> cr = engine_->Count(nq.query, exec);
+      if (!cr.ok()) return cr.status();
+      out->have_count = true;
+      out->count = cr->count;
+      out->exec_stats = cr->stats;
+    } else {
+      Result<MaterializedRows> mr = engine_->Materialize(nq.query, exec);
+      if (!mr.ok()) return mr.status();
+      out->have_rows = true;
+      out->var_names = std::move(mr->var_names);
+      out->rows = std::move(mr->rows);
+      out->truncated = mr->stats.truncated;
+      out->exec_stats = mr->stats;
+    }
+    return Status::OK();
+  };
+
+  // Retry loop: transient (kUnavailable) failures are re-attempted with
+  // doubling backoff, but only while the remaining budget covers the
+  // sleep — the last milliseconds of a deadline are spent querying, not
+  // waiting. The deadline is a per-query budget from Query() entry:
+  // whatever the queue (and earlier attempts) consumed is gone.
   CacheEntry fresh;
-  if (request.count_only) {
-    AMBER_ASSIGN_OR_RETURN(CountResult cr, engine_->Count(nq.query, exec));
-    fresh.have_count = true;
-    fresh.count = cr.count;
-    fresh.exec_stats = cr.stats;
-  } else {
-    exec.max_rows = options_.max_result_rows;
-    AMBER_ASSIGN_OR_RETURN(MaterializedRows mr,
-                           engine_->Materialize(nq.query, exec));
-    fresh.have_rows = true;
-    fresh.var_names = std::move(mr.var_names);
-    fresh.rows = std::move(mr.rows);
-    fresh.truncated = mr.stats.truncated;
-    fresh.exec_stats = mr.stats;
+  Status exec_status = Status::OK();
+  uint64_t retries_done = 0;
+  bool expired = false;
+  std::chrono::milliseconds backoff =
+      options_.initial_backoff.count() > 0 ? options_.initial_backoff
+                                           : std::chrono::milliseconds(1);
+  for (int attempt = 0;; ++attempt) {
+    if (budget.count() > 0) {
+      const auto remaining =
+          RemainingBudget(start, budget, std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        expired = true;
+        break;
+      }
+      exec.timeout = remaining;
+    }
+    fresh = CacheEntry();  // drop any state from a failed attempt
+    exec_status = execute_once(&fresh);
+    if (exec_status.ok()) break;
+    if (!exec_status.IsUnavailable() || attempt >= options_.max_retries) {
+      break;
+    }
+    if (budget.count() > 0 &&
+        RemainingBudget(start, budget, std::chrono::steady_clock::now()) <=
+            backoff) {
+      break;  // the budget no longer covers the backoff: fail now
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+    ++retries_done;
+  }
+
+  if (expired) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.retries += retries_done;
+    ++stats_.timed_out;
+    ++stats_.queries;
+    if (flight != nullptr) {
+      auto marker = std::make_shared<CacheEntry>();
+      marker->exec_stats.timed_out = true;
+      PublishFlightLocked(flight_key, flight.get(), Status::OK(),
+                          std::move(marker));
+    }
+    QueryResponse resp;
+    resp.timed_out = true;
+    return resp;
+  }
+  if (!exec_status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.retries += retries_done;
+    if (flight != nullptr) {
+      PublishFlightLocked(flight_key, flight.get(), exec_status, nullptr);
+    }
+    return exec_status;
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+  stats_.retries += retries_done;
   ++stats_.queries;
   if (fresh.exec_stats.timed_out) ++stats_.timed_out;
   stats_.exec.MergeFrom(fresh.exec_stats);
   QueryResponse resp = BuildResponse(fresh, nq, request, false);
   stats_.rows_served += resp.rows.size();
+  if (flight != nullptr) {
+    // Copy the result for the waiters only when someone is still there
+    // to read it (the lone-miss fast path pays no copy). Timed-out
+    // results reach followers this way yet are never cached below.
+    std::shared_ptr<const CacheEntry> published;
+    if (flight->waiters > 0) {
+      published = std::make_shared<const CacheEntry>(fresh);
+    } else {
+      auto marker = std::make_shared<CacheEntry>();
+      marker->exec_stats = fresh.exec_stats;
+      published = std::move(marker);
+    }
+    PublishFlightLocked(flight_key, flight.get(), Status::OK(),
+                        std::move(published));
+  }
   // A timed-out run holds partial results; caching it would poison every
   // later hit. Complete runs are upserted (plan + result handle).
   if (use_cache && !fresh.exec_stats.timed_out) {
@@ -298,6 +496,7 @@ ServiceStats QueryService::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats out = stats_;
   out.cache_entries = cache_.size();
+  out.bytes_cached = cache_bytes_used_;
   out.in_flight = static_cast<uint64_t>(in_flight_);
   out.queued = static_cast<uint64_t>(queued_);
   return out;

@@ -2,7 +2,7 @@
 // one-query-at-a-time AMbER engine into a request-serving layer built for
 // sustained concurrent traffic (docs/ARCHITECTURE.md, "Serving runtime").
 //
-// Three responsibilities sit above the immutable engine:
+// Four responsibilities sit above the immutable engine:
 //
 //  1. Pool ownership. The service owns ONE persistent util/thread_pool.h
 //     pool shared across every request. Parallel executions borrow helper
@@ -25,16 +25,34 @@
 //     space) retains the parsed query plus a handle to its full result
 //     set. Repeats — including LIMIT/OFFSET pages over the same query —
 //     are served from the handle without re-execution. Results produced
-//     by a timed-out (partial) run are never cached.
+//     by a timed-out (partial) run are never cached. The cache is
+//     bounded twice over: by entry count AND by a byte budget
+//     (`cache_bytes`) accounted over retained rows, cells and variable
+//     names; eviction walks the LRU tail until both bounds hold, and an
+//     entry alone bigger than the whole byte budget bypasses the cache
+//     instead of wiping it. Concurrent misses of one key are
+//     single-flighted: one leader executes, followers block on its
+//     result under their OWN deadlines (a follower whose budget expires
+//     returns `timed_out` without cancelling the leader; a leader
+//     failure propagates to every follower and is never cached).
+//
+//  4. Fault tolerance. Each execution attempt passes the
+//     `service.execute` fault-injection site (util/fault_injector.h).
+//     Transient failures — injected or organic kUnavailable — are
+//     retried up to `max_retries` times with bounded exponential
+//     backoff, but only while the request's remaining deadline budget
+//     still covers the backoff sleep; a request never burns its last
+//     milliseconds sleeping. Under overload (in-flight above
+//     `shed_high_water`) the service degrades gracefully by shedding
+//     PARALLELISM, not requests: new queries run with a reduced
+//     `shed_thread_budget` before the hard kResourceExhausted wall.
 //
 // Thread-safety: Query() may be called concurrently from any number of
 // client threads. Responses are bit-identical to what a serial,
 // single-client run of the underlying engine would return (the parallel
 // online stage's determinism contract extends through the service), so a
 // cached response, an uncached response and a serial reference can be
-// compared byte for byte. Concurrent misses of the same key may both
-// execute (no single-flight); both compute identical results and the
-// cache upsert merges them.
+// compared byte for byte.
 
 #ifndef AMBER_SERVER_QUERY_SERVICE_H_
 #define AMBER_SERVER_QUERY_SERVICE_H_
@@ -43,6 +61,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -91,6 +110,33 @@ struct ServiceOptions {
 
   /// LRU plan/result cache capacity in entries. 0 disables the cache.
   size_t cache_entries = 64;
+
+  /// Byte budget over every retained cache entry (rows, cells, variable
+  /// names, key). Eviction walks the LRU tail until the total fits; an
+  /// entry alone exceeding the budget bypasses the cache entirely (it
+  /// would evict everything else and then itself). 0 = unbounded.
+  uint64_t cache_bytes = 64ull << 20;  // 64 MiB
+
+  /// Coalesce concurrent cache misses of one normalized key: one leader
+  /// executes, followers wait for its result under their own deadlines.
+  bool single_flight = true;
+
+  /// Transient-failure (kUnavailable) retries per request. 0 disables
+  /// retrying: the first failure is returned as-is.
+  int max_retries = 0;
+
+  /// First retry backoff; doubles per retry. A retry is attempted only
+  /// while the request's remaining deadline budget exceeds the backoff.
+  std::chrono::milliseconds initial_backoff{10};
+
+  /// Overload threshold: a request admitted while MORE than this many
+  /// requests are executing (itself included) has its thread budget
+  /// clamped to `shed_thread_budget` — degrade parallelism before the
+  /// admission wall rejects outright. <= 0 disables shedding.
+  int shed_high_water = 0;
+
+  /// The reduced per-query thread budget under overload (min 1).
+  int shed_thread_budget = 1;
 
   /// Row cap on the retained result handle of one materializing
   /// execution (0 = unlimited). A handle truncated by this cap is cached
@@ -166,6 +212,15 @@ struct ServiceStats {
   uint64_t cache_evictions = 0;
   /// Entries currently retained (gauge, not a counter).
   uint64_t cache_entries = 0;
+  /// Accounted bytes currently retained by the cache (gauge).
+  uint64_t bytes_cached = 0;
+  /// Requests served by attaching to another request's in-flight
+  /// execution of the same key (single-flight followers).
+  uint64_t single_flight_hits = 0;
+  /// Execution attempts beyond the first (transient-failure retries).
+  uint64_t retries = 0;
+  /// Requests whose thread budget was clamped by overload shedding.
+  uint64_t shed_thread_budgets = 0;
   /// Page rows returned to clients.
   uint64_t rows_served = 0;
   /// High-water mark of concurrently executing requests.
@@ -230,22 +285,49 @@ class QueryService {
     bool truncated = false;
     uint64_t count = 0;
     ExecStats exec_stats;  // the execution that produced the handle
+    /// Accounted size (EntryBytes at last insert/merge).
+    uint64_t bytes = 0;
     std::list<std::string>::iterator lru_it;
+  };
+
+  /// One in-flight execution of a (key, mode) pair. Followers wait on
+  /// `cv` (paired with mu_) until the leader publishes `done` plus either
+  /// an error `status` or a result `entry` — a timed-out leader publishes
+  /// an entry whose exec_stats.timed_out is set, so followers answer
+  /// `timed_out` exactly like the leader did.
+  struct Flight {
+    bool done = false;
+    int waiters = 0;  // followers currently blocked (skip the result
+                      // copy when nobody is left to read it)
+    Status status = Status::OK();
+    std::shared_ptr<const CacheEntry> entry;
+    std::condition_variable cv;
   };
 
   enum class Admission { kAdmitted, kRejected, kExpired };
 
   /// Blocks until an execution slot is free, the queue overflows, or the
-  /// deadline passes. On kAdmitted the caller owns one slot.
+  /// deadline passes. On kAdmitted the caller owns one slot and `*shed`
+  /// says whether overload shedding applies to this request.
   Admission Admit(std::chrono::steady_clock::time_point start,
-                  std::chrono::milliseconds budget);
+                  std::chrono::milliseconds budget, bool* shed);
   void Release();
 
   /// Cache lookup; touches the LRU. Caller holds mu_.
   CacheEntry* LookupLocked(const std::string& key);
-  /// Insert-or-merge `fresh` under `key`; evicts past capacity. Caller
-  /// holds mu_.
+  /// Insert-or-merge `fresh` under `key`; evicts past the entry and byte
+  /// budgets. Caller holds mu_.
   void UpsertLocked(const std::string& key, CacheEntry&& fresh);
+  /// Evicts LRU-tail entries until both cache bounds hold. Caller holds
+  /// mu_.
+  void EvictLocked();
+  /// Resolves `flight` for its followers and retires it from flights_.
+  /// Caller holds mu_.
+  void PublishFlightLocked(const std::string& flight_key, Flight* flight,
+                           Status status,
+                           std::shared_ptr<const CacheEntry> entry);
+  /// Accounted bytes of an entry: rows, cells, variable names, key.
+  static uint64_t EntryBytes(const std::string& key, const CacheEntry& e);
 
   /// Builds the paginated response for this request from an entry.
   QueryResponse BuildResponse(const CacheEntry& entry,
@@ -265,6 +347,12 @@ class QueryService {
   // LRU cache: map owns the entries; lru_ front = most recent.
   std::unordered_map<std::string, CacheEntry> cache_;
   std::list<std::string> lru_;
+  /// Sum of CacheEntry::bytes over cache_ (the byte-budget gauge).
+  uint64_t cache_bytes_used_ = 0;
+
+  /// In-flight executions by "key#mode" (rows and counts of one query
+  /// are distinct flights — their results are not interchangeable).
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
 };
 
 }  // namespace amber

@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "util/fault_injector.h"
+
 namespace amber {
 namespace amf {
 
@@ -9,6 +11,18 @@ namespace {
 
 uint64_t AlignUp(uint64_t v) {
   return (v + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+// FNV-1a 64-bit over the raw section-table bytes. 0 is reserved to mean
+// "unchecked" (pre-checksum writers), so a zero digest is remapped.
+uint64_t TableChecksum(const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h == 0 ? 1 : h;
 }
 
 }  // namespace
@@ -37,6 +51,8 @@ Status Writer::WriteTo(const std::string& path) const {
   header.version = kVersion;
   header.section_count = table.size();
   header.file_length = file_length;
+  header.table_checksum =
+      TableChecksum(table.data(), table.size() * sizeof(SectionEntry));
   os.write(reinterpret_cast<const char*>(&header), sizeof(header));
   os.write(reinterpret_cast<const char*>(table.data()),
            static_cast<std::streamsize>(table.size() * sizeof(SectionEntry)));
@@ -58,6 +74,9 @@ Status Writer::WriteTo(const std::string& path) const {
 }
 
 Result<Reader> Reader::Open(std::span<const std::byte> file) {
+  // Artifact read-fault site: a torn/unreadable section table surfaces
+  // here; injected faults exercise the same propagation path.
+  AMBER_RETURN_IF_ERROR(FaultInjector::Global().Inject(faults::kAmfOpen));
   if (file.size() < sizeof(FileHeader)) {
     return Status::Corruption("AMF file shorter than header");
   }
@@ -75,6 +94,11 @@ Result<Reader> Reader::Open(std::span<const std::byte> file) {
   if (header.section_count > (file.size() - sizeof(FileHeader)) /
                                  sizeof(SectionEntry)) {
     return Status::Corruption("AMF section table exceeds file");
+  }
+  if (header.table_checksum != 0 &&
+      header.table_checksum !=
+          TableChecksum(file.data() + sizeof(FileHeader), table_bytes)) {
+    return Status::Corruption("AMF section table checksum mismatch");
   }
 
   Reader reader;

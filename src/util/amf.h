@@ -3,7 +3,10 @@
 // Layout (all integers little-endian, the only byte order we target):
 //
 //   [ 0, 64)              FileHeader: magic "AMF1", version, section count,
-//                         total file length (a cheap truncation check).
+//                         total file length (a cheap truncation check), and
+//                         an FNV-1a checksum of the section table (so a
+//                         flipped offset cannot silently redirect a reader
+//                         into the wrong payload).
 //   [64, 64 + 24*count)   Section table: one SectionEntry {id, offset,
 //                         length} per section, in write order.
 //   ...                   Section payloads, each offset 64-byte aligned and
@@ -48,7 +51,8 @@ struct FileHeader {
   uint32_t version;
   uint64_t section_count;
   uint64_t file_length;
-  uint8_t reserved[40];
+  uint64_t table_checksum;  // FNV-1a over the section table; 0 = unchecked
+  uint8_t reserved[32];
 };
 static_assert(sizeof(FileHeader) == 64);
 

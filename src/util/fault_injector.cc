@@ -1,0 +1,112 @@
+#include "util/fault_injector.h"
+
+#include <thread>
+
+namespace amber {
+
+namespace {
+
+/// splitmix64 step: a tiny, seedable generator with a full-period state
+/// walk — identical schedules replay from identical seeds on every
+/// platform (no distribution/engine implementation divergence).
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();  // never destroyed
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  if (!state.armed) {
+    armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.spec = spec;
+  state.armed = true;
+  state.hits = 0;
+  state.fires = 0;
+  state.rng_state = spec.seed ? spec.seed : 1;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, state] : sites_) {
+    if (state.armed) armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  sites_.clear();
+}
+
+uint64_t FaultInjector::Hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::Fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+Status FaultInjector::InjectSlow(const char* site) {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::chrono::milliseconds delay{0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return Status::OK();
+    SiteState& state = it->second;
+    const FaultSpec& spec = state.spec;
+    ++state.hits;
+
+    bool fire = false;
+    if (spec.fail_nth != 0 && state.hits == spec.fail_nth) fire = true;
+    if (spec.fail_every != 0 && state.hits % spec.fail_every == 0) {
+      fire = true;
+    }
+    if (spec.probability > 0.0) {
+      // 53-bit mantissa draw in [0, 1): deterministic given the seed.
+      const double draw =
+          static_cast<double>(NextRandom(&state.rng_state) >> 11) *
+          (1.0 / 9007199254740992.0);
+      if (draw < spec.probability) fire = true;
+    }
+    if (fire && spec.max_fires != 0 && state.fires >= spec.max_fires) {
+      fire = false;
+    }
+    if (!fire) return Status::OK();
+    ++state.fires;
+    code = spec.code;
+    delay = spec.delay;
+    if (code != StatusCode::kOk) {
+      message = spec.message;
+      message += " [site ";
+      message += site;
+      message += "]";
+    }
+  }
+  // Sleep outside the lock: a slow-down fault must not serialize every
+  // other site behind this one.
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status::FromCode(code, message);
+}
+
+}  // namespace amber

@@ -8,9 +8,14 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/fault_injector.h"
+
 namespace amber {
 
 Result<MappedFile> MappedFile::Open(const std::string& path) {
+  // Artifact read-fault site: tests inject IO errors here to prove every
+  // restore path surfaces them as Status, never as a crash.
+  AMBER_RETURN_IF_ERROR(FaultInjector::Global().Inject(faults::kMmapOpen));
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IOError("cannot open " + path + ": " +

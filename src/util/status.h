@@ -28,6 +28,9 @@ enum class StatusCode : int {
   kIOError = 6,
   kResourceExhausted = 7,
   kInternal = 8,
+  /// A transient failure: the operation did not happen but retrying it may
+  /// succeed (the retry policy of server/query_service.h keys on this).
+  kUnavailable = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -68,6 +71,15 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
   }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+
+  /// Constructs an error status with an arbitrary code (fault injection
+  /// builds statuses from configured codes). `code` must not be kOk.
+  static Status FromCode(StatusCode code, std::string_view msg) {
+    return Status(code, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +93,10 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -15,6 +15,7 @@
 #include "sparql/parser.h"
 #include "test_util.h"
 #include "util/amf.h"
+#include "util/fault_injector.h"
 #include "util/mmap_file.h"
 
 namespace amber {
@@ -172,6 +173,94 @@ TEST_F(AmfEngineTest, RejectsTruncation) {
     ASSERT_FALSE(loaded.ok()) << "accepted truncation to " << keep;
     EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
   }
+}
+
+TEST_F(AmfEngineTest, RejectsTruncationAtEverySectionBoundary) {
+  // A torn write (crash mid-copy, partial download) most plausibly stops
+  // at a section edge. Sweep EVERY boundary — each section's start and
+  // end, plus one byte either side — and demand a clean Corruption
+  // status, never a crash or a partial engine.
+  std::vector<char> bytes = ReadAll(path_);
+  amf::FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  std::vector<size_t> cuts = {sizeof(amf::FileHeader),
+                              sizeof(amf::FileHeader) +
+                                  header.section_count *
+                                      sizeof(amf::SectionEntry)};
+  for (uint64_t i = 0; i < header.section_count; ++i) {
+    amf::SectionEntry entry;
+    std::memcpy(&entry,
+                bytes.data() + sizeof(header) + i * sizeof(entry),
+                sizeof(entry));
+    for (size_t cut : {entry.offset - 1, entry.offset, entry.offset + 1,
+                       entry.offset + entry.length}) {
+      cuts.push_back(cut);
+    }
+  }
+  const std::string bad = TempPath("amf_boundary_cut.amf");
+  for (size_t cut : cuts) {
+    if (cut >= bytes.size()) continue;  // not a truncation
+    WriteAll(bad, std::vector<char>(bytes.begin(), bytes.begin() + cut));
+    auto loaded = AmberEngine::OpenFile(bad);
+    ASSERT_FALSE(loaded.ok()) << "accepted truncation at byte " << cut;
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  }
+}
+
+TEST_F(AmfEngineTest, RejectsEveryBitFlipInSectionTable) {
+  // Flip one bit in every byte of the section table. The table checksum
+  // in the header covers all of it, so every flip — even in a reserved
+  // field, even an offset flip that stays aligned and in bounds — must
+  // be rejected with a clean Corruption status. Never a crash, never a
+  // silently redirected section.
+  std::vector<char> bytes = ReadAll(path_);
+  amf::FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  const size_t table_begin = sizeof(amf::FileHeader);
+  const size_t table_end =
+      table_begin + header.section_count * sizeof(amf::SectionEntry);
+  const std::string bad = TempPath("amf_bitflip.amf");
+  for (size_t pos = table_begin; pos < table_end; ++pos) {
+    std::vector<char> patched = bytes;
+    patched[pos] ^= static_cast<char>(1u << (pos % 8));
+    WriteAll(bad, patched);
+    auto loaded = AmberEngine::OpenFile(bad);
+    ASSERT_FALSE(loaded.ok()) << "accepted flip at byte " << pos;
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status();
+  }
+}
+
+TEST_F(AmfEngineTest, InjectedArtifactReadFaultsSurfaceAsStatus) {
+  // The restore path has two read-fault sites: the mmap itself and the
+  // AMF section-table parse. Injected IO errors at either must come back
+  // through OpenFile as that Status — the engine is never half-built.
+  {
+    FaultSpec spec;
+    spec.code = StatusCode::kIOError;
+    spec.message = "disk read failed";
+    spec.fail_nth = 1;
+    ScopedFault fault(faults::kMmapOpen, spec);
+    auto loaded = AmberEngine::OpenFile(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status();
+    EXPECT_EQ(FaultInjector::Global().Fires(faults::kMmapOpen), 1u);
+  }
+  {
+    FaultSpec spec;
+    spec.code = StatusCode::kIOError;
+    spec.message = "torn section table";
+    spec.fail_nth = 1;
+    ScopedFault fault(faults::kAmfOpen, spec);
+    auto loaded = AmberEngine::OpenFile(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status();
+  }
+  // Disarmed again: the same artifact opens cleanly and answers.
+  auto loaded = AmberEngine::OpenFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto count = loaded->CountSparql(kPaperExampleQuery, {});
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->count, baseline_count_);
 }
 
 TEST_F(AmfEngineTest, RejectsBadMagicAndVersion) {

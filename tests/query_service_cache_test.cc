@@ -306,6 +306,167 @@ TEST(QueryServiceCacheTest, TimedOutResultsAreNeverCached) {
   EXPECT_EQ(stats.timed_out, 3u);
 }
 
+/// Engine stub returning a fixed number of fixed-size rows: entry sizes
+/// are identical across queries, so byte-budget arithmetic is exact.
+class SizedRowsEngine : public QueryEngine {
+ public:
+  SizedRowsEngine(uint64_t rows, size_t cell_chars)
+      : rows_(rows), cell_chars_(cell_chars) {}
+  std::string name() const override { return "SizedRows"; }
+  Result<CountResult> Count(const SelectQuery&,
+                            const ExecOptions&) override {
+    ++executions;
+    CountResult r;
+    r.count = rows_;
+    return r;
+  }
+  Result<MaterializedRows> Materialize(const SelectQuery& query,
+                                       const ExecOptions&) override {
+    ++executions;
+    MaterializedRows r;
+    r.var_names = query.projection;
+    for (uint64_t i = 0; i < rows_; ++i) {
+      r.rows.push_back(std::vector<std::string>(
+          query.projection.size(), std::string(cell_chars_, 'x')));
+    }
+    return r;
+  }
+  int executions = 0;
+
+ private:
+  uint64_t rows_;
+  size_t cell_chars_;
+};
+
+// Three queries whose normalized keys have identical length (only the
+// predicate digit differs), so their accounted entry sizes are equal.
+const char* kSizedQ1 = "SELECT ?a WHERE { ?a <urn:p0> ?b . }";
+const char* kSizedQ2 = "SELECT ?a WHERE { ?a <urn:p1> ?b . }";
+const char* kSizedQ3 = "SELECT ?a WHERE { ?a <urn:p2> ?b . }";
+
+/// Accounted bytes of one retained entry of `engine`'s making.
+uint64_t OneEntryBytes(SizedRowsEngine* engine) {
+  ServiceOptions options;
+  options.pool_threads = 1;
+  options.cache_entries = 4;
+  QueryService service(engine, options);
+  EXPECT_TRUE(service.Query(kSizedQ1, {}).ok());
+  const uint64_t bytes = service.Stats().bytes_cached;
+  EXPECT_GT(bytes, 0u);
+  return bytes;
+}
+
+TEST(QueryServiceCacheTest, ByteBudgetEvictsByBytesAndTracksGauge) {
+  SizedRowsEngine probe(8, 64);
+  const uint64_t entry_bytes = OneEntryBytes(&probe);
+
+  SizedRowsEngine engine(8, 64);
+  ServiceOptions options;
+  options.pool_threads = 1;
+  options.cache_entries = 64;  // not binding: bytes evict first
+  options.cache_bytes = entry_bytes * 5 / 2;  // room for two entries
+  QueryService service(&engine, options);
+
+  ASSERT_TRUE(service.Query(kSizedQ1, {}).ok());
+  ASSERT_TRUE(service.Query(kSizedQ2, {}).ok());
+  ServiceStats mid = service.Stats();
+  EXPECT_EQ(mid.cache_entries, 2u);
+  EXPECT_EQ(mid.bytes_cached, 2 * entry_bytes);
+  EXPECT_EQ(mid.cache_evictions, 0u);
+
+  // A third entry busts the byte budget: the LRU tail (q1) goes.
+  ASSERT_TRUE(service.Query(kSizedQ3, {}).ok());
+  ServiceStats after = service.Stats();
+  EXPECT_EQ(after.cache_entries, 2u);
+  EXPECT_EQ(after.cache_evictions, 1u);
+  EXPECT_EQ(after.bytes_cached, 2 * entry_bytes);
+  EXPECT_LE(after.bytes_cached, options.cache_bytes);
+
+  auto q2 = service.Query(kSizedQ2, {});
+  auto q3 = service.Query(kSizedQ3, {});
+  auto q1 = service.Query(kSizedQ1, {});
+  ASSERT_TRUE(q1.ok() && q2.ok() && q3.ok());
+  EXPECT_TRUE(q2->cache_hit);
+  EXPECT_TRUE(q3->cache_hit);
+  EXPECT_FALSE(q1->cache_hit);  // evicted
+}
+
+TEST(QueryServiceCacheTest, OversizedEntryBypassesCache) {
+  SizedRowsEngine probe(8, 64);
+  const uint64_t entry_bytes = OneEntryBytes(&probe);
+
+  SizedRowsEngine engine(8, 64);
+  ServiceOptions options;
+  options.pool_threads = 1;
+  options.cache_entries = 64;
+  options.cache_bytes = entry_bytes - 1;  // one row entry never fits
+  QueryService service(&engine, options);
+
+  // The oversized result is still SERVED in full — only retention is
+  // skipped (it would have evicted the whole cache and then itself).
+  auto first = service.Query(kSizedQ1, {});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->rows.size(), 8u);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_entries, 0u);
+  EXPECT_EQ(stats.bytes_cached, 0u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+
+  auto second = service.Query(kSizedQ1, {});
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->cache_hit);  // nothing was retained
+  EXPECT_EQ(engine.executions, 2);  // both requests re-executed
+  EXPECT_EQ(second->rows, first->rows);
+
+  // A small (count-only) entry still fits under the same budget.
+  RequestOptions count;
+  count.count_only = true;
+  ASSERT_TRUE(service.Query(kSizedQ2, count).ok());
+  EXPECT_EQ(service.Stats().cache_entries, 1u);
+}
+
+TEST(QueryServiceCacheTest, ByteBudgetZeroIsUnboundedButStillAccounted) {
+  SizedRowsEngine engine(8, 64);
+  ServiceOptions options;
+  options.pool_threads = 1;
+  options.cache_entries = 64;
+  options.cache_bytes = 0;  // unbounded bytes
+  QueryService service(&engine, options);
+
+  ASSERT_TRUE(service.Query(kSizedQ1, {}).ok());
+  ASSERT_TRUE(service.Query(kSizedQ2, {}).ok());
+  ASSERT_TRUE(service.Query(kSizedQ3, {}).ok());
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_entries, 3u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+  EXPECT_GT(stats.bytes_cached, 0u);  // the gauge is maintained anyway
+}
+
+TEST(QueryServiceCacheTest, MergeGrowsTheByteGauge) {
+  SizedRowsEngine engine(8, 64);
+  ServiceOptions options;
+  options.pool_threads = 1;
+  options.cache_entries = 8;
+  QueryService service(&engine, options);
+
+  // Count first (small entry), then rows (the entry grows in place).
+  RequestOptions count;
+  count.count_only = true;
+  ASSERT_TRUE(service.Query(kSizedQ1, count).ok());
+  const uint64_t count_bytes = service.Stats().bytes_cached;
+  EXPECT_GT(count_bytes, 0u);
+  ASSERT_TRUE(service.Query(kSizedQ1, {}).ok());
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_entries, 1u);
+  EXPECT_GT(stats.bytes_cached, count_bytes);
+}
+
+TEST(QueryServiceCacheTest, DefaultByteBudgetIs64MiB) {
+  // PR 6 shipped the cache with unbounded bytes; the default budget is
+  // the fix. Pinned so a silent default change fails loudly.
+  EXPECT_EQ(ServiceOptions{}.cache_bytes, 64ull << 20);
+}
+
 TEST(QueryServiceCacheTest, CacheDisabledAlwaysExecutes) {
   auto data = testutil::RandomDataset(29, 10, 50, 3);
   AmberEngine engine = MustBuild(data);

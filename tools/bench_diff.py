@@ -5,8 +5,12 @@ Compares a directory of freshly produced bench results (the CI bench-smoke
 output) against a committed baseline directory (bench/results/ci-smoke/)
 and fails on *step-function* regressions. CI runners are noisy, so the
 tolerance is deliberately generous: a point only fails when it is slower
-than `baseline * ratio + slack_ms`, or when an engine that used to answer
-queries stops answering entirely.
+than `baseline * ratio + slack_ms`, when an engine that used to answer
+queries stops answering entirely, or when a point's answered ratio
+collapses (below baseline_ratio/ratio for a point that used to answer at
+least half its requests — the gate for the fault-injected
+service-degraded throughput series, whose whole claim is "keeps
+answering under faults").
 
 Only files following the harness schema of docs/BENCHMARKS.md (a top-level
 "engines" list of {"name", "series": [{"size", "avg_ms", ...}]}) are
@@ -74,6 +78,17 @@ def compare_file(name, base, cur, ratio, slack_ms, qps_floor=10.0):
                 f"{name}: {engine} @ size {size} stopped answering "
                 f"(was {b_answered}/{bp.get('total')})")
             continue
+        # Answered-ratio collapse: a series that used to answer at least
+        # half its requests must not drop below baseline_ratio/ratio. This
+        # is the gate for the fault-injected service-degraded series —
+        # degraded qps is expected there, giving up on requests is not.
+        b_ratio = b_answered / max(1, bp.get("total", 0))
+        c_ratio = c_answered / max(1, cp.get("total", 0))
+        if b_ratio >= 0.5 and c_ratio < b_ratio / ratio:
+            regressions.append(
+                f"{name}: {engine} @ size {size} answered ratio collapsed "
+                f"{b_ratio:.2f} -> {c_ratio:.2f} "
+                f"(limit {b_ratio / ratio:.2f})")
         b_ms = bp.get("avg_ms", 0.0)
         c_ms = cp.get("avg_ms", 0.0)
         if b_answered > 0 and b_ms > 0 and c_ms > b_ms * ratio + slack_ms:

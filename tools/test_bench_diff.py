@@ -189,6 +189,46 @@ def test_points_without_qps_skip_the_qps_gate():
     assert run_main(base, cur) == 0
 
 
+# ---------------------------------------------------------------------------
+# Answered-ratio collapse gate (the service-degraded fault-sweep series).
+# ---------------------------------------------------------------------------
+
+def degraded(answered, total=100, qps=200.0):
+    return harness(avg_ms=1.0, answered=answered, total=total, qps=qps,
+                   engine="service-degraded-10pct", size=4)
+
+
+def test_answered_ratio_collapse_fails():
+    # 100/100 -> 10/100 is below 1.0/4: the degraded service gave up on
+    # requests instead of answering them more slowly.
+    base, cur = write_dirs(degraded(answered=100), degraded(answered=10),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 1
+
+
+def test_answered_ratio_within_tolerance_passes():
+    # 100/100 -> 30/100 stays above the 1.0/4 limit.
+    base, cur = write_dirs(degraded(answered=100), degraded(answered=30),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+
+
+def test_low_baseline_ratio_is_not_gated():
+    # A point that never answered half its requests in the baseline is
+    # noise-dominated; only total silence (answered=0) fails it.
+    base, cur = write_dirs(degraded(answered=40), degraded(answered=1),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+
+
+def test_degraded_series_qps_gate_applies():
+    # The generic qps gate covers the fault-sweep series by name too.
+    base, cur = write_dirs(degraded(answered=100, qps=500.0),
+                           degraded(answered=100, qps=50.0),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 1
+
+
 if __name__ == "__main__":
     failures = 0
     for name, fn in sorted(globals().items()):
