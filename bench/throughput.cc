@@ -16,6 +16,16 @@
 //                    this runtime replaces). Identical normalization,
 //                    admission and response assembly — the ONLY variable
 //                    is the pool strategy.
+//   service-streaming
+//                    QueryStream at the same row cap (request.limit =
+//                    AMBER_BENCH_MAX_ROWS): pages leave through a draining
+//                    PageSink instead of materializing the response. Every
+//                    point additionally reports peak_buffered_bytes — the
+//                    high-water mark of the in-flight page across the
+//                    whole window, the O(buffer) memory bound the
+//                    streaming path claims. tools/bench_diff.py gates it
+//                    with a ceiling (a streamed point ballooning toward
+//                    O(result) memory is a regression even at equal qps).
 //   service-degraded-<R>pct
 //                    One series per AMBER_BENCH_FAULT_RATE entry: the
 //                    cache-bypassed service under a seeded R% transient
@@ -79,6 +89,9 @@ struct ThroughputPoint {
   double avg_ms = 0.0;
   int answered = 0;  // completed without timing out
   int total = 0;     // requests issued
+  // Streaming series only: max StreamResponse::peak_buffered_bytes seen
+  // across the window — the in-flight-page high-water mark. 0 elsewhere.
+  uint64_t peak_buffered_bytes = 0;
 };
 
 double Percentile(std::vector<double>& sorted, double p) {
@@ -169,7 +182,8 @@ void WriteThroughputJson(
          << ", \"unanswered_pct\": " << unanswered
          << ", \"answered\": " << p.answered << ", \"total\": " << p.total
          << ", \"qps\": " << p.qps << ", \"p50_ms\": " << p.p50_ms
-         << ", \"p99_ms\": " << p.p99_ms << "}";
+         << ", \"p99_ms\": " << p.p99_ms
+         << ", \"peak_buffered_bytes\": " << p.peak_buffered_bytes << "}";
     }
     os << "]}" << (e + 1 < names.size() ? "," : "") << "\n";
   }
@@ -257,7 +271,7 @@ int main() {
       std::chrono::milliseconds(config.timeout_ms);
 
   std::vector<std::string> names = {"service-pooled", "service-cached",
-                                    "per-query-spawn"};
+                                    "per-query-spawn", "service-streaming"};
   for (int rate : fault_rates) {
     names.push_back("service-degraded-" + std::to_string(rate) + "pct");
   }
@@ -298,6 +312,32 @@ int main() {
                                      return resp.ok() && !resp->timed_out;
                                    }));
     }
+    {  // service-streaming: QueryStream at the same row cap; pages drain
+       // through a no-op sink, so the point measures the streaming path's
+       // pipeline cost plus its bounded-buffer memory high-water mark.
+      QueryService service(&engine, service_options);
+      struct DrainSink : PageSink {
+        bool OnPage(StreamPage&&) override { return true; }
+      };
+      std::atomic<uint64_t> peak_bytes{0};
+      ThroughputPoint point = RunPoint(
+          clients, window, queries.size(), [&](size_t qi) {
+            DrainSink sink;
+            RequestOptions req;
+            req.limit = max_rows;  // cap-comparable to the other series
+            auto resp = service.QueryStream(queries[qi], req, &sink);
+            if (!resp.ok()) return false;
+            uint64_t seen = peak_bytes.load(std::memory_order_relaxed);
+            while (resp->peak_buffered_bytes > seen &&
+                   !peak_bytes.compare_exchange_weak(
+                       seen, resp->peak_buffered_bytes,
+                       std::memory_order_relaxed)) {
+            }
+            return resp->complete;
+          });
+      point.peak_buffered_bytes = peak_bytes.load();
+      series[3].push_back(point);
+    }
     for (size_t f = 0; f < fault_rates.size(); ++f) {
       // service-degraded: the cache-bypassed service under a seeded R%
       // transient fault probability at service.execute, with retries and
@@ -315,7 +355,7 @@ int main() {
         spec.seed = 1000u * static_cast<uint64_t>(clients) + f;
         fault.emplace(faults::kServiceExecute, spec);
       }
-      series[3 + f].push_back(RunPoint(clients, window, queries.size(),
+      series[4 + f].push_back(RunPoint(clients, window, queries.size(),
                                        [&](size_t qi) {
                                          RequestOptions req;
                                          req.bypass_cache = true;
@@ -344,9 +384,20 @@ int main() {
   }
   std::printf("\nExpected shape: service-pooled >= per-query-spawn at every "
               "client count (pool spawn is pure overhead; parity on a "
-              "1-core host), service-cached far above both, and every "
+              "1-core host), service-cached far above both, "
+              "service-streaming near service-pooled qps with "
+              "peak_buffered_bytes bounded by the page buffer, and every "
               "service-degraded series still answering (reduced qps, "
               "never zero).\n");
+  if (!series[3].empty()) {
+    uint64_t high = 0;
+    for (const auto& p : series[3]) {
+      high = std::max(high, p.peak_buffered_bytes);
+    }
+    std::printf("service-streaming peak buffered bytes (max over points): "
+                "%llu\n",
+                static_cast<unsigned long long>(high));
+  }
   std::fflush(stdout);
 
   WriteThroughputJson(names, series, config);

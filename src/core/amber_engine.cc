@@ -17,6 +17,33 @@ constexpr uint32_t kEngineMagic = 0x414D4245;  // "AMBE"
 // v2: attribute-predicate dictionary + value index appended (FILTER
 // pushdown artifacts).
 constexpr uint32_t kEngineVersion = 2;
+
+/// Serial streaming sink: forwards rows to `deliver` as the matcher finds
+/// them, deduplicating (DISTINCT) and capping on delivered rows. The cap
+/// counts rows the consumer accepted, so truncation means exactly "cap
+/// delivered".
+class StreamingSink : public EmbeddingSink {
+ public:
+  StreamingSink(bool dedup, uint64_t cap,
+                const std::function<bool(std::span<const VertexId>)>& deliver)
+      : dedup_(dedup), cap_(cap), deliver_(deliver) {}
+
+  bool wants_rows() const override { return true; }
+  bool OnRow(std::span<const VertexId> row) override {
+    if (dedup_ && !seen_.insert(RowDedupKey(row)).second) return true;
+    if (!deliver_(row)) return false;
+    ++count_;
+    return cap_ == 0 || count_ < cap_;
+  }
+  bool OnCount(uint64_t) override { return true; }  // row mode only
+
+ private:
+  bool dedup_;
+  uint64_t cap_;
+  const std::function<bool(std::span<const VertexId>)>& deliver_;
+  uint64_t count_ = 0;
+  std::unordered_set<std::string> seen_;
+};
 }  // namespace
 
 Result<AmberEngine> AmberEngine::Build(const std::vector<Triple>& triples,
@@ -149,6 +176,69 @@ Result<MaterializedRows> AmberEngine::Materialize(const SelectQuery& query,
     result.rows.push_back(TranslateRow(row));
   }
   return result;
+}
+
+Result<StreamResult> AmberEngine::Stream(const SelectQuery& query,
+                                         const ExecOptions& options,
+                                         RowSink* sink) {
+  // Same fault site as Execute: a streamed request fails identically to a
+  // materializing one under chaos schedules.
+  AMBER_RETURN_IF_ERROR(
+      FaultInjector::Global().Inject(faults::kEngineExecute));
+  Stopwatch sw;
+  AMBER_ASSIGN_OR_RETURN(QueryGraph qg, QueryGraph::Build(query, dicts_));
+  const uint64_t cap = EffectiveRowCap(query, options);
+
+  StreamResult out;
+  for (uint32_t u : qg.projection()) {
+    out.var_names.push_back(qg.vertices()[u].name);
+  }
+
+  // Translation + forwarding. Never invoked concurrently (the serial
+  // matcher is single-threaded; the parallel fan-in serializes its
+  // emitter), so one reusable text buffer suffices.
+  uint64_t delivered = 0;
+  std::vector<std::string> row_text;
+  auto deliver = [&](std::span<const VertexId> row) -> bool {
+    row_text.clear();
+    for (VertexId v : row) row_text.emplace_back(dicts_.VertexToken(v));
+    if (!sink->OnRow(row_text)) {
+      out.sink_stopped = true;
+      return false;
+    }
+    ++delivered;
+    return true;
+  };
+  const std::function<bool(std::span<const VertexId>)> deliver_fn = deliver;
+
+  if (!qg.unsatisfiable()) {
+    QueryPlan plan = PlanQuery(qg, options.plan,
+                               options.use_value_index ? &indexes_.value
+                                                       : nullptr,
+                               graph_.NumVertices());
+    const bool parallel =
+        options.num_threads > 1 && !plan.components.empty();
+    if (parallel) {
+      ParallelStreamSink stream{deliver_fn};
+      AMBER_RETURN_IF_ERROR(
+          RunMatcherParallel(graph_, indexes_, qg, plan, options, cap,
+                             &out.stats, nullptr, &stream)
+              .status());
+    } else {
+      Matcher matcher(graph_, indexes_, qg, plan, options);
+      StreamingSink ssink(qg.distinct(), cap, deliver_fn);
+      AMBER_RETURN_IF_ERROR(matcher.Run(&ssink, &out.stats, std::nullopt,
+                                        /*bag_multiplicity=*/!qg.distinct()));
+    }
+  }
+
+  out.rows = delivered;
+  out.stats.rows = delivered;
+  // Uniform truncation semantics for streams: set exactly when the cap
+  // stopped delivery (a sink stop or an interrupt is NOT a truncation).
+  out.stats.truncated = cap != 0 && delivered >= cap;
+  out.stats.elapsed_ms = sw.ElapsedMillis();
+  return out;
 }
 
 std::vector<std::string> AmberEngine::TranslateRow(

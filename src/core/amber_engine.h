@@ -67,6 +67,14 @@ class AmberEngine : public QueryEngine {
   Result<MaterializedRows> Materialize(const SelectQuery& query,
                                        const ExecOptions& options) override;
 
+  /// True incremental streaming: rows leave through `sink` as the matcher
+  /// finds them (serial path) or as the ordered parallel fan-in drains
+  /// them (stream mode of parallel_exec.h), in exact Materialize order,
+  /// with peak memory bounded by the chunk buffers instead of the result.
+  Result<StreamResult> Stream(const SelectQuery& query,
+                              const ExecOptions& options,
+                              RowSink* sink) override;
+
   /// Translates a row of data-vertex ids back to RDF terms via Mv^-1.
   std::vector<std::string> TranslateRow(
       std::span<const VertexId> row) const;

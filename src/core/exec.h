@@ -17,6 +17,7 @@
 
 #include "core/query_plan.h"
 #include "rdf/encoded_dataset.h"
+#include "util/cancellation.h"
 
 namespace amber {
 
@@ -31,6 +32,19 @@ struct ExecOptions {
   /// Stop after this many result rows (0 = unlimited). Combined with the
   /// query's own LIMIT clause (the smaller wins).
   uint64_t max_rows = 0;
+
+  /// Cooperative cancellation (util/cancellation.h). A cancelled query
+  /// unwinds within one matcher tick window (~64 recursion steps) exactly
+  /// like a deadline expiry, reporting ExecStats::cancelled; parallel
+  /// chunks not yet claimed are never started. The default token can never
+  /// fire and costs one pointer compare per tick.
+  CancellationToken cancel;
+
+  /// Streaming mode only: rows a non-head parallel chunk may buffer before
+  /// its producer blocks for the ordered stream to catch up (bounded-memory
+  /// backpressure; docs/ARCHITECTURE.md, "Streaming & cancellation").
+  /// Ignored on the materializing and serial paths. Min 1.
+  uint64_t stream_chunk_buffer_rows = 4096;
 
   /// Number of worker threads for root-candidate partitioning (>1 enables
   /// the parallel mode; the paper lists this as future work). The parallel
@@ -71,6 +85,9 @@ struct ExecStats {
   bool timed_out = false;
   /// True when max_rows / LIMIT stopped enumeration early.
   bool truncated = false;
+  /// True when ExecOptions::cancel tripped before enumeration finished
+  /// (rows/counters then cover a partial run, like a timeout).
+  bool cancelled = false;
   /// Wall-clock time of the execution.
   double elapsed_ms = 0.0;
   /// Recursive HomomorphicMatch invocations.
@@ -117,6 +134,7 @@ struct ExecStats {
     rows += o.rows;
     timed_out = timed_out || o.timed_out;
     truncated = truncated || o.truncated;
+    cancelled = cancelled || o.cancelled;
     recursion_calls += o.recursion_calls;
     initial_candidates += o.initial_candidates;
     embeddings_found += o.embeddings_found;

@@ -118,10 +118,51 @@ Matcher::Matcher(const Multigraph& g, const IndexSet& indexes,
           std::make_unique<MatcherScratch>(g, indexes, q, plan, options)),
       s_(owned_scratch_.get()) {}
 
-bool Matcher::DeadlineExpired() {
-  // Amortize the clock read: every 64th check actually reads the clock.
-  if ((++deadline_tick_ & 63u) != 0) return false;
-  return deadline_.Expired();
+Matcher::Flow Matcher::CheckInterruptNow() {
+  // Token before clock: checking the token is one relaxed load, and a
+  // cancelled query should report kCancelled even when its deadline
+  // happens to expire in the same tick window.
+  if (cancel_.cancelled()) return Flow::kCancelled;
+  if (deadline_.Expired()) return Flow::kTimeout;
+  return Flow::kContinue;
+}
+
+Matcher::Flow Matcher::CheckInterrupt() {
+  // An interrupt recorded by a scan loop outranks the tick: it already
+  // paid for the real check.
+  if (pending_ != InterruptKind::kNone) return TakePendingInterrupt();
+  // Amortize the clock read: every 64th check actually reads the clock
+  // (and the cancellation token).
+  if ((++deadline_tick_ & 63u) != 0) return Flow::kContinue;
+  return CheckInterruptNow();
+}
+
+void Matcher::PollInterrupt() {
+  if (pending_ != InterruptKind::kNone) return;
+  if ((++deadline_tick_ & 63u) != 0) return;
+  switch (CheckInterruptNow()) {
+    case Flow::kCancelled:
+      pending_ = InterruptKind::kCancelled;
+      break;
+    case Flow::kTimeout:
+      pending_ = InterruptKind::kTimeout;
+      break;
+    default:
+      break;
+  }
+}
+
+Matcher::Flow Matcher::TakePendingInterrupt() {
+  const InterruptKind kind = pending_;
+  pending_ = InterruptKind::kNone;
+  switch (kind) {
+    case InterruptKind::kCancelled:
+      return Flow::kCancelled;
+    case InterruptKind::kTimeout:
+      return Flow::kTimeout;
+    default:
+      return Flow::kContinue;
+  }
 }
 
 void Matcher::PairCandidates(const QueryEdge& e, bool u_is_from, VertexId vn,
@@ -181,10 +222,12 @@ const std::vector<VertexId>* Matcher::CachedLocalCandidates(uint32_t u) {
   if (!qv.attrs.empty()) {
     result = indexes_.attribute.Candidates(qv.attrs);  // C^A_u
     first = false;
+    PollInterrupt();
   }
   if (push_preds) {
     for (size_t i = 0; i < qv.preds.size(); ++i) {  // C^P_u
       if (!ConstraintPushed(u, i)) continue;  // residual, see below
+      if (pending_ != InterruptKind::kNone) break;
       const PredicateConstraint& pc = qv.preds[i];
       ValueIndex::ScanStats scan_stats;
       if (first) {
@@ -199,10 +242,14 @@ const std::vector<VertexId>* Matcher::CachedLocalCandidates(uint32_t u) {
       }
       s_->range_scans += scan_stats.scans;
       s_->range_scan_elements += scan_stats.elements;
+      // Deadline/cancellation poll between range scans: one scan is the
+      // interrupt granularity of CandInit, not the whole pipeline.
+      PollInterrupt();
     }
   }
   auto refine = [&](VertexId anchor, Direction d,
                     std::span<const EdgeTypeId> types) {
+    if (pending_ != InterruptKind::kNone) return;
     if (first) {
       indexes_.neighborhood.SupersetNeighbors(anchor, d, types, &result,
                                               &s_->nbr_scratch);
@@ -214,12 +261,19 @@ const std::vector<VertexId>* Matcher::CachedLocalCandidates(uint32_t u) {
       IntersectInPlace(&result, std::span<const VertexId>(tmp),
                        &s_->icounters);
     }
+    PollInterrupt();
   };
   for (const IriConstraint& c : qv.iris) {  // C^I_u
     // u --out_types--> anchor: u is an in-neighbour of the anchor, and
     // anchor --in_types--> u: u is an out-neighbour of the anchor.
     if (!c.out_types.empty()) refine(c.anchor, Direction::kIn, c.out_types);
     if (!c.in_types.empty()) refine(c.anchor, Direction::kOut, c.in_types);
+  }
+  if (pending_ != InterruptKind::kNone) {
+    // Interrupted mid-computation: hand back the partial list (the caller
+    // aborts via CheckInterrupt) but do NOT cache it — a later run with a
+    // fresh budget must recompute. local_state stays kUnknown.
+    return &result;
   }
   s_->local_state[u] = MatcherScratch::LocalState::kCached;
   return &result;
@@ -257,13 +311,18 @@ std::vector<VertexId> Matcher::InitialCandidates(uint32_t uinit) {
   if (options_.use_signature_index) {
     cand = indexes_.signature.Candidates(syn);  // QuerySynIndex via R-tree
   } else {
-    // Ablation B: same complete filter, evaluated by a full scan.
+    // Ablation B: same complete filter, evaluated by a full scan. The scan
+    // runs below the Recurse tick check, so it polls the deadline/token
+    // itself — without this a large graph overshoots the budget by a full
+    // O(V) pass before the first recursion step notices.
     cand.reserve(64);
     for (VertexId v = 0; v < g_.NumVertices(); ++v) {
+      PollInterrupt();
+      if (pending_ != InterruptKind::kNone) break;
       if (indexes_.signature.Of(v).Dominates(syn)) cand.push_back(v);
     }
   }
-  RefineByVertex(uinit, &cand);
+  if (pending_ == InterruptKind::kNone) RefineByVertex(uinit, &cand);
   return cand;
 }
 
@@ -274,13 +333,25 @@ const std::vector<VertexId>& Matcher::CachedComponentCandidates(size_t ci) {
   if (!s_->comp_cand_cached[ci]) {
     s_->comp_cand_cache[ci] =
         InitialCandidates(plan_.components[ci].core_order[0]);
-    s_->comp_cand_cached[ci] = true;
+    // Never cache a scan the deadline/token cut short — the next upstream
+    // embedding (or a fresh run reusing this scratch) must recompute.
+    if (pending_ == InterruptKind::kNone) s_->comp_cand_cached[ci] = true;
   }
   return s_->comp_cand_cache[ci];
 }
 
 std::vector<VertexId> Matcher::ComputeRootCandidates() {
+  return ComputeRootCandidates(Deadline::After(options_.timeout),
+                               options_.cancel);
+}
+
+std::vector<VertexId> Matcher::ComputeRootCandidates(
+    const Deadline& deadline, const CancellationToken& cancel) {
   if (plan_.components.empty()) return {};
+  deadline_ = deadline;
+  cancel_ = cancel;
+  deadline_tick_ = 0;
+  pending_ = InterruptKind::kNone;
   return InitialCandidates(plan_.components[0].core_order[0]);
 }
 
@@ -389,6 +460,10 @@ Matcher::Flow Matcher::Emit() {
     }
     for (uint64_t m = 0; m < multiplicity; ++m) {
       if (!sink_->OnRow(s_->row_buffer)) return Flow::kStop;
+      // Bag multiplicity can repeat one row millions of times with no
+      // recursion in between; tick per emitted row so the Cartesian
+      // expansion honours the deadline/token too.
+      if (Flow f = CheckInterrupt(); f != Flow::kContinue) return f;
     }
     // Advance the odometer.
     size_t d = 0;
@@ -415,7 +490,7 @@ Matcher::Flow Matcher::MatchComponent(
   if (ci == 0) stats_->initial_candidates += cand.size();
 
   for (VertexId vinit : cand) {
-    if (DeadlineExpired()) return Flow::kTimeout;
+    if (Flow f = CheckInterrupt(); f != Flow::kContinue) return f;
     if (!cp.satellites[0].empty() &&
         !MatchSatellites(cp.satellites[0], uinit, vinit)) {
       continue;
@@ -434,7 +509,7 @@ Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
   if (depth == cp.core_order.size()) {
     return MatchComponent(ci + 1, std::nullopt);
   }
-  if (DeadlineExpired()) return Flow::kTimeout;
+  if (Flow f = CheckInterrupt(); f != Flow::kContinue) return f;
 
   const uint32_t unxt = cp.core_order[depth];
   MatcherScratch::DepthScratch& ds = s_->depths[s_->depth_base[ci] + depth];
@@ -499,7 +574,7 @@ Matcher::Flow Matcher::Recurse(size_t ci, size_t depth) {
 
   const std::vector<uint32_t>& sats = cp.satellites[depth];
   for (VertexId vnxt : ds.cand) {
-    if (DeadlineExpired()) return Flow::kTimeout;
+    if (Flow f = CheckInterrupt(); f != Flow::kContinue) return f;
     if (!sats.empty() && !MatchSatellites(sats, unxt, vnxt)) continue;
     s_->core_match[unxt] = vnxt;
     Flow f = Recurse(ci, depth + 1);
@@ -558,7 +633,9 @@ Status Matcher::Run(EmbeddingSink* sink, ExecStats* stats,
   deadline_ = control.deadline.has_value()
                   ? *control.deadline
                   : Deadline::After(options_.timeout);
+  cancel_ = control.cancel.has_value() ? *control.cancel : options_.cancel;
   deadline_tick_ = 0;
+  pending_ = InterruptKind::kNone;
 
   if (!control.skip_ground_checks && !GroundChecksPass()) {
     FlushHotPathStats(stats_);
@@ -579,6 +656,7 @@ Status Matcher::Run(EmbeddingSink* sink, ExecStats* stats,
   Flow f = MatchComponent(0, control.root_candidates);
   if (f == Flow::kTimeout) stats_->timed_out = true;
   if (f == Flow::kStop) stats_->truncated = true;
+  if (f == Flow::kCancelled) stats_->cancelled = true;
   FlushHotPathStats(stats_);
   return Status::OK();
 }

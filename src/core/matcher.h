@@ -41,6 +41,7 @@
 #include "index/index_set.h"
 #include "index/neighborhood_index.h"
 #include "sparql/query_graph.h"
+#include "util/cancellation.h"
 #include "util/clock.h"
 #include "util/intersect.h"
 #include "util/status.h"
@@ -175,12 +176,31 @@ class Matcher {
     /// The parallel mode evaluates it once on the root matcher instead of
     /// once per chunk, keeping predicate_checks equal to serial.
     bool skip_ground_checks = false;
+
+    /// When set, overrides ExecOptions::cancel for this Run (the serving
+    /// layer reuses one matcher under per-request tokens).
+    std::optional<CancellationToken> cancel;
   };
+
+  /// Why a long scan or recursion was cut short. Run() consumes interrupts
+  /// internally (mapping them to stats.timed_out / stats.cancelled); the
+  /// parallel mode reads pending_interrupt() after ComputeRootCandidates,
+  /// whose CandInit scan runs outside any Run.
+  enum class InterruptKind { kNone, kTimeout, kCancelled };
 
   /// Computes CandInit for the first component's initial vertex (Algorithm
   /// 3, lines 4-5), already refined by ProcessVertex. Exposed so the
-  /// parallel mode can shard it.
+  /// parallel mode can shard it. The overload without arguments binds the
+  /// deadline/token from ExecOptions; a scan cut short by either leaves
+  /// pending_interrupt() set and returns the partial list — callers must
+  /// check before using the result.
   std::vector<VertexId> ComputeRootCandidates();
+  std::vector<VertexId> ComputeRootCandidates(const Deadline& deadline,
+                                              const CancellationToken& cancel);
+
+  /// The interrupt recorded by the last ComputeRootCandidates (or left by a
+  /// scan loop for the next consumer inside Run).
+  InterruptKind pending_interrupt() const { return pending_; }
 
   /// Evaluates the query's ground checks (patterns without variables).
   /// Returns false when some check fails — the query has no results.
@@ -210,7 +230,7 @@ class Matcher {
   void FlushHotPathStats(ExecStats* stats);
 
  private:
-  enum class Flow { kContinue, kStop, kTimeout };
+  enum class Flow { kContinue, kStop, kTimeout, kCancelled };
 
   /// CandInit for an arbitrary component's initial vertex.
   std::vector<VertexId> InitialCandidates(uint32_t uinit);
@@ -268,7 +288,19 @@ class Matcher {
   void ProbeFilter(const QueryEdge& e, bool u_is_from, VertexId vn,
                    std::vector<VertexId>* cand);
 
-  bool DeadlineExpired();
+  /// The amortized interrupt check of the recursion hot path: every 64th
+  /// call reads the clock and the cancellation token (plus any interrupt a
+  /// scan loop recorded via PollInterrupt). kContinue when neither tripped.
+  Flow CheckInterrupt();
+  /// Immediate (un-amortized) check: token first, then deadline.
+  Flow CheckInterruptNow();
+  /// Scan-loop variant: same amortized check, but records the interrupt in
+  /// pending_ (for the next CheckInterrupt consumer) instead of returning
+  /// a Flow — long CandInit scans poll this per element and break out, so
+  /// a deadline/cancellation can no longer overshoot by a full scan.
+  void PollInterrupt();
+  /// Consumes pending_, converting it to the matching Flow.
+  Flow TakePendingInterrupt();
 
   const Multigraph& g_;
   const IndexSet& indexes_;
@@ -280,12 +312,14 @@ class Matcher {
   std::unique_ptr<MatcherScratch> owned_scratch_;
   MatcherScratch* s_;  // never null
 
-  // Per-Run bindings.
+  // Per-Run bindings (ComputeRootCandidates binds deadline_/cancel_ too).
   Deadline deadline_;
+  CancellationToken cancel_;
   EmbeddingSink* sink_ = nullptr;
   ExecStats* stats_ = nullptr;
   bool bag_multiplicity_ = true;
   uint32_t deadline_tick_ = 0;
+  InterruptKind pending_ = InterruptKind::kNone;
 };
 
 }  // namespace amber

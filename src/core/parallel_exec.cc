@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <latch>
 #include <mutex>
 #include <optional>
@@ -81,14 +83,225 @@ class OrderedChunkSink : public EmbeddingSink {
   std::vector<std::vector<VertexId>>* out_;
 };
 
+/// \brief The ordered, bounded-memory fan-in of the streaming mode.
+///
+/// Chunk workers push rows via OnRow(chunk, row); the streamer forwards
+/// them to the consumer in exact chunk order (== serial order). The *head*
+/// chunk — the first one not yet fully drained — streams through
+/// immediately; later chunks buffer locally and their producers BLOCK once
+/// the per-chunk soft cap is hit, so peak buffered memory is bounded by
+/// O(num_chunks × buffer_rows) regardless of result cardinality.
+///
+/// Single-emitter protocol: whichever thread finds the head drainable and
+/// no emitter active becomes the emitter, drains batches with the lock
+/// released, and re-checks under the lock before retiring — any row
+/// buffered meanwhile is either seen by the active emitter or pumped by
+/// its own producer after `emitting_` clears (both transitions happen
+/// under `mu_`, so no row can be stranded). Consecutive emitters hand off
+/// through `mu_`, so the consumer callback is serialized with
+/// happens-before edges despite running on different worker threads.
+///
+/// Blocked producers wake on: space freed, head advance, stop, or (via
+/// bounded wait slices) deadline expiry / cancellation — a stuck consumer
+/// can therefore never deadlock a timed or cancelled query.
+class OrderedStreamer {
+ public:
+  enum class StopReason { kNone, kConsumer, kCap, kAbort };
+
+  OrderedStreamer(size_t num_chunks, uint64_t buffer_rows, uint64_t cap,
+                  bool distinct, const Deadline& deadline,
+                  CancellationToken cancel, ParallelStreamSink* sink)
+      : slots_(num_chunks),
+        buffer_rows_(std::max<uint64_t>(1, buffer_rows)),
+        cap_(cap),
+        distinct_(distinct),
+        deadline_(deadline),
+        cancel_(std::move(cancel)),
+        sink_(sink) {}
+
+  /// Called by chunk `c`'s worker for every row it produces (chunk-locally
+  /// deduplicated already under DISTINCT). Returns false when the stream
+  /// stopped — the worker's sink unwinds its Run.
+  bool OnRow(size_t c, std::span<const VertexId> row) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (stopped_) return false;
+      // The head chunk may always buffer: its rows are immediately
+      // drainable, so its producer must never block (deadlock freedom —
+      // someone can always make progress towards draining the head).
+      if (c == head_) break;
+      if (slots_[c].buf.size() < buffer_rows_) break;
+      if (cancel_.cancelled() || deadline_.Expired()) {
+        StopLocked(StopReason::kAbort);
+        return false;
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    slots_[c].buf.emplace_back(row.begin(), row.end());
+    if (c == head_ && !emitting_) PumpLocked(lock);
+    return !stopped_;
+  }
+
+  /// Marks chunk `c` exhausted (its worker finished or skipped it).
+  void FinishChunk(size_t c) {
+    std::unique_lock<std::mutex> lock(mu_);
+    slots_[c].done = true;
+    if (!emitting_) PumpLocked(lock);
+    cv_.notify_all();
+  }
+
+  /// Stops the stream (worker error, timeout, cancellation): wakes every
+  /// blocked producer; subsequent OnRow calls return false.
+  void Abort() {
+    std::lock_guard<std::mutex> lock(mu_);
+    StopLocked(StopReason::kAbort);
+  }
+
+  bool stopped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopped_;
+  }
+  /// All chunks fully drained into the consumer.
+  bool complete() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return head_ == slots_.size();
+  }
+  /// Rows delivered to the consumer (post-dedup under DISTINCT).
+  uint64_t emitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return emitted_;
+  }
+  StopReason stop_reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stop_reason_;
+  }
+
+ private:
+  struct Slot {
+    std::vector<std::vector<VertexId>> buf;
+    bool done = false;
+  };
+
+  void StopLocked(StopReason reason) {
+    if (!stopped_) {
+      stopped_ = true;
+      stop_reason_ = reason;
+    }
+    cv_.notify_all();
+  }
+
+  /// The emitter loop. Precondition: `lock` held, `emitting_` false.
+  /// Drains the head chunk batch-wise (lock released around the consumer
+  /// callback), advancing the head past finished chunks, until nothing is
+  /// drainable — checked under the lock *while still holding the emitter
+  /// role*, so a producer that buffered concurrently either gets drained
+  /// here or finds `emitting_` false and pumps itself.
+  void PumpLocked(std::unique_lock<std::mutex>& lock) {
+    emitting_ = true;
+    while (!stopped_) {
+      Slot& s = slots_[head_];
+      if (!s.buf.empty()) {
+        std::vector<std::vector<VertexId>> batch;
+        batch.swap(s.buf);
+        lock.unlock();
+        bool ok = true;
+        for (const std::vector<VertexId>& r : batch) {
+          if (distinct_ && !seen_.insert(RowDedupKey(r)).second) continue;
+          ++emitted_pump_;
+          if (!sink_->emit(r)) {
+            ok = false;
+            reason_pump_ = StopReason::kConsumer;
+            break;
+          }
+          if (cap_ != 0 && emitted_pump_ >= cap_) {
+            ok = false;
+            reason_pump_ = StopReason::kCap;
+            break;
+          }
+        }
+        lock.lock();
+        emitted_ = emitted_pump_;
+        if (!ok) {
+          StopLocked(reason_pump_);
+          break;
+        }
+        cv_.notify_all();  // buffer space freed
+        continue;
+      }
+      if (s.done) {
+        ++head_;
+        if (head_ == slots_.size()) break;  // stream complete
+        cv_.notify_all();  // the new head may drain / stop blocking
+        continue;
+      }
+      break;  // head still running with an empty buffer: nothing to drain
+    }
+    emitting_ = false;
+    cv_.notify_all();
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  const uint64_t buffer_rows_;
+  const uint64_t cap_;
+  const bool distinct_;
+  const Deadline deadline_;
+  const CancellationToken cancel_;
+  ParallelStreamSink* const sink_;
+
+  size_t head_ = 0;       // first chunk not fully drained
+  bool emitting_ = false;  // a thread currently owns the emitter role
+  bool stopped_ = false;
+  StopReason stop_reason_ = StopReason::kNone;
+  uint64_t emitted_ = 0;
+  // Emitter-private mirrors, touched only while holding the emitter role
+  // (updated without the lock during a batch, published under it).
+  uint64_t emitted_pump_ = 0;
+  StopReason reason_pump_ = StopReason::kNone;
+  std::unordered_set<std::string> seen_;  // DISTINCT global dedup
+};
+
+/// Per-chunk adapter feeding the OrderedStreamer. Under DISTINCT it
+/// pre-deduplicates chunk-locally (first-occurrence order, which the
+/// emitter's global dedup then refines across chunks) so buffered
+/// duplicates never occupy backpressure budget. `cap` bounds forwarded
+/// rows per chunk — a chunk can never contribute more than the full cap to
+/// the merged prefix, so stopping there cannot change the output.
+class StreamChunkSink : public EmbeddingSink {
+ public:
+  StreamChunkSink(OrderedStreamer* streamer, size_t chunk, bool dedup,
+                  uint64_t cap)
+      : streamer_(streamer), chunk_(chunk), dedup_(dedup), cap_(cap) {}
+
+  bool wants_rows() const override { return true; }
+  bool OnRow(std::span<const VertexId> row) override {
+    if (dedup_ && !seen_.insert(RowDedupKey(row)).second) return true;
+    if (!streamer_->OnRow(chunk_, row)) return false;
+    ++forwarded_;
+    return cap_ == 0 || forwarded_ < cap_;
+  }
+  bool OnCount(uint64_t) override { return true; }  // row mode only
+
+ private:
+  OrderedStreamer* streamer_;
+  size_t chunk_;
+  bool dedup_;
+  uint64_t cap_;
+  uint64_t forwarded_ = 0;
+  std::unordered_set<std::string> seen_;
+};
+
 }  // namespace
 
 Result<ParallelRunResult> RunMatcherParallel(
     const Multigraph& g, const IndexSet& indexes, const QueryGraph& q,
     const QueryPlan& plan, const ExecOptions& options, uint64_t cap,
-    ExecStats* stats, std::vector<std::vector<VertexId>>* materialize_into) {
+    ExecStats* stats, std::vector<std::vector<VertexId>>* materialize_into,
+    ParallelStreamSink* stream) {
   const bool distinct = q.distinct();
-  const bool want_rows = materialize_into != nullptr;
+  const bool streaming = stream != nullptr;
+  const bool want_rows = materialize_into != nullptr || streaming;
 
   // ONE absolute deadline for the whole query, shared by every chunk Run:
   // ExecOptions::timeout is a per-query budget, exactly as in serial mode.
@@ -104,9 +317,23 @@ Result<ParallelRunResult> RunMatcherParallel(
     root_matcher.FlushHotPathStats(stats);
     return out;  // a constant pattern is absent => no rows
   }
-  const std::vector<VertexId> root = root_matcher.ComputeRootCandidates();
+  const std::vector<VertexId> root =
+      root_matcher.ComputeRootCandidates(deadline, options.cancel);
   stats->initial_candidates = root.size();
   root_matcher.FlushHotPathStats(stats);
+  if (const Matcher::InterruptKind k = root_matcher.pending_interrupt();
+      k != Matcher::InterruptKind::kNone) {
+    // The root CandInit scan itself was cut short: the candidate list is
+    // partial, so executing over it would silently drop results. Report
+    // the interrupt with zero rows instead, exactly like a pre-execution
+    // expiry on the serial path.
+    if (k == Matcher::InterruptKind::kCancelled) {
+      stats->cancelled = true;
+    } else {
+      stats->timed_out = true;
+    }
+    return out;
+  }
 
   if (root.empty()) return out;  // component 0 unmatchable => no rows
 
@@ -140,6 +367,14 @@ Result<ParallelRunResult> RunMatcherParallel(
   uint64_t prefix_total = 0;
   std::atomic<uint64_t> prefix_rows{0};
 
+  // Streaming fan-in (stream mode only): ordered delivery with per-chunk
+  // bounded buffers; replaces the materialize-then-merge machinery.
+  std::optional<OrderedStreamer> streamer;
+  if (streaming) {
+    streamer.emplace(num_chunks, options.stream_chunk_buffer_rows, cap,
+                     distinct, deadline, options.cancel, stream);
+  }
+
   auto finish_chunk = [&](size_t c, uint64_t rows_produced) {
     std::lock_guard<std::mutex> lock(prefix_mu);
     chunk_row_counts[c] = rows_produced;
@@ -160,6 +395,22 @@ Result<ParallelRunResult> RunMatcherParallel(
     while (true) {
       const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
+      // Cooperative gate BEFORE the chunk starts: once the token trips or
+      // the shared deadline fires, claimed-but-unstarted chunks are
+      // abandoned (and unclaimed ones never start) — the worker records
+      // the interrupt so the merged stats classify the partial result.
+      if (options.cancel.cancelled() || deadline.Expired()) {
+        if (options.cancel.cancelled()) {
+          worker_stats[wi].cancelled = true;
+        } else {
+          worker_stats[wi].timed_out = true;
+        }
+        if (streaming) streamer->Abort();
+        break;
+      }
+      // A stopped stream (consumer stop / cap / abort) shadows every
+      // remaining chunk.
+      if (streaming && streamer->stopped()) break;
       // Per-chunk fault site: a firing poisons this worker's status (the
       // whole query fails, exactly like an organic chunk error) but still
       // marks the chunk finished so sibling workers' prefix accounting
@@ -168,7 +419,15 @@ Result<ParallelRunResult> RunMatcherParallel(
               FaultInjector::Global().Inject(faults::kParallelChunk);
           !fault.ok()) {
         worker_status[wi] = std::move(fault);
-        finish_chunk(c, 0);
+        if (streaming) {
+          // Abort BEFORE marking the chunk done: FinishChunk on a live
+          // stream could advance the head past this (rowless) chunk and
+          // emit a later chunk's rows, breaking the prefix guarantee.
+          streamer->Abort();
+          streamer->FinishChunk(c);
+        } else {
+          finish_chunk(c, 0);
+        }
         break;
       }
       const size_t begin = c * chunk_size;
@@ -181,7 +440,7 @@ Result<ParallelRunResult> RunMatcherParallel(
       // (a superset of the finished prefix, which never reaches an
       // in-flight chunk) already hold the cap. DISTINCT chunks always run:
       // cross-chunk duplicates make their contribution unknowable here.
-      if (cap != 0 && !distinct) {
+      if (!streaming && cap != 0 && !distinct) {
         const bool moot =
             want_rows
                 ? prefix_rows.load(std::memory_order_acquire) >= cap
@@ -199,7 +458,15 @@ Result<ParallelRunResult> RunMatcherParallel(
 
       Status status;
       uint64_t produced = 0;
-      if (distinct) {
+      if (streaming) {
+        // Stream mode: rows flow straight into the ordered fan-in (which
+        // enforces order, backpressure, the cap, and — under DISTINCT —
+        // the global dedup). The prefix machinery is idle here.
+        control.bag_multiplicity = !distinct;
+        StreamChunkSink sink(&*streamer, c, distinct, cap);
+        status = matcher.Run(&sink, &worker_stats[wi], control);
+        streamer->FinishChunk(c);
+      } else if (distinct) {
         // Local dedup per chunk. A chunk never contributes more than `cap`
         // unique rows: at most |merged prefix| of its first cap
         // local-uniques can be shadowed by earlier chunks, and the merge
@@ -226,15 +493,20 @@ Result<ParallelRunResult> RunMatcherParallel(
         chunks[c].count = sink.count();
         produced = chunks[c].count;
       }
-      finish_chunk(c, produced);
+      if (!streaming) finish_chunk(c, produced);
       if (!status.ok()) {
         worker_status[wi] = std::move(status);
+        if (streaming) streamer->Abort();
         break;
       }
-      // Once the shared deadline fired there is no point claiming further
-      // chunks; sibling workers notice the same expiry on their next
-      // claim or within one check interval inside Run.
-      if (worker_stats[wi].timed_out) break;
+      // Once the shared deadline fired (or the token tripped) there is no
+      // point claiming further chunks; sibling workers notice the same
+      // interrupt on their next claim or within one check interval inside
+      // Run.
+      if (worker_stats[wi].timed_out || worker_stats[wi].cancelled) {
+        if (streaming) streamer->Abort();
+        break;
+      }
     }
   };
 
@@ -283,6 +555,25 @@ Result<ParallelRunResult> RunMatcherParallel(
   }
   stats->threads_used = std::max<uint64_t>(stats->threads_used, num_workers);
   stats->tasks_dispatched += num_chunks;
+
+  if (streaming) {
+    // Rows already left through the sink in serial order; only classify.
+    out.rows = streamer->emitted();
+    out.truncated = cap != 0 && out.rows >= cap;
+    if (!streamer->complete() && !out.truncated &&
+        streamer->stop_reason() != OrderedStreamer::StopReason::kConsumer) {
+      // The stream was cut short by neither the consumer nor the cap:
+      // attribute the partial prefix to the token or the deadline (covers
+      // producers that unwound through a sink-stop before their own tick
+      // check could classify the interrupt).
+      if (options.cancel.cancelled()) {
+        stats->cancelled = true;
+      } else if (deadline.Expired()) {
+        stats->timed_out = true;
+      }
+    }
+    return out;
+  }
 
   // Deterministic merge: chunk order == root candidate order == the order
   // serial enumeration visits, so these walks reproduce serial output

@@ -32,6 +32,8 @@
 #define AMBER_CORE_PARALLEL_EXEC_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "core/exec.h"
@@ -51,12 +53,33 @@ struct ParallelRunResult {
   bool truncated = false;
 };
 
+/// \brief Streaming consumer for RunMatcherParallel (the engine Stream
+/// path).
+///
+/// Rows arrive in the EXACT serial order (the deterministic chunk-order
+/// contract): each chunk's finished prefix is streamed as soon as every
+/// earlier chunk has fully drained, while later chunks buffer at most
+/// ExecOptions::stream_chunk_buffer_rows rows before their producer blocks
+/// (bounded-memory backpressure). `emit` is invoked from worker threads but
+/// never concurrently (the internal single-emitter protocol serializes it
+/// and hands off with a happens-before edge); return false to stop the
+/// stream — remaining workers unwind like a row-cap stop.
+struct ParallelStreamSink {
+  std::function<bool(std::span<const VertexId>)> emit;
+};
+
 /// Runs the matcher across `options.num_threads` workers and merges
 /// deterministically. `cap` is the effective row cap (0 = unlimited).
 /// When `materialize_into` is non-null it receives the result rows in
-/// serial order. Requires a satisfiable query with at least one component
-/// (the engine keeps ground-only queries on the serial path) and
-/// `options.num_threads > 1`.
+/// serial order; when `stream` is non-null rows are instead pushed into it
+/// incrementally (at most one of the two may be set). Requires a
+/// satisfiable query with at least one component (the engine keeps
+/// ground-only queries on the serial path) and `options.num_threads > 1`.
+///
+/// Cancellation: ExecOptions::cancel is observed at chunk claiming (chunks
+/// not yet claimed are never started) and inside every chunk Run; a
+/// cancelled query returns partial results with stats->cancelled set, like
+/// a timeout.
 ///
 /// Stats: per-counter sums over workers, max for peak_arena_bytes, plus
 /// threads_used / tasks_dispatched; initial_candidates is attributed once
@@ -65,7 +88,8 @@ Result<ParallelRunResult> RunMatcherParallel(
     const Multigraph& g, const IndexSet& indexes, const QueryGraph& q,
     const QueryPlan& plan, const ExecOptions& options, uint64_t cap,
     ExecStats* stats,
-    std::vector<std::vector<VertexId>>* materialize_into);
+    std::vector<std::vector<VertexId>>* materialize_into,
+    ParallelStreamSink* stream = nullptr);
 
 }  // namespace amber
 

@@ -16,6 +16,34 @@ Result<MaterializedRows> QueryEngine::MaterializeSparql(
   return Materialize(query, options);
 }
 
+Result<StreamResult> QueryEngine::Stream(const SelectQuery& query,
+                                         const ExecOptions& options,
+                                         RowSink* sink) {
+  // Fallback for engines without native streaming: materialize, then
+  // replay through the sink. Order and contents match Materialize by
+  // construction; only the memory bound is weaker (O(result)).
+  AMBER_ASSIGN_OR_RETURN(MaterializedRows mat, Materialize(query, options));
+  StreamResult out;
+  out.var_names = std::move(mat.var_names);
+  out.stats = mat.stats;
+  for (const std::vector<std::string>& row : mat.rows) {
+    if (!sink->OnRow(row)) {
+      out.sink_stopped = true;
+      break;
+    }
+    ++out.rows;
+  }
+  out.stats.rows = out.rows;
+  return out;
+}
+
+Result<StreamResult> QueryEngine::StreamSparql(std::string_view text,
+                                               const ExecOptions& options,
+                                               RowSink* sink) {
+  AMBER_ASSIGN_OR_RETURN(SelectQuery query, SparqlParser::Parse(text));
+  return Stream(query, options, sink);
+}
+
 uint64_t EffectiveRowCap(const SelectQuery& query,
                          const ExecOptions& options) {
   uint64_t cap = options.max_rows;

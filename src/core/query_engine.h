@@ -10,6 +10,8 @@
 #ifndef AMBER_CORE_QUERY_ENGINE_H_
 #define AMBER_CORE_QUERY_ENGINE_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,6 +35,32 @@ struct MaterializedRows {
   ExecStats stats;
 };
 
+/// \brief Consumer of a streaming execution (QueryEngine::Stream).
+///
+/// OnRow receives each result row of N-Triples tokens, in the SAME order a
+/// Materialize call would produce (the deterministic chunk-order contract
+/// holds for streams too); the span is only valid during the call. Return
+/// false to stop the stream early — the engine unwinds cooperatively and
+/// reports StreamResult::sink_stopped.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  virtual bool OnRow(std::span<const std::string> row) = 0;
+};
+
+/// Result of a streaming execution. The rows themselves already left
+/// through the RowSink; this carries the tail metadata.
+struct StreamResult {
+  std::vector<std::string> var_names;
+  /// Rows delivered to the sink (distinct rows under DISTINCT).
+  uint64_t rows = 0;
+  /// True when the sink stopped the stream (OnRow returned false).
+  bool sink_stopped = false;
+  /// timed_out / truncated / cancelled describe the stream's end state;
+  /// `stats.rows` equals `rows`.
+  ExecStats stats;
+};
+
 /// \brief Abstract SPARQL (SELECT/WHERE fragment) query engine.
 class QueryEngine {
  public:
@@ -51,6 +79,15 @@ class QueryEngine {
   virtual Result<MaterializedRows> Materialize(const SelectQuery& query,
                                                const ExecOptions& options) = 0;
 
+  /// Streams result rows into `sink` instead of materializing them. Rows
+  /// arrive in Materialize order; a false return from the sink stops the
+  /// stream. The base implementation materializes and replays (correct
+  /// for every engine, O(result) memory); AMbER overrides it with true
+  /// incremental emission bounded by O(buffer) memory.
+  virtual Result<StreamResult> Stream(const SelectQuery& query,
+                                      const ExecOptions& options,
+                                      RowSink* sink);
+
   /// Parses `text` and counts.
   Result<CountResult> CountSparql(std::string_view text,
                                   const ExecOptions& options = {});
@@ -58,6 +95,10 @@ class QueryEngine {
   /// Parses `text` and materializes.
   Result<MaterializedRows> MaterializeSparql(std::string_view text,
                                              const ExecOptions& options = {});
+
+  /// Parses `text` and streams.
+  Result<StreamResult> StreamSparql(std::string_view text,
+                                    const ExecOptions& options, RowSink* sink);
 };
 
 /// The row cap implied by options.max_rows and the query's LIMIT (0 = none).

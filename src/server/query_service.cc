@@ -204,8 +204,13 @@ void QueryService::PublishFlightLocked(
   flight->done = true;
   // Retiring the flight and resolving it are one atomic step under mu_:
   // any later request either found this flight (and wakes here) or will
-  // miss it and consult the cache / lead its own flight.
-  flights_.erase(flight_key);
+  // miss it and consult the cache / lead its own flight. Erase only the
+  // flight we own: the orphan path may have retired it already AND a
+  // newer flight for the same key may have taken its place.
+  auto it = flights_.find(flight_key);
+  if (it != flights_.end() && it->second.get() == flight) {
+    flights_.erase(it);
+  }
   flight->cv.notify_all();
 }
 
@@ -217,6 +222,7 @@ QueryResponse QueryService::BuildResponse(const CacheEntry& entry,
   resp.cache_hit = cache_hit;
   resp.stats = entry.exec_stats;
   resp.timed_out = entry.exec_stats.timed_out;
+  resp.cancelled = entry.exec_stats.cancelled;
   if (request.count_only) {
     // A complete (untruncated) row handle is an exact count too.
     resp.total_rows =
@@ -253,6 +259,11 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
                                                : options_.default_deadline;
 
   AMBER_ASSIGN_OR_RETURN(NormalizedQuery nq, NormalizeQuery(text));
+
+  // One merged cancel scope per request: the client's token plus every
+  // internal abort signal (orphaned-flight retirement cancels through the
+  // flight's copy of this source). The engine sees its token.
+  CancellationSource exec_cancel(request.cancel);
 
   const bool use_cache = options_.cache_entries > 0 && !request.bypass_cache;
   // Rows and counts of one query are distinct flights: a count result
@@ -302,6 +313,19 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
         }
         --lead->waiters;
         if (!resolved) {
+          // Orphan check: if this was the LAST follower and the leader's
+          // own client budget has expired too, nobody is left who could
+          // use the result — cancel the leader's execution and retire
+          // the flight so later requests lead fresh ones.
+          if (!lead->done && lead->waiters == 0 &&
+              std::chrono::steady_clock::now() >= lead->leader_deadline) {
+            lead->leader_cancel.Cancel();
+            ++stats_.orphaned_flights;
+            auto fit = flights_.find(flight_key);
+            if (fit != flights_.end() && fit->second == lead) {
+              flights_.erase(fit);
+            }
+          }
           ++stats_.timed_out;
           ++stats_.queries;
           QueryResponse resp;
@@ -312,11 +336,17 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
         if (!lead->status.ok()) return lead->status;
         ++stats_.queries;
         if (lead->entry->exec_stats.timed_out) ++stats_.timed_out;
+        if (lead->entry->exec_stats.cancelled) ++stats_.cancelled;
         QueryResponse resp = BuildResponse(*lead->entry, nq, request, true);
         stats_.rows_served += resp.rows.size();
         return resp;
       }
       flight = it->second;  // leader: must publish on EVERY exit below
+      // Bind the orphan machinery: the flight's source shares state with
+      // this request's exec token, and the leader counts as gone once its
+      // own budget has elapsed (never, when unbounded).
+      flight->leader_cancel = exec_cancel;
+      if (budget.count() > 0) flight->leader_deadline = start + budget;
     }
   }
 
@@ -374,6 +404,7 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
   }
   if (options_.share_pool) exec.pool = &pool_;
   if (!request.count_only) exec.max_rows = options_.max_result_rows;
+  exec.cancel = exec_cancel.token();
 
   // One execution attempt on the canonical parse (the plan half of the
   // cache): results depend on variables positionally, never on their
@@ -421,6 +452,14 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
       }
       exec.timeout = remaining;
     }
+    if (exec_cancel.cancelled()) {
+      // Abandoned before this attempt started: answer cancelled without
+      // touching the engine.
+      fresh = CacheEntry();
+      fresh.exec_stats.cancelled = true;
+      exec_status = Status::OK();
+      break;
+    }
     fresh = CacheEntry();  // drop any state from a failed attempt
     exec_status = execute_once(&fresh);
     if (exec_status.ok()) break;
@@ -432,7 +471,15 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
             backoff) {
       break;  // the budget no longer covers the backoff: fail now
     }
-    std::this_thread::sleep_for(backoff);
+    if (exec_cancel.token().WaitFor(backoff)) {
+      // The token tripped during the backoff sleep: wake immediately and
+      // answer cancelled instead of burning the rest of the sleep and
+      // another attempt.
+      fresh = CacheEntry();
+      fresh.exec_stats.cancelled = true;
+      exec_status = Status::OK();
+      break;
+    }
     backoff *= 2;
     ++retries_done;
   }
@@ -465,6 +512,7 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
   stats_.retries += retries_done;
   ++stats_.queries;
   if (fresh.exec_stats.timed_out) ++stats_.timed_out;
+  if (fresh.exec_stats.cancelled) ++stats_.cancelled;
   stats_.exec.MergeFrom(fresh.exec_stats);
   QueryResponse resp = BuildResponse(fresh, nq, request, false);
   stats_.rows_served += resp.rows.size();
@@ -483,12 +531,230 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
     PublishFlightLocked(flight_key, flight.get(), Status::OK(),
                         std::move(published));
   }
-  // A timed-out run holds partial results; caching it would poison every
-  // later hit. Complete runs are upserted (plan + result handle).
-  if (use_cache && !fresh.exec_stats.timed_out) {
+  // A timed-out or cancelled run holds partial results; caching it would
+  // poison every later hit. Complete runs are upserted (plan + result
+  // handle).
+  if (use_cache && !fresh.exec_stats.timed_out &&
+      !fresh.exec_stats.cancelled) {
     fresh.query = std::move(nq.query);
     UpsertLocked(nq.key, std::move(fresh));
   }
+  return resp;
+}
+
+namespace {
+
+/// RowSink → PageSink adapter: skips the request offset, accumulates rows
+/// into ONE in-flight page bounded by rows AND bytes, and hands finished
+/// pages to the client synchronously (the matcher does not advance while a
+/// page is being consumed — that handoff IS the backpressure, so peak
+/// buffered memory is O(page), never O(result)). A page-handoff fault or a
+/// sink abort trips the execution token and stops the stream.
+class PagingSink final : public RowSink {
+ public:
+  PagingSink(PageSink* out, uint64_t offset, uint64_t page_rows,
+             uint64_t page_bytes, CancellationSource* cancel)
+      : out_(out),
+        skip_(offset),
+        page_rows_(std::max<uint64_t>(1, page_rows)),
+        page_bytes_(page_bytes),
+        cancel_(cancel) {}
+
+  bool OnRow(std::span<const std::string> row) override {
+    if (skip_ > 0) {
+      --skip_;
+      return true;
+    }
+    buf_bytes_ += row.size() * sizeof(std::string);
+    for (const std::string& cell : row) buf_bytes_ += cell.size();
+    buf_.emplace_back(row.begin(), row.end());
+    peak_bytes_ = std::max(peak_bytes_, buf_bytes_);
+    if (buf_.size() >= page_rows_ ||
+        (page_bytes_ > 0 && buf_bytes_ >= page_bytes_)) {
+      return Flush(/*last=*/false);
+    }
+    return true;
+  }
+
+  /// Hands the in-flight page to the client. `last` also flushes an empty
+  /// terminator page. Returns false when the stream must stop.
+  bool Flush(bool last) {
+    if (buf_.empty() && !last) return true;
+    // Page-handoff fault site: a firing aborts the stream exactly like a
+    // client that stopped consuming.
+    if (Status fault = FaultInjector::Global().Inject(faults::kServiceStream);
+        !fault.ok()) {
+      status_ = std::move(fault);
+      cancel_->Cancel();
+      return false;
+    }
+    StreamPage page;
+    page.first_row = delivered_;
+    page.rows = std::move(buf_);
+    page.last = last;
+    buf_.clear();
+    buf_bytes_ = 0;
+    delivered_ += page.rows.size();
+    ++pages_;
+    if (!out_->OnPage(std::move(page))) {
+      aborted_ = true;
+      cancel_->Cancel();
+      return false;
+    }
+    return true;
+  }
+
+  uint64_t delivered() const { return delivered_; }
+  uint64_t pages() const { return pages_; }
+  uint64_t peak_bytes() const { return peak_bytes_; }
+  bool aborted() const { return aborted_; }
+  const Status& status() const { return status_; }
+
+ private:
+  PageSink* out_;
+  uint64_t skip_;
+  const uint64_t page_rows_;
+  const uint64_t page_bytes_;
+  CancellationSource* cancel_;
+  std::vector<std::vector<std::string>> buf_;
+  uint64_t buf_bytes_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t pages_ = 0;
+  uint64_t peak_bytes_ = 0;
+  bool aborted_ = false;
+  Status status_ = Status::OK();
+};
+
+}  // namespace
+
+Result<StreamResponse> QueryService::QueryStream(std::string_view text,
+                                                 const RequestOptions& request,
+                                                 PageSink* sink) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::chrono::milliseconds budget = request.deadline.count() > 0
+                                               ? request.deadline
+                                               : options_.default_deadline;
+  if (request.count_only) {
+    return Status::InvalidArgument(
+        "count_only requests cannot stream; use Query()");
+  }
+  AMBER_ASSIGN_OR_RETURN(NormalizedQuery nq, NormalizeQuery(text));
+
+  // Client token merged with the service's internal abort signals (sink
+  // abort, page-handoff fault). Streams bypass the cache and single-flight
+  // entirely: rows leave incrementally, so there is no materialized handle
+  // to retain or share — and a cancelled partial stream can never be
+  // cached by construction.
+  CancellationSource exec_cancel(request.cancel);
+
+  bool shed = false;
+  switch (Admit(start, budget, &shed)) {
+    case Admission::kRejected: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+      return Status::ResourceExhausted(
+          "query service saturated (max_in_flight=" +
+          std::to_string(options_.max_in_flight) +
+          ", max_queued=" + std::to_string(options_.max_queued) + ")");
+    }
+    case Admission::kExpired: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.timed_out;
+      ++stats_.queries;
+      StreamResponse resp;
+      resp.timed_out = true;
+      return resp;
+    }
+    case Admission::kAdmitted:
+      break;
+  }
+  struct SlotGuard {
+    QueryService* s;
+    ~SlotGuard() { s->Release(); }
+  } slot_guard{this};
+
+  ExecOptions exec;
+  const int max_budget = options_.max_thread_budget > 0
+                             ? options_.max_thread_budget
+                             : options_.pool_threads + 1;
+  const int want = request.thread_budget > 0 ? request.thread_budget
+                                             : options_.default_thread_budget;
+  exec.num_threads = std::clamp(want, 1, max_budget);
+  const int shed_budget = std::max(options_.shed_thread_budget, 1);
+  if (shed && exec.num_threads > shed_budget) {
+    exec.num_threads = shed_budget;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_thread_budgets;
+  }
+  if (options_.share_pool) exec.pool = &pool_;
+  exec.cancel = exec_cancel.token();
+  // Pagination folds into the engine's row cap: enumeration stops once
+  // offset + limit rows exist, instead of materializing the full result
+  // and slicing.
+  if (request.limit != 0) {
+    exec.max_rows = SaturatingAdd(request.offset, request.limit);
+  }
+  if (budget.count() > 0) {
+    const auto remaining =
+        RemainingBudget(start, budget, std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.timed_out;
+      ++stats_.queries;
+      StreamResponse resp;
+      resp.timed_out = true;
+      return resp;
+    }
+    exec.timeout = remaining;
+  }
+
+  // Single attempt — no retries for streams: pages already delivered
+  // cannot be unsent, so a mid-stream failure is surfaced, not retried.
+  AMBER_RETURN_IF_ERROR(
+      FaultInjector::Global().Inject(faults::kServiceExecute));
+  PagingSink pager(sink, request.offset, options_.stream_page_rows,
+                   options_.stream_buffer_bytes, &exec_cancel);
+  Result<StreamResult> sr = engine_->Stream(nq.query, exec, &pager);
+  if (!sr.ok()) return sr.status();
+  if (!pager.status().ok()) return pager.status();  // page-handoff fault
+
+  StreamResponse resp;
+  resp.stats = sr->stats;
+  resp.truncated = sr->stats.truncated;
+  resp.var_names.reserve(sr->var_names.size());
+  for (const std::string& canon : sr->var_names) {
+    auto it = nq.canon_to_orig.find(canon);
+    resp.var_names.push_back(it != nq.canon_to_orig.end() ? it->second
+                                                          : canon);
+  }
+  // End-state classification (exactly one of the three): a sink abort or
+  // tripped token means cancelled; otherwise an engine timeout stands; a
+  // truncated (cap-reached) stream satisfied the request and is complete.
+  resp.cancelled =
+      pager.aborted() || sr->stats.cancelled ||
+      (sr->sink_stopped && exec_cancel.cancelled());
+  resp.timed_out = !resp.cancelled && sr->stats.timed_out;
+  resp.complete = !resp.cancelled && !resp.timed_out;
+  if (resp.complete) {
+    // Terminator: flush the final partial page with last=true (an empty
+    // page when the stream ended on a page boundary or had no rows).
+    if (!pager.Flush(/*last=*/true)) {
+      if (!pager.status().ok()) return pager.status();
+      resp.cancelled = true;
+      resp.complete = false;
+    }
+  }
+  resp.rows_streamed = pager.delivered();
+  resp.pages = pager.pages();
+  resp.peak_buffered_bytes = pager.peak_bytes();
+  resp.stats.rows = pager.delivered();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  if (resp.cancelled) ++stats_.cancelled;
+  if (resp.timed_out) ++stats_.timed_out;
+  stats_.exec.MergeFrom(sr->stats);
+  stats_.rows_served += pager.delivered();
   return resp;
 }
 

@@ -47,6 +47,19 @@
 //     PARALLELISM, not requests: new queries run with a reduced
 //     `shed_thread_budget` before the hard kResourceExhausted wall.
 //
+//  5. Cancellation & streaming (docs/ARCHITECTURE.md, "Streaming &
+//     cancellation"). Every request runs under a CancellationSource that
+//     merges the client's RequestOptions::cancel token with the service's
+//     internal abort signals; a tripped token unwinds the engine within
+//     one matcher tick window and answers `cancelled` (never cached).
+//     QueryStream() delivers results as ordered pages through a PageSink
+//     with bounded in-flight buffering (`stream_page_rows`,
+//     `stream_buffer_bytes`): peak service memory is O(page buffer), not
+//     O(result). A sink abort or client abandonment trips the token; an
+//     orphaned single-flight leader — zero waiters left and its own
+//     client's budget expired — is cancelled instead of running to
+//     completion.
+//
 // Thread-safety: Query() may be called concurrently from any number of
 // client threads. Responses are bit-identical to what a serial,
 // single-client run of the underlying engine would return (the parallel
@@ -71,6 +84,7 @@
 #include "core/exec.h"
 #include "core/query_engine.h"
 #include "sparql/ast.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -142,6 +156,16 @@ struct ServiceOptions {
   /// execution (0 = unlimited). A handle truncated by this cap is cached
   /// with `truncated` set; pages beyond it report truncation.
   uint64_t max_result_rows = 0;
+
+  /// Streaming (QueryStream): rows per page before the in-flight page is
+  /// flushed to the PageSink. Min 1.
+  uint64_t stream_page_rows = 256;
+
+  /// Streaming: byte budget of the in-flight page (accounted over cell
+  /// payloads and headers); a page flushes when EITHER bound is hit, so
+  /// peak buffered memory stays O(min of the two) regardless of result
+  /// cardinality. 0 = rows bound only.
+  uint64_t stream_buffer_bytes = 256 << 10;  // 256 KiB
 };
 
 /// Per-request knobs (the ExecutionOptions-style surface).
@@ -168,6 +192,14 @@ struct RequestOptions {
   /// Skip the cache entirely (no lookup, no insert). Differential tests
   /// use this to compare cached and uncached responses.
   bool bypass_cache = false;
+
+  /// Client-abandonment token: cancelling it makes the request unwind
+  /// within one matcher tick window and answer `cancelled` (a response,
+  /// not an error — mirrors the timeout contract). The service merges it
+  /// with its own internal abort signals (sink abort, orphaned-flight
+  /// retirement), so the client source never observes service-internal
+  /// cancellations. Default: never cancelled.
+  CancellationToken cancel;
 };
 
 /// One answered request.
@@ -191,6 +223,10 @@ struct QueryResponse {
   /// Mirrors the engine contract: a timeout is a response, not an error.
   bool timed_out = false;
 
+  /// The request's cancellation token tripped mid-execution: rows (if
+  /// any) are a partial prefix and were NOT cached.
+  bool cancelled = false;
+
   /// Served from the plan/result cache without executing.
   bool cache_hit = false;
 
@@ -207,6 +243,12 @@ struct ServiceStats {
   uint64_t rejected = 0;
   /// Requests whose budget expired (queued or executing).
   uint64_t timed_out = 0;
+  /// Requests (and streams) that ended cancelled — client token, sink
+  /// abort, or orphaned-flight retirement.
+  uint64_t cancelled = 0;
+  /// Single-flight leaders cancelled after their last follower departed
+  /// with the leader's own client budget already expired.
+  uint64_t orphaned_flights = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
@@ -230,6 +272,50 @@ struct ServiceStats {
   uint64_t queued = 0;
   /// Engine-level counters merged over every execution the service ran.
   ExecStats exec;
+};
+
+/// One in-order slice of a streamed result (QueryStream).
+struct StreamPage {
+  /// Index of rows[0] within the full delivered stream (post-offset), so
+  /// a sink can verify it never missed a page.
+  uint64_t first_row = 0;
+  std::vector<std::vector<std::string>> rows;
+  /// Set on the final page of a COMPLETE stream (the terminator: possibly
+  /// empty). Cancelled and timed-out streams end without a last page.
+  bool last = false;
+};
+
+/// \brief Consumer of a streamed result.
+///
+/// OnPage is invoked synchronously from inside the stream (never
+/// concurrently); returning false abandons the stream — the execution
+/// token trips and the matcher unwinds like a cancellation.
+class PageSink {
+ public:
+  virtual ~PageSink() = default;
+  virtual bool OnPage(StreamPage&& page) = 0;
+};
+
+/// Terminal summary of one QueryStream call. The rows already left
+/// through the PageSink.
+struct StreamResponse {
+  /// Projected variable names in the request's own spelling.
+  std::vector<std::string> var_names;
+  /// Rows delivered across every page.
+  uint64_t rows_streamed = 0;
+  /// Pages delivered (including the final terminator page).
+  uint64_t pages = 0;
+  /// Exactly one of complete / cancelled / timed_out describes the end
+  /// state. A truncated stream (row cap / LIMIT reached) is complete.
+  bool complete = false;
+  bool cancelled = false;
+  bool timed_out = false;
+  /// The row cap (request limit / query LIMIT) stopped delivery.
+  bool truncated = false;
+  /// High-water mark of bytes buffered in the in-flight page — the
+  /// O(buffer) memory bound the streaming path guarantees.
+  uint64_t peak_buffered_bytes = 0;
+  ExecStats stats;
 };
 
 /// A parse with canonical variable names: the cache-key form.
@@ -269,6 +355,20 @@ class QueryService {
   Result<QueryResponse> Query(std::string_view text,
                               const RequestOptions& request = {});
 
+  /// Streams the result as ordered pages into `sink` with bounded
+  /// in-flight buffering (peak memory O(stream_page_rows ∧
+  /// stream_buffer_bytes), not O(result)). Page contents concatenated
+  /// equal the rows a materializing Query of the same request would
+  /// return (offset/limit included) — the determinism contract extends
+  /// to streamed prefixes. Streams bypass the cache and single-flight:
+  /// rows leave incrementally, so there is no handle to retain or share
+  /// (and a cancelled partial stream can never be cached).
+  /// `request.count_only` is invalid here. Timeouts and cancellations
+  /// are responses, not errors.
+  Result<StreamResponse> QueryStream(std::string_view text,
+                                     const RequestOptions& request,
+                                     PageSink* sink);
+
   /// Consistent snapshot of the service counters.
   ServiceStats Stats() const;
 
@@ -302,6 +402,14 @@ class QueryService {
     Status status = Status::OK();
     std::shared_ptr<const CacheEntry> entry;
     std::condition_variable cv;
+    /// The leader's execution cancel source (shared state with the
+    /// leader's ExecOptions token): the orphan path cancels through it.
+    CancellationSource leader_cancel;
+    /// When the leader's own client budget expires. A departing last
+    /// follower past this point cancels the leader — nobody is left who
+    /// could use the result.
+    std::chrono::steady_clock::time_point leader_deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   enum class Admission { kAdmitted, kRejected, kExpired };

@@ -47,6 +47,8 @@ inline constexpr const char kServiceExecute[] = "service.execute";
 inline constexpr const char kEngineExecute[] = "engine.execute";
 /// parallel_exec worker, before each claimed chunk runs.
 inline constexpr const char kParallelChunk[] = "parallel.chunk";
+/// QueryService::QueryStream, before each page handoff to the PageSink.
+inline constexpr const char kServiceStream[] = "service.stream";
 /// MappedFile::Open, before the mmap (artifact read fault).
 inline constexpr const char kMmapOpen[] = "mmap.open";
 /// amf::Reader::Open, before header/table validation.

@@ -1,0 +1,296 @@
+// Cooperative cancellation: token/source unit semantics plus the
+// bounded-overshoot contract of the matcher integration — a tripped token
+// unwinds execution within one tick window (~64 recursion steps / scanned
+// candidates), exactly like a deadline expiry, reporting
+// ExecStats::cancelled; parallel chunks not yet claimed never start.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/amber_engine.h"
+#include "rdf/term.h"
+#include "test_util.h"
+#include "util/cancellation.h"
+
+namespace amber {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Token/source unit semantics.
+
+TEST(CancellationTokenTest, DefaultTokenNeverFires) {
+  CancellationToken token;
+  EXPECT_FALSE(token.can_be_cancelled());
+  EXPECT_FALSE(token.cancelled());
+  // WaitFor on the default token is a plain bounded sleep.
+  EXPECT_FALSE(token.WaitFor(milliseconds(1)));
+}
+
+TEST(CancellationTokenTest, CancelIsStickyAndIdempotent) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_TRUE(token.can_be_cancelled());
+  EXPECT_FALSE(token.cancelled());
+  source.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  source.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  // Tokens taken after the fact observe the sticky flag too.
+  EXPECT_TRUE(source.token().cancelled());
+}
+
+TEST(CancellationTokenTest, TokensAreCheapCopies) {
+  CancellationSource source;
+  CancellationToken a = source.token();
+  CancellationToken b = a;  // copy shares the state
+  source.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(CancellationTokenTest, ParentLinkMergesCancellation) {
+  CancellationSource parent;
+  CancellationSource child(parent.token());
+  EXPECT_FALSE(child.cancelled());
+  parent.Cancel();
+  // The child's tokens observe the parent chain...
+  EXPECT_TRUE(child.token().cancelled());
+  // ...but not the other way around: a fresh child of the same parent
+  // cancelling itself must never trip the parent.
+  CancellationSource parent2;
+  CancellationSource child2(parent2.token());
+  child2.Cancel();
+  EXPECT_TRUE(child2.cancelled());
+  EXPECT_FALSE(parent2.cancelled());
+}
+
+TEST(CancellationTokenTest, GrandparentChainObserved) {
+  CancellationSource root;
+  CancellationSource mid(root.token());
+  CancellationSource leaf(mid.token());
+  EXPECT_FALSE(leaf.token().cancelled());
+  root.Cancel();
+  EXPECT_TRUE(leaf.token().cancelled());
+}
+
+TEST(CancellationTokenTest, WaitForWakesOnOwnCancel) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(milliseconds(20));
+    source.Cancel();
+  });
+  const auto t0 = steady_clock::now();
+  EXPECT_TRUE(token.WaitFor(milliseconds(5000)));
+  const auto elapsed = steady_clock::now() - t0;
+  // The cv notification wakes the wait long before the full timeout.
+  EXPECT_LT(elapsed, milliseconds(2000));
+  canceller.join();
+}
+
+TEST(CancellationTokenTest, WaitForNoticesParentCancelViaPolling) {
+  CancellationSource parent;
+  CancellationSource child(parent.token());
+  CancellationToken token = child.token();
+  std::thread canceller([&parent] {
+    std::this_thread::sleep_for(milliseconds(20));
+    parent.Cancel();
+  });
+  const auto t0 = steady_clock::now();
+  // Parent cancels don't notify the child's cv; the bounded poll slices
+  // must still notice well inside the timeout.
+  EXPECT_TRUE(token.WaitFor(milliseconds(5000)));
+  EXPECT_LT(steady_clock::now() - t0, milliseconds(2000));
+  canceller.join();
+}
+
+TEST(CancellationTokenTest, WaitForTimesOutUncancelled) {
+  CancellationSource source;
+  EXPECT_FALSE(source.token().WaitFor(milliseconds(10)));
+  EXPECT_FALSE(source.cancelled());
+}
+
+// ---------------------------------------------------------------------------
+// Matcher integration: bounded overshoot after a trip.
+
+/// A 1-regular p0-cycle over `n` entities: every vertex matches
+/// `?a <urn:p0> ?b`, so the ablation-B full scan visits all n vertices and
+/// the query yields exactly n rows.
+std::vector<Triple> CycleData(int n) {
+  std::vector<Triple> data;
+  auto ent = [](int i) { return Term::Iri("urn:e" + std::to_string(i)); };
+  for (int i = 0; i < n; ++i) {
+    data.emplace_back(ent(i), Term::Iri("urn:p0"), ent((i + 1) % n));
+  }
+  return data;
+}
+
+/// A hub with `n` outgoing p0 edges: `SELECT ?a WHERE { ?a <urn:p0> ?b }`
+/// emits n rows through the satellite-multiplicity loop of one embedding.
+std::vector<Triple> StarData(int n) {
+  std::vector<Triple> data;
+  for (int i = 0; i < n; ++i) {
+    data.emplace_back(Term::Iri("urn:hub"), Term::Iri("urn:p0"),
+                      Term::Iri("urn:leaf" + std::to_string(i)));
+  }
+  return data;
+}
+
+AmberEngine MustBuild(const std::vector<Triple>& data) {
+  auto engine = AmberEngine::Build(data);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  return std::move(engine).value();
+}
+
+constexpr char kEdgeQuery[] = "SELECT ?a ?b WHERE { ?a <urn:p0> ?b . }";
+constexpr char kStarQuery[] = "SELECT ?a WHERE { ?a <urn:p0> ?b . }";
+
+// One matcher tick window: interrupt checks are amortized over 64 steps,
+// so a trip is honoured with at most this much overshoot per loop.
+constexpr uint64_t kTickWindow = 64;
+
+TEST(CancellationMatcherTest, PreCancelledAblationScanStopsWithinTickWindow) {
+  AmberEngine engine = MustBuild(CycleData(400));
+
+  // Reference: the uncancelled full scan sees all 400 root candidates.
+  ExecOptions full;
+  full.use_signature_index = false;  // ablation B: full synopsis scan
+  auto ref = engine.MaterializeSparql(kEdgeQuery, full);
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  EXPECT_EQ(ref->stats.initial_candidates, 400u);
+  EXPECT_EQ(ref->rows.size(), 400u);
+  EXPECT_FALSE(ref->stats.cancelled);
+
+  // Pre-cancelled: the scan must break within one tick window instead of
+  // walking all 400 vertices (satellite fix: long CandInit range scans
+  // poll the token too, not just the recursion).
+  CancellationSource source;
+  source.Cancel();
+  ExecOptions cancelled = full;
+  cancelled.cancel = source.token();
+  auto out = engine.MaterializeSparql(kEdgeQuery, cancelled);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->stats.cancelled);
+  EXPECT_FALSE(out->stats.timed_out);
+  EXPECT_LE(out->stats.initial_candidates, kTickWindow);
+  EXPECT_LE(out->rows.size(), kTickWindow);
+}
+
+TEST(CancellationMatcherTest, EmitMultiplicityLoopHonoursCancel) {
+  AmberEngine engine = MustBuild(StarData(500));
+
+  // Uncancelled: one embedding, 500 rows via satellite multiplicity.
+  auto ref = engine.MaterializeSparql(kStarQuery, ExecOptions{});
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  ASSERT_EQ(ref->rows.size(), 500u);
+
+  // The sink trips the token on the first delivered row; the per-row tick
+  // inside the multiplicity loop must stop emission within one window
+  // even though no further recursion happens.
+  CancellationSource source;
+  ExecOptions options;
+  options.cancel = source.token();
+  struct TrippingSink : RowSink {
+    CancellationSource* source;
+    uint64_t rows = 0;
+    bool OnRow(std::span<const std::string>) override {
+      if (++rows == 1) source->Cancel();
+      return true;  // never stops via the sink: only the token acts
+    }
+  } sink;
+  sink.source = &source;
+  auto out = engine.StreamSparql(kStarQuery, options, &sink);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->stats.cancelled);
+  EXPECT_FALSE(out->sink_stopped);
+  EXPECT_GE(out->rows, 1u);
+  EXPECT_LE(out->rows, kTickWindow + 2);
+  EXPECT_EQ(out->rows, sink.rows);
+}
+
+TEST(CancellationMatcherTest, ParallelPreCancelledScanDispatchesNothing) {
+  // Ablation-B root scan: the interrupt is noticed DURING the scan, so a
+  // partial candidate list never reaches the workers — zero dispatches.
+  AmberEngine engine = MustBuild(CycleData(400));
+  CancellationSource source;
+  source.Cancel();
+  ExecOptions options;
+  options.num_threads = 4;
+  options.use_signature_index = false;
+  options.cancel = source.token();
+  auto out = engine.MaterializeSparql(kEdgeQuery, options);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->stats.cancelled);
+  EXPECT_EQ(out->rows.size(), 0u);
+  EXPECT_EQ(out->stats.tasks_dispatched, 0u);
+}
+
+TEST(CancellationMatcherTest, ParallelPreCancelledChunksNeverRun) {
+  // R-tree root path: candidates compute, chunks are dispatched — but the
+  // claim gate sees the trip before ANY chunk executes, so the matcher
+  // never recurses and zero rows come back.
+  AmberEngine engine = MustBuild(CycleData(400));
+  CancellationSource source;
+  source.Cancel();
+  ExecOptions options;
+  options.num_threads = 4;
+  options.cancel = source.token();
+  auto out = engine.MaterializeSparql(kEdgeQuery, options);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->stats.cancelled);
+  EXPECT_EQ(out->rows.size(), 0u);
+  EXPECT_EQ(out->stats.recursion_calls, 0u);
+}
+
+TEST(CancellationMatcherTest, ParallelMidStreamCancelStopsEarly) {
+  AmberEngine engine = MustBuild(StarData(500));
+  CancellationSource source;
+  ExecOptions options;
+  options.num_threads = 4;
+  options.cancel = source.token();
+  struct TrippingSink : RowSink {
+    CancellationSource* source;
+    uint64_t rows = 0;
+    bool OnRow(std::span<const std::string>) override {
+      if (++rows == 1) source->Cancel();
+      return true;
+    }
+  } sink;
+  sink.source = &source;
+  auto out = engine.StreamSparql(kStarQuery, options, &sink);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->stats.cancelled);
+  EXPECT_GE(out->rows, 1u);
+  EXPECT_LT(out->rows, 500u);  // stopped well before the full result
+}
+
+TEST(CancellationMatcherTest, CancelledRunNeverPoisonsLaterRuns) {
+  // A cancelled execution must leave no partial candidate caches behind:
+  // the same engine answers the same query completely afterwards.
+  AmberEngine engine = MustBuild(CycleData(100));
+  CancellationSource source;
+  source.Cancel();
+  ExecOptions cancelled;
+  cancelled.use_signature_index = false;
+  cancelled.cancel = source.token();
+  auto partial = engine.MaterializeSparql(kEdgeQuery, cancelled);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_TRUE(partial->stats.cancelled);
+
+  ExecOptions clean;
+  clean.use_signature_index = false;
+  auto full = engine.MaterializeSparql(kEdgeQuery, clean);
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_FALSE(full->stats.cancelled);
+  EXPECT_EQ(full->rows.size(), 100u);
+}
+
+}  // namespace
+}  // namespace amber

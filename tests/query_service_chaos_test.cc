@@ -155,10 +155,14 @@ std::vector<ChaosCase> BuildCases(AmberEngine& reference,
 }
 
 /// Arms a randomized, replayable fault schedule drawn from `rng` on the
-/// three serving-path sites. Returns a description for failure logs.
-std::string ArmRandomSchedule(std::mt19937_64& rng) {
-  const char* sites[] = {faults::kServiceExecute, faults::kEngineExecute,
-                         faults::kParallelChunk};
+/// serving-path sites (plus the page-handoff site for stream schedules).
+/// Returns a description for failure logs.
+std::string ArmRandomSchedule(std::mt19937_64& rng,
+                              bool with_stream_site = false) {
+  std::vector<const char*> sites = {faults::kServiceExecute,
+                                    faults::kEngineExecute,
+                                    faults::kParallelChunk};
+  if (with_stream_site) sites.push_back(faults::kServiceStream);
   const StatusCode codes[] = {
       StatusCode::kUnavailable,       // transient (retried)
       StatusCode::kUnavailable,       // biased: transients dominate
@@ -170,7 +174,7 @@ std::string ArmRandomSchedule(std::mt19937_64& rng) {
     // Each site is armed with probability 2/3 — except the last, which is
     // forced on when the draw left everything disarmed so every schedule
     // injects SOMETHING.
-    if (rng() % 3 == 0 && !(desc.empty() && site == sites[2])) continue;
+    if (rng() % 3 == 0 && !(desc.empty() && site == sites.back())) continue;
     FaultSpec spec;
     spec.code = codes[rng() % 4];
     switch (rng() % 3) {
@@ -266,6 +270,174 @@ void RunOneSchedule(QueryEngine* engine, const std::vector<ChaosCase>& cases,
   FaultInjector::Global().Reset();
 }
 
+// ---------------------------------------------------------------------------
+// Streaming chaos: randomized mid-stream abandonment schedules.
+
+/// One streamable query with its full-result serial reference (the plain,
+/// unpaginated shapes of the materializing workload).
+struct StreamCase {
+  std::string text;
+  std::vector<std::string> want_var_names;
+  std::vector<std::vector<std::string>> want_rows;
+};
+
+std::vector<StreamCase> StreamCasesFrom(const std::vector<ChaosCase>& cases) {
+  std::vector<StreamCase> out;
+  for (const ChaosCase& c : cases) {
+    if (c.request.count_only || c.request.offset != 0 ||
+        c.request.limit != 0) {
+      continue;
+    }
+    out.push_back({c.text, c.want_var_names, c.want_rows});
+  }
+  return out;
+}
+
+/// Chaos page consumer: collects rows, asserts page continuity as pages
+/// arrive, and — per its mode — aborts or trips the client token after a
+/// drawn number of pages (mid-stream abandonment).
+class ChaosPageSink : public PageSink {
+ public:
+  bool OnPage(StreamPage&& page) override {
+    EXPECT_EQ(page.first_row, rows.size())
+        << "page skipped or repeated" << *trace;
+    for (auto& row : page.rows) rows.push_back(std::move(row));
+    ++pages;
+    if (page.last) saw_last = true;
+    if (cancel_after_pages != 0 && pages >= cancel_after_pages &&
+        cancel_source != nullptr) {
+      cancel_source->Cancel();
+    }
+    return abort_after_pages == 0 || pages < abort_after_pages;
+  }
+
+  const std::string* trace = nullptr;
+  std::vector<std::vector<std::string>> rows;
+  uint64_t pages = 0;
+  bool saw_last = false;
+  uint64_t abort_after_pages = 0;
+  uint64_t cancel_after_pages = 0;
+  CancellationSource* cancel_source = nullptr;
+};
+
+/// Runs one streaming schedule: 6 clients × 3 requests mixing full
+/// consumption, sink aborts, token trips after K pages, pre-cancelled
+/// materializing requests and delayed cancels (token trips during retry
+/// backoff) — under randomized faults on all four serving-path sites.
+/// Invariants, per response:
+///
+///   - an error is one of the injected codes or admission's rejection;
+///   - an ok stream ends in EXACTLY one of complete/cancelled/timed_out;
+///   - the streamed rows are a bit-identical PREFIX of the serial
+///     reference (the full reference when complete).
+void RunOneStreamSchedule(QueryEngine* engine,
+                          const std::vector<StreamCase>& cases,
+                          uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::string faults_desc =
+      ArmRandomSchedule(rng, /*with_stream_site=*/true);
+  const std::string trace = " [stream-chaos seed=" + std::to_string(seed) +
+                            " faults: " + faults_desc + "]";
+  ServiceOptions options = RandomOptions(rng);
+  options.stream_page_rows = 1 + rng() % 4;
+  if (rng() % 2 == 0) options.stream_buffer_bytes = 64 + rng() % 256;
+  {
+    QueryService service(engine, options);
+    constexpr int kClients = 6;
+    constexpr int kRequestsPerClient = 3;
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int ci = 0; ci < kClients; ++ci) {
+      const uint64_t client_seed = seed ^ (0xD1B54A32D192ED03ull * (ci + 1));
+      clients.emplace_back([&service, &cases, &trace, client_seed] {
+        std::mt19937_64 crng(client_seed);
+        for (int qi = 0; qi < kRequestsPerClient; ++qi) {
+          const StreamCase& c = cases[crng() % cases.size()];
+          RequestOptions req;
+          req.thread_budget = 1 + crng() % 3;
+          const int mode = crng() % 5;
+
+          if (mode == 3) {
+            // Pre-cancelled materializing request: must answer cancelled
+            // (or time out in the queue / fail with an injected code) —
+            // and must never reach a full execution.
+            CancellationSource client_cancel;
+            client_cancel.Cancel();
+            req.cancel = client_cancel.token();
+            auto resp = service.Query(c.text, req);
+            if (resp.ok()) {
+              // A pre-cancelled request never EXECUTES — but an already
+              // materialized answer (cache hit, single-flight attach) may
+              // still be served, and then it must be the full reference.
+              EXPECT_TRUE(resp->cancelled || resp->timed_out ||
+                          resp->cache_hit)
+                  << trace;
+              if (resp->cache_hit && !resp->cancelled && !resp->timed_out) {
+                EXPECT_EQ(resp->rows, c.want_rows) << c.text << trace;
+              }
+            }
+            continue;
+          }
+          if (mode == 4) {
+            // Delayed trip: lands before, during (backoff included) or
+            // after the execution — every landing must classify cleanly.
+            CancellationSource client_cancel;
+            req.cancel = client_cancel.token();
+            std::thread canceller([&client_cancel, &crng] {
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(crng() % 8));
+              client_cancel.Cancel();
+            });
+            auto resp = service.Query(c.text, req);
+            canceller.join();
+            if (resp.ok() && !resp->cancelled && !resp->timed_out) {
+              EXPECT_EQ(resp->rows, c.want_rows) << c.text << trace;
+            }
+            continue;
+          }
+
+          CancellationSource client_cancel;
+          ChaosPageSink sink;
+          sink.trace = &trace;
+          if (mode == 1) sink.abort_after_pages = 1 + crng() % 3;
+          if (mode == 2) {
+            sink.cancel_after_pages = 1 + crng() % 3;
+            sink.cancel_source = &client_cancel;
+            req.cancel = client_cancel.token();
+          }
+          auto resp = service.QueryStream(c.text, req, &sink);
+          if (!resp.ok()) {
+            const StatusCode code = resp.status().code();
+            EXPECT_TRUE(code == StatusCode::kUnavailable ||
+                        code == StatusCode::kInternal ||
+                        code == StatusCode::kResourceExhausted)
+                << resp.status() << trace;
+          } else {
+            EXPECT_EQ((resp->complete ? 1 : 0) + (resp->cancelled ? 1 : 0) +
+                          (resp->timed_out ? 1 : 0),
+                      1)
+                << trace;
+            if (resp->complete) {
+              EXPECT_TRUE(sink.saw_last) << trace;
+              EXPECT_EQ(sink.rows, c.want_rows) << c.text << trace;
+            }
+          }
+          // Delivered pages are ALWAYS a bit-identical prefix of the
+          // serial reference — complete, abandoned, timed out or errored
+          // mid-stream alike.
+          ASSERT_LE(sink.rows.size(), c.want_rows.size()) << c.text << trace;
+          for (size_t i = 0; i < sink.rows.size(); ++i) {
+            ASSERT_EQ(sink.rows[i], c.want_rows[i])
+                << "prefix diverged at row " << i << ": " << c.text << trace;
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  FaultInjector::Global().Reset();
+}
+
 constexpr int kSchedulesPerEngine = 70;
 
 class QueryServiceChaosTest : public ::testing::Test {
@@ -335,6 +507,39 @@ TEST_F(QueryServiceChaosTest, MmapEngineSurvivesRandomSchedules) {
   for (int s = 0; s < kSchedulesPerEngine; ++s) {
     RunOneSchedule(mmap_, *cases_, 0xCAFE2000ull + s);
   }
+}
+
+TEST_F(QueryServiceChaosTest, StreamingSchedulesSurviveChaos) {
+  const std::vector<StreamCase> stream_cases = StreamCasesFrom(*cases_);
+  ASSERT_FALSE(stream_cases.empty());
+  for (int s = 0; s < 30; ++s) {
+    RunOneStreamSchedule(fresh_, stream_cases, 0x57AE3000ull + s);
+  }
+}
+
+TEST_F(QueryServiceChaosTest, MmapStreamingSchedulesSurviveChaos) {
+  const std::vector<StreamCase> stream_cases = StreamCasesFrom(*cases_);
+  ASSERT_FALSE(stream_cases.empty());
+  for (int s = 0; s < 15; ++s) {
+    RunOneStreamSchedule(mmap_, stream_cases, 0x57AE4000ull + s);
+  }
+}
+
+TEST_F(QueryServiceChaosTest, StreamingSchedulesLeakNoAllocations) {
+  const std::vector<StreamCase> stream_cases = StreamCasesFrom(*cases_);
+  ASSERT_FALSE(stream_cases.empty());
+  // Warm-up settles lazy one-shot allocations (see below).
+  RunOneStreamSchedule(fresh_, stream_cases, 0x57AEA000ull);
+  RunOneStreamSchedule(fresh_, stream_cases, 0x57AEA001ull);
+
+  const int64_t live_before = g_live_allocs.load(std::memory_order_relaxed);
+  for (int s = 0; s < 8; ++s) {
+    RunOneStreamSchedule(fresh_, stream_cases, 0x57AEA100ull + s);
+  }
+  const int64_t live_after = g_live_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(live_after - live_before, 0)
+      << "streaming chaos schedules leaked " << (live_after - live_before)
+      << " live heap allocations";
 }
 
 TEST_F(QueryServiceChaosTest, SchedulesLeakNoAllocations) {

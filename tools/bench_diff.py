@@ -54,7 +54,8 @@ def index_points(data):
     return points
 
 
-def compare_file(name, base, cur, ratio, slack_ms, qps_floor=10.0):
+def compare_file(name, base, cur, ratio, slack_ms, qps_floor=10.0,
+                 buffer_floor_bytes=1 << 20):
     """Returns a list of regression strings for one bench file."""
     if base.get("config") != cur.get("config"):
         print(f"  SKIP {name}: config changed "
@@ -114,6 +115,25 @@ def compare_file(name, base, cur, ratio, slack_ms, qps_floor=10.0):
         elif b_qps > 0:
             print(f"  ok   {name}: {engine} @ {size}: "
                   f"{b_qps:.1f} -> {c_qps:.1f} qps")
+        # Streaming points carry peak_buffered_bytes — the in-flight-page
+        # memory high-water mark QueryStream guarantees stays O(buffer).
+        # Gate it with a ceiling: fail when the current peak exceeds
+        # max(baseline * ratio, buffer_floor_bytes). The absolute floor
+        # keeps tiny baselines (a few small pages) from turning row-size
+        # jitter into failures; a real regression here is the stream
+        # ballooning toward O(result) memory. Points without the field
+        # (older baselines, non-streaming series) are never gated.
+        b_buf = bp.get("peak_buffered_bytes", 0)
+        c_buf = cp.get("peak_buffered_bytes", 0)
+        if b_buf > 0:
+            limit = max(b_buf * ratio, float(buffer_floor_bytes))
+            if c_buf > limit:
+                regressions.append(
+                    f"{name}: {engine} @ size {size} buffered bytes "
+                    f"ballooned {b_buf} -> {c_buf} (limit {limit:.0f})")
+            else:
+                print(f"  ok   {name}: {engine} @ {size}: "
+                      f"{b_buf} -> {c_buf} peak buffered bytes")
     return regressions
 
 
@@ -130,6 +150,9 @@ def main(argv=None):
     parser.add_argument("--qps-floor", type=float, default=10.0,
                         help="qps points below this baseline rate are never "
                              "gated (default %(default)s)")
+    parser.add_argument("--buffer-floor-bytes", type=int, default=1 << 20,
+                        help="peak_buffered_bytes ceilings are never lower "
+                             "than this (default %(default)s)")
     args = parser.parse_args(argv)
 
     if not args.baseline_dir.is_dir():
@@ -165,7 +188,8 @@ def main(argv=None):
         compared += 1
         regressions.extend(
             compare_file(base_path.name, base, cur, args.ratio,
-                         args.slack_ms, args.qps_floor))
+                         args.slack_ms, args.qps_floor,
+                         args.buffer_floor_bytes))
 
     print(f"\ncompared {compared} bench file(s) against "
           f"{args.baseline_dir} (ratio {args.ratio}, slack "

@@ -229,6 +229,59 @@ def test_degraded_series_qps_gate_applies():
     assert run_main(base, cur) == 1
 
 
+# ---------------------------------------------------------------------------
+# Buffered-bytes ceiling gate (the service-streaming series).
+# ---------------------------------------------------------------------------
+
+def streaming(peak_buffered_bytes=None, qps=200.0):
+    data = harness(avg_ms=1.0, qps=qps, engine="service-streaming", size=4)
+    if peak_buffered_bytes is not None:
+        data["engines"][0]["series"][0]["peak_buffered_bytes"] = \
+            peak_buffered_bytes
+    return data
+
+
+def test_streaming_buffer_stable_passes():
+    base, cur = write_dirs(streaming(peak_buffered_bytes=4096),
+                           streaming(peak_buffered_bytes=5000),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+
+
+def test_streaming_buffer_under_floor_never_gated():
+    # 4 KiB -> 512 KiB blows the 4x ratio but sits under the 1 MiB
+    # absolute floor: small-baseline jitter, not an O(result) balloon.
+    base, cur = write_dirs(streaming(peak_buffered_bytes=4096),
+                           streaming(peak_buffered_bytes=512 * 1024),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+
+
+def test_streaming_buffer_balloon_fails():
+    # 1 MiB -> 64 MiB clears both the ratio ceiling and the floor: the
+    # stream stopped honouring its bounded-memory contract.
+    base, cur = write_dirs(streaming(peak_buffered_bytes=1 << 20),
+                           streaming(peak_buffered_bytes=64 << 20),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 1
+
+
+def test_streaming_buffer_floor_is_configurable():
+    base, cur = write_dirs(streaming(peak_buffered_bytes=4096),
+                           streaming(peak_buffered_bytes=512 * 1024),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur, "--buffer-floor-bytes", "65536") == 1
+
+
+def test_points_without_buffer_field_skip_the_buffer_gate():
+    # Older baselines / non-streaming series carry no field; a current
+    # point growing one (or a huge value) must not trip anything.
+    base, cur = write_dirs(streaming(peak_buffered_bytes=None),
+                           streaming(peak_buffered_bytes=256 << 20),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+
+
 if __name__ == "__main__":
     failures = 0
     for name, fn in sorted(globals().items()):
