@@ -1,5 +1,6 @@
 #include "core/amber_engine.h"
 
+#include "core/factorized.h"
 #include "core/matcher.h"
 #include "core/parallel_exec.h"
 #include "core/query_plan.h"
@@ -111,7 +112,47 @@ Result<uint64_t> AmberEngine::Execute(
     // parallel_exec.h.
     const bool parallel =
         options.num_threads > 1 && !plan.components.empty();
-    if (parallel) {
+    if (materialize_into != nullptr &&
+        UseFactorizedForm(options.result_form, plan)) {
+      // Factorized route to the same flat rows: collect the answer graph,
+      // then expand lazily up to the cap. Row order and truncation match
+      // the direct sinks by construction (docs/ARCHITECTURE.md,
+      // "Factorized answer graphs").
+      const uint32_t num_slots =
+          static_cast<uint32_t>(qg.projection().size());
+      std::vector<uint32_t> slot_list =
+          BuildSlotList(qg.projection(), plan.is_core);
+      FactorizedResult fact;
+      if (parallel) {
+        ParallelFactorizeRequest req;
+        req.num_slots = num_slots;
+        req.slot_list = slot_list;
+        req.out = &fact;
+        AMBER_ASSIGN_OR_RETURN(
+            ParallelRunResult pr,
+            RunMatcherParallel(graph_, indexes_, qg, plan, options, cap,
+                               stats, nullptr, nullptr, &req));
+        stats->rows_expanded += req.rows_expanded;
+        stats->truncated = stats->truncated || pr.truncated;
+      } else {
+        Matcher matcher(graph_, indexes_, qg, plan, options);
+        FactorizedBuilder builder(num_slots, slot_list, qg.distinct(), cap);
+        FactorizedSink fsink(&builder);
+        AMBER_RETURN_IF_ERROR(
+            matcher.Run(&fsink, stats, std::nullopt,
+                        /*bag_multiplicity=*/!qg.distinct()));
+        stats->rows_expanded += builder.rows_expanded();
+        fact = builder.Finish();
+        stats->truncated = stats->truncated || fact.truncated;
+      }
+      stats->bytes_factorized += fact.ByteSize();
+      FactorizedResult::Cursor cur = fact.Expand();
+      while ((cap == 0 || materialize_into->size() < cap) && cur.Next()) {
+        materialize_into->emplace_back(cur.Row().begin(), cur.Row().end());
+      }
+      stats->rows_expanded += cur.rows_expanded();
+      rows = materialize_into->size();
+    } else if (parallel) {
       AMBER_ASSIGN_OR_RETURN(
           ParallelRunResult pr,
           RunMatcherParallel(graph_, indexes_, qg, plan, options, cap, stats,
@@ -176,6 +217,95 @@ Result<MaterializedRows> AmberEngine::Materialize(const SelectQuery& query,
     result.rows.push_back(TranslateRow(row));
   }
   return result;
+}
+
+Result<FactorizedRows> AmberEngine::Factorize(const SelectQuery& query,
+                                              const ExecOptions& options) {
+  Stopwatch sw;
+  AMBER_ASSIGN_OR_RETURN(QueryGraph qg, QueryGraph::Build(query, dicts_));
+  const uint64_t cap = EffectiveRowCap(query, options);
+  const uint32_t num_slots = static_cast<uint32_t>(qg.projection().size());
+
+  FactorizedRows out;
+  for (uint32_t u : qg.projection()) {
+    out.var_names.push_back(qg.vertices()[u].name);
+  }
+
+  if (qg.unsatisfiable()) {
+    out.result.num_slots = num_slots;
+    out.result.slot_list.assign(num_slots, kNoGroupList);
+    out.result.distinct = qg.distinct();
+    out.result.row_limit = cap;
+    out.stats.elapsed_ms = sw.ElapsedMillis();
+    return out;
+  }
+
+  QueryPlan plan = PlanQuery(qg, options.plan,
+                             options.use_value_index ? &indexes_.value
+                                                     : nullptr,
+                             graph_.NumVertices());
+
+  if (!UseFactorizedForm(options.result_form, plan)) {
+    // Flat-resolved form: run the ordinary row pipeline (which owns the
+    // fault site) and wrap each resolved row as a singleton group, so
+    // every form hands back a usable answer-graph handle.
+    std::vector<std::vector<VertexId>> raw;
+    AMBER_RETURN_IF_ERROR(
+        Execute(query, options, &out.stats, &raw).status());
+    FactorizedBuilder builder(num_slots,
+                              std::vector<uint32_t>(num_slots, kNoGroupList),
+                              /*distinct=*/false, /*cap=*/0);
+    for (std::vector<VertexId>& row : raw) {
+      FactorizedResult::Group grp;
+      grp.fixed = std::move(row);
+      builder.Add(std::move(grp));
+    }
+    out.result = builder.Finish();
+    out.result.distinct = qg.distinct();
+    out.result.row_limit = cap;
+    out.result.truncated = out.stats.truncated;
+    out.stats.groups_emitted += out.result.groups.size();
+    out.stats.factorized_rows_represented = SaturatingAdd(
+        out.stats.factorized_rows_represented, out.result.total_rows);
+    out.stats.bytes_factorized += out.result.ByteSize();
+    out.stats.elapsed_ms = sw.ElapsedMillis();
+    return out;
+  }
+
+  // Factorized form: groups come straight from the matcher. This path does
+  // not pass through Execute, so it owns the transient-fault site.
+  AMBER_RETURN_IF_ERROR(
+      FaultInjector::Global().Inject(faults::kEngineExecute));
+  std::vector<uint32_t> slot_list =
+      BuildSlotList(qg.projection(), plan.is_core);
+  const bool parallel = options.num_threads > 1 && !plan.components.empty();
+  if (parallel) {
+    ParallelFactorizeRequest req;
+    req.num_slots = num_slots;
+    req.slot_list = slot_list;
+    req.out = &out.result;
+    AMBER_ASSIGN_OR_RETURN(
+        ParallelRunResult pr,
+        RunMatcherParallel(graph_, indexes_, qg, plan, options, cap,
+                           &out.stats, nullptr, nullptr, &req));
+    out.stats.rows = pr.rows;
+    out.stats.truncated = out.stats.truncated || pr.truncated;
+    out.stats.rows_expanded += req.rows_expanded;
+  } else {
+    Matcher matcher(graph_, indexes_, qg, plan, options);
+    FactorizedBuilder builder(num_slots, slot_list, qg.distinct(), cap);
+    FactorizedSink fsink(&builder);
+    AMBER_RETURN_IF_ERROR(matcher.Run(&fsink, &out.stats, std::nullopt,
+                                      /*bag_multiplicity=*/!qg.distinct()));
+    out.stats.rows_expanded += builder.rows_expanded();
+    out.result = builder.Finish();
+    out.stats.rows = cap == 0 ? out.result.total_rows
+                              : std::min(out.result.total_rows, cap);
+    out.stats.truncated = out.stats.truncated || out.result.truncated;
+  }
+  out.stats.bytes_factorized += out.result.ByteSize();
+  out.stats.elapsed_ms = sw.ElapsedMillis();
+  return out;
 }
 
 Result<StreamResult> AmberEngine::Stream(const SelectQuery& query,

@@ -75,9 +75,17 @@ class AmberEngine : public QueryEngine {
                               const ExecOptions& options,
                               RowSink* sink) override;
 
+  /// Executes and retains the result as a factorized answer graph (see
+  /// docs/ARCHITECTURE.md, "Factorized answer graphs"). Under kFactorized
+  /// (or kAuto on a plan with satellites) groups come straight from the
+  /// matcher — the cross-product is never expanded; under kFlat each row
+  /// becomes a singleton group, so every form yields a usable handle.
+  Result<FactorizedRows> Factorize(const SelectQuery& query,
+                                   const ExecOptions& options) override;
+
   /// Translates a row of data-vertex ids back to RDF terms via Mv^-1.
   std::vector<std::string> TranslateRow(
-      std::span<const VertexId> row) const;
+      std::span<const VertexId> row) const override;
 
   const Multigraph& graph() const { return graph_; }
   const IndexSet& indexes() const { return indexes_; }

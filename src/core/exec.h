@@ -23,6 +23,20 @@ namespace amber {
 
 class ThreadPool;  // util/thread_pool.h
 
+/// Result representation an execution produces (docs/ARCHITECTURE.md,
+/// "Factorized answer graphs").
+enum class ResultForm : uint8_t {
+  /// Expanded rows — the classic cross-product enumeration.
+  kFlat,
+  /// Factorized answer graph: (core embedding × per-projected-satellite
+  /// candidate lists) groups, expanded lazily. Expansion order is
+  /// bit-identical to kFlat.
+  kFactorized,
+  /// kFactorized when the plan has satellite vertices (groups can represent
+  /// more than one row), kFlat otherwise.
+  kAuto,
+};
+
 /// Per-query execution options.
 struct ExecOptions {
   /// Per-query wall-clock budget; zero means unlimited. The paper uses 60 s
@@ -75,7 +89,29 @@ struct ExecOptions {
   /// candidate, and the planner ignores range-width selectivity (the
   /// post-filter-only mode of bench/fig12_filter.cc).
   bool use_value_index = true;
+
+  /// Result representation. kFlat (the default) is the classic expanded
+  /// enumeration. kFactorized / kAuto route Materialize through the
+  /// factorized collector and expand lazily afterwards (rows bit-identical
+  /// to kFlat), and select the representation `Factorize` retains.
+  ResultForm result_form = ResultForm::kFlat;
 };
+
+/// Saturating uint64 multiply (embedding counts can overflow).
+inline uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  __uint128_t p = static_cast<__uint128_t>(a) * b;
+  if (p > std::numeric_limits<uint64_t>::max()) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(p);
+}
+
+/// Saturating uint64 add.
+inline uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  if (s < a) return std::numeric_limits<uint64_t>::max();
+  return s;
+}
 
 /// Statistics reported by one query execution.
 struct ExecStats {
@@ -130,6 +166,22 @@ struct ExecStats {
   /// Root-candidate chunks dispatched to the worker queue.
   uint64_t tasks_dispatched = 0;
 
+  // -- Factorized answer graphs (docs/ARCHITECTURE.md, "Factorized answer
+  // graphs"). groups_emitted / factorized_rows_represented track the
+  // compact representation (also on the counting fast path, which is
+  // group-at-a-time); rows_expanded counts rows actually materialized —
+  // by the flat odometer, a lazy-expansion cursor, or the DISTINCT
+  // collision fallback.
+
+  /// Solution-record groups emitted without odometer expansion.
+  uint64_t groups_emitted = 0;
+  /// Rows those groups represent (product of list sizes × multiplicity).
+  uint64_t factorized_rows_represented = 0;
+  /// Rows actually expanded/materialized one by one.
+  uint64_t rows_expanded = 0;
+  /// Bytes retained by factorized results (FactorizedResult::ByteSize).
+  uint64_t bytes_factorized = 0;
+
   void MergeFrom(const ExecStats& o) {
     rows += o.rows;
     timed_out = timed_out || o.timed_out;
@@ -149,24 +201,36 @@ struct ExecStats {
     peak_arena_bytes = std::max(peak_arena_bytes, o.peak_arena_bytes);
     threads_used = std::max(threads_used, o.threads_used);
     tasks_dispatched += o.tasks_dispatched;
+    groups_emitted += o.groups_emitted;
+    factorized_rows_represented =
+        SaturatingAdd(factorized_rows_represented, o.factorized_rows_represented);
+    rows_expanded += o.rows_expanded;
+    bytes_factorized += o.bytes_factorized;
   }
 };
 
-/// Saturating uint64 multiply (embedding counts can overflow).
-inline uint64_t SaturatingMul(uint64_t a, uint64_t b) {
-  __uint128_t p = static_cast<__uint128_t>(a) * b;
-  if (p > std::numeric_limits<uint64_t>::max()) {
-    return std::numeric_limits<uint64_t>::max();
-  }
-  return static_cast<uint64_t>(p);
-}
+/// Sentinel in EmbeddingGroupView::slot_list / FactorizedResult::slot_list
+/// for projection slots bound by the core embedding (fixed per group).
+inline constexpr uint32_t kNoGroupList = std::numeric_limits<uint32_t>::max();
 
-/// Saturating uint64 add.
-inline uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
-  uint64_t s = a + b;
-  if (s < a) return std::numeric_limits<uint64_t>::max();
-  return s;
-}
+/// \brief One factorized solution record, viewed zero-copy from the
+/// matcher's scratch.
+///
+/// `fixed` has one entry per projection slot; entries whose `slot_list`
+/// value is kNoGroupList hold the core-bound data vertex, the rest are
+/// unspecified and draw from `lists[slot_list[i]]` instead. Each list is
+/// the full candidate set of one distinct projected satellite (sorted,
+/// duplicate-free — a NeighborhoodIndex invariant), in first-appearance
+/// order over the projection. The view is valid only for the duration of
+/// OnGroup; sinks that retain it must copy.
+struct EmbeddingGroupView {
+  std::span<const VertexId> fixed;
+  std::span<const uint32_t> slot_list;
+  std::span<const std::span<const VertexId>> lists;
+  /// Row repetitions contributed by non-projected satellites (bag
+  /// semantics; always 1 under DISTINCT).
+  uint64_t multiplicity = 1;
+};
 
 /// \brief Consumer of matcher output.
 ///
@@ -187,6 +251,15 @@ class EmbeddingSink {
 
   /// `count` rows whose contents the sink does not need.
   virtual bool OnCount(uint64_t count) = 0;
+
+  /// True if the sink consumes factorized groups: Emit() then calls
+  /// OnGroup once per solution record instead of expanding the odometer.
+  /// Only consulted when wants_rows() is true.
+  virtual bool wants_groups() const { return false; }
+
+  /// One factorized group (wants_groups() mode). Return false to stop
+  /// enumeration early.
+  virtual bool OnGroup(const EmbeddingGroupView&) { return true; }
 };
 
 /// Counts rows without materializing them (benchmark fast path).

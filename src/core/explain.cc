@@ -1,6 +1,9 @@
 #include "core/explain.h"
 
+#include <cstdio>
 #include <string>
+
+#include "core/factorized.h"
 
 namespace amber {
 
@@ -70,7 +73,8 @@ Result<std::string> ExplainQuery(const SelectQuery& query,
                                  const RdfDictionaries& dicts,
                                  const IndexSet* indexes,
                                  const PlanOptions& options,
-                                 const ExecOptions* exec) {
+                                 const ExecOptions* exec,
+                                 const ExecStats* stats) {
   AMBER_ASSIGN_OR_RETURN(QueryGraph q, QueryGraph::Build(query, dicts));
 
   std::string out;
@@ -112,6 +116,31 @@ Result<std::string> ExplainQuery(const SelectQuery& query,
       out += "Parallel online stage: serial (num_threads=" +
              std::to_string(exec->num_threads < 1 ? 1 : exec->num_threads) +
              ")\n";
+    }
+
+    // Result representation the options select for THIS plan (kAuto
+    // factorizes exactly when the decomposition has satellites to group).
+    const bool factorized = UseFactorizedForm(exec->result_form, plan);
+    out += "Result form: ";
+    out += factorized ? "factorized" : "flat";
+    if (exec->result_form == ResultForm::kAuto) out += " (auto)";
+    out += "\n";
+
+    if (stats != nullptr && stats->groups_emitted > 0) {
+      out += "  groups emitted: " + std::to_string(stats->groups_emitted) +
+             ", rows represented: " +
+             std::to_string(stats->factorized_rows_represented) +
+             ", rows expanded: " + std::to_string(stats->rows_expanded);
+      if (stats->rows_expanded == 0) {
+        out += " (never expanded)";
+      } else {
+        char ratio[32];
+        std::snprintf(ratio, sizeof(ratio), " (%.2fx)",
+                      static_cast<double>(stats->factorized_rows_represented) /
+                          static_cast<double>(stats->rows_expanded));
+        out += ratio;
+      }
+      out += "\n";
     }
   }
 

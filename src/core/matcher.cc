@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "core/factorized.h"
+
 namespace amber {
 
 namespace {
@@ -68,6 +70,8 @@ MatcherScratch::MatcherScratch(const Multigraph& g, const IndexSet& indexes,
     }
   }
   pick.resize(expand.size());
+  slot_list = BuildSlotList(q.projection(), plan.is_core);
+  group_views.resize(expand.size());
 }
 
 uint64_t MatcherScratch::ArenaBytes() const {
@@ -422,17 +426,22 @@ Matcher::Flow Matcher::Emit() {
   ++stats_->embeddings_found;
 
   if (!sink_->wants_rows()) {
-    // GenEmb fast path: |embeddings| = product of satellite set sizes.
+    // GenEmb fast path: |embeddings| = product of satellite set sizes —
+    // counting is factorized by nature, so the group counters tick here
+    // too and rows_expanded stays zero.
     uint64_t count = 1;
     for (uint32_t us : s_->satellite_list) {
       count = SaturatingMul(count, s_->sat_match[us].size());
     }
+    ++stats_->groups_emitted;
+    stats_->factorized_rows_represented =
+        SaturatingAdd(stats_->factorized_rows_represented, count);
     return sink_->OnCount(count) ? Flow::kContinue : Flow::kStop;
   }
 
-  // Cartesian expansion. Projected satellites (expand) enumerate their
-  // sets; the multiplicity of non-projected satellites repeats rows (bag
-  // semantics) unless the sink deduplicates (DISTINCT).
+  // Projected satellites (expand) enumerate their sets; the multiplicity
+  // of non-projected satellites repeats rows (bag semantics) unless the
+  // sink deduplicates (DISTINCT).
   const std::vector<uint32_t>& proj = q_.projection();
   uint64_t multiplicity = 1;
   if (bag_multiplicity_) {
@@ -444,7 +453,30 @@ Matcher::Flow Matcher::Emit() {
     }
   }
 
-  // Odometer over the projected satellite sets.
+  if (sink_->wants_groups()) {
+    // Factorized emission: hand the sink the solution record itself (core
+    // slots + per-projected-satellite candidate lists) and never enter the
+    // odometer. The spans borrow matcher scratch — valid only during the
+    // OnGroup call.
+    uint64_t card = multiplicity;
+    for (size_t i = 0; i < proj.size(); ++i) {
+      const uint32_t u = proj[i];
+      s_->row_buffer[i] = plan_.is_core[u] ? s_->core_match[u] : kInvalidId;
+    }
+    for (size_t j = 0; j < s_->expand.size(); ++j) {
+      const std::vector<VertexId>& list = s_->sat_match[s_->expand[j]];
+      s_->group_views[j] = std::span<const VertexId>(list);
+      card = SaturatingMul(card, list.size());
+    }
+    ++stats_->groups_emitted;
+    stats_->factorized_rows_represented =
+        SaturatingAdd(stats_->factorized_rows_represented, card);
+    EmbeddingGroupView view{s_->row_buffer, s_->slot_list, s_->group_views,
+                            multiplicity};
+    return sink_->OnGroup(view) ? Flow::kContinue : Flow::kStop;
+  }
+
+  // Odometer over the projected satellite sets (flat cross-product).
   s_->pick.assign(s_->expand.size(), 0);
   while (true) {
     for (size_t i = 0; i < proj.size(); ++i) {
@@ -459,6 +491,7 @@ Matcher::Flow Matcher::Emit() {
       }
     }
     for (uint64_t m = 0; m < multiplicity; ++m) {
+      ++stats_->rows_expanded;
       if (!sink_->OnRow(s_->row_buffer)) return Flow::kStop;
       // Bag multiplicity can repeat one row millions of times with no
       // recursion in between; tick per emitted row so the Cartesian

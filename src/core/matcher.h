@@ -119,6 +119,12 @@ struct MatcherScratch {
   std::vector<uint32_t> expand;
   std::vector<size_t> pick;
 
+  // Factorized emission workspace: per projection slot, the index of its
+  // satellite's candidate list among `expand` (kNoGroupList for core
+  // slots), plus reusable span views over sat_match for OnGroup.
+  std::vector<uint32_t> slot_list;
+  std::vector<std::span<const VertexId>> group_views;
+
   // Hot-path counters, flushed into ExecStats at the end of Run (some grow
   // during ComputeRootCandidates, before stats are bound).
   IntersectCounters icounters;

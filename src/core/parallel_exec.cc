@@ -292,16 +292,48 @@ class StreamChunkSink : public EmbeddingSink {
   std::unordered_set<std::string> seen_;
 };
 
+/// Factorized chunk sink: groups flow into the chunk-local builder, with
+/// the same ordered early-cutoff OrderedChunkSink applies to rows — a
+/// chunk stops once the finished prefix of earlier chunks already covers
+/// the cap in represented-row units (non-DISTINCT only; DISTINCT chunks
+/// pass a null prefix and rely on their builder's exact local total).
+class FactorizedChunkSink : public FactorizedSink {
+ public:
+  FactorizedChunkSink(FactorizedBuilder* builder,
+                      const std::atomic<uint64_t>* prefix_rows, uint64_t cap)
+      : FactorizedSink(builder), prefix_rows_(prefix_rows), cap_(cap) {}
+
+  bool OnRow(std::span<const VertexId> row) override {
+    if (Shadowed()) return false;
+    return FactorizedSink::OnRow(row);
+  }
+  bool OnGroup(const EmbeddingGroupView& view) override {
+    if (Shadowed()) return false;
+    return FactorizedSink::OnGroup(view);
+  }
+
+ private:
+  bool Shadowed() const {
+    return cap_ != 0 && prefix_rows_ != nullptr &&
+           prefix_rows_->load(std::memory_order_acquire) >= cap_;
+  }
+
+  const std::atomic<uint64_t>* prefix_rows_;
+  uint64_t cap_;
+};
+
 }  // namespace
 
 Result<ParallelRunResult> RunMatcherParallel(
     const Multigraph& g, const IndexSet& indexes, const QueryGraph& q,
     const QueryPlan& plan, const ExecOptions& options, uint64_t cap,
     ExecStats* stats, std::vector<std::vector<VertexId>>* materialize_into,
-    ParallelStreamSink* stream) {
+    ParallelStreamSink* stream, ParallelFactorizeRequest* factorize) {
   const bool distinct = q.distinct();
   const bool streaming = stream != nullptr;
-  const bool want_rows = materialize_into != nullptr || streaming;
+  const bool factorizing = factorize != nullptr;
+  const bool want_rows =
+      materialize_into != nullptr || streaming || factorizing;
 
   // ONE absolute deadline for the whole query, shared by every chunk Run:
   // ExecOptions::timeout is a per-query budget, exactly as in serial mode.
@@ -350,6 +382,7 @@ Result<ParallelRunResult> RunMatcherParallel(
     std::vector<std::vector<VertexId>> rows;  // materializing modes
     std::unordered_set<std::string> keys;     // DISTINCT count-only mode
     uint64_t count = 0;                       // plain counting mode
+    FactorizedResult fact;                    // factorized mode
   };
   std::vector<ChunkOut> chunks(num_chunks);
   std::vector<ExecStats> worker_stats(num_workers);
@@ -466,6 +499,22 @@ Result<ParallelRunResult> RunMatcherParallel(
         StreamChunkSink sink(&*streamer, c, distinct, cap);
         status = matcher.Run(&sink, &worker_stats[wi], control);
         streamer->FinishChunk(c);
+      } else if (factorizing) {
+        // Factorized mode: collect raw groups chunk-locally. The chunk
+        // builder is DISTINCT-aware only when a cap can stop it early —
+        // its exact local total is what makes that stop safe (a chunk
+        // holding `cap` local-distinct rows can never owe the merge more);
+        // without a cap the collision bookkeeping would be wasted work
+        // (the merge recomputes it from the raw groups anyway).
+        control.bag_multiplicity = !distinct;
+        FactorizedBuilder builder(factorize->num_slots, factorize->slot_list,
+                                  distinct && cap != 0, cap);
+        FactorizedChunkSink sink(&builder, distinct ? nullptr : &prefix_rows,
+                                 cap);
+        status = matcher.Run(&sink, &worker_stats[wi], control);
+        worker_stats[wi].rows_expanded += builder.rows_expanded();
+        chunks[c].fact = builder.Finish();
+        produced = chunks[c].fact.total_rows;
       } else if (distinct) {
         // Local dedup per chunk. A chunk never contributes more than `cap`
         // unique rows: at most |merged prefix| of its first cap
@@ -572,6 +621,34 @@ Result<ParallelRunResult> RunMatcherParallel(
         stats->timed_out = true;
       }
     }
+    return out;
+  }
+
+  if (factorizing) {
+    // Re-feed every chunk's groups, in chunk order, through one global
+    // builder — the code path the serial FactorizedSink drives — so
+    // collision flags, exact totals and the cap cut land identically to a
+    // serial run. A chunk that stopped early always holds at least as many
+    // (distinct) rows as the merge can still take below the cap, so the
+    // merge never runs out of groups it would have needed.
+    FactorizedBuilder merged(factorize->num_slots, factorize->slot_list,
+                             distinct, cap);
+    bool open = true;
+    for (ChunkOut& chunk : chunks) {
+      if (!open) break;
+      for (FactorizedResult::Group& grp : chunk.fact.groups) {
+        if (!merged.Add(std::move(grp))) {
+          open = false;
+          break;
+        }
+      }
+    }
+    factorize->rows_expanded = merged.rows_expanded();
+    FactorizedResult merged_result = merged.Finish();
+    out.rows = cap == 0 ? merged_result.total_rows
+                        : std::min(merged_result.total_rows, cap);
+    out.truncated = merged_result.truncated;
+    *factorize->out = std::move(merged_result);
     return out;
   }
 

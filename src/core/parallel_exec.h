@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/exec.h"
+#include "core/factorized.h"
 #include "graph/multigraph.h"
 #include "index/index_set.h"
 #include "sparql/query_graph.h"
@@ -68,12 +69,32 @@ struct ParallelStreamSink {
   std::function<bool(std::span<const VertexId>)> emit;
 };
 
+/// \brief Factorized output mode of RunMatcherParallel.
+///
+/// Each chunk collects raw groups through its own FactorizedBuilder (the
+/// shared row budget charged in group-cardinality units); the merge then
+/// re-feeds every chunk's groups, in chunk order, through ONE global
+/// builder — the exact code path the serial FactorizedSink drives — so the
+/// merged result (collision flags, totals, cap cut) and its expansion are
+/// identical to a serial factorized run by construction.
+struct ParallelFactorizeRequest {
+  /// Projection slots per row and the per-slot list mapping (BuildSlotList).
+  uint32_t num_slots = 0;
+  std::vector<uint32_t> slot_list;
+  /// Receives the merged result.
+  FactorizedResult* out = nullptr;
+  /// Out: rows the merge-time DISTINCT collision fallback expanded
+  /// (chunk-local expansions are already in the merged worker stats).
+  uint64_t rows_expanded = 0;
+};
+
 /// Runs the matcher across `options.num_threads` workers and merges
 /// deterministically. `cap` is the effective row cap (0 = unlimited).
 /// When `materialize_into` is non-null it receives the result rows in
 /// serial order; when `stream` is non-null rows are instead pushed into it
-/// incrementally (at most one of the two may be set). Requires a
-/// satisfiable query with at least one component (the engine keeps
+/// incrementally; when `factorize` is non-null the result is retained as a
+/// factorized answer graph (at most one of the three may be set). Requires
+/// a satisfiable query with at least one component (the engine keeps
 /// ground-only queries on the serial path) and `options.num_threads > 1`.
 ///
 /// Cancellation: ExecOptions::cancel is observed at chunk claiming (chunks
@@ -89,7 +110,8 @@ Result<ParallelRunResult> RunMatcherParallel(
     const QueryPlan& plan, const ExecOptions& options, uint64_t cap,
     ExecStats* stats,
     std::vector<std::vector<VertexId>>* materialize_into,
-    ParallelStreamSink* stream = nullptr);
+    ParallelStreamSink* stream = nullptr,
+    ParallelFactorizeRequest* factorize = nullptr);
 
 }  // namespace amber
 

@@ -37,6 +37,16 @@ Result<StreamResult> QueryEngine::Stream(const SelectQuery& query,
   return out;
 }
 
+Result<FactorizedRows> QueryEngine::Factorize(const SelectQuery&,
+                                              const ExecOptions&) {
+  return Status::Unimplemented(name() + " does not produce factorized results");
+}
+
+std::vector<std::string> QueryEngine::TranslateRow(
+    std::span<const VertexId>) const {
+  return {};
+}
+
 Result<StreamResult> QueryEngine::StreamSparql(std::string_view text,
                                                const ExecOptions& options,
                                                RowSink* sink) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/exec.h"
+#include "core/factorized.h"
 #include "sparql/ast.h"
 #include "util/status.h"
 
@@ -46,6 +47,15 @@ class RowSink {
  public:
   virtual ~RowSink() = default;
   virtual bool OnRow(std::span<const std::string> row) = 0;
+};
+
+/// Result of a factorizing execution: the unexpanded answer graph, in
+/// data-vertex ids. Expand rows lazily via `result.Expand()` and translate
+/// them with QueryEngine::TranslateRow.
+struct FactorizedRows {
+  std::vector<std::string> var_names;
+  FactorizedResult result;
+  ExecStats stats;
 };
 
 /// Result of a streaming execution. The rows themselves already left
@@ -87,6 +97,22 @@ class QueryEngine {
   virtual Result<StreamResult> Stream(const SelectQuery& query,
                                       const ExecOptions& options,
                                       RowSink* sink);
+
+  /// Executes the query and retains the result in factorized form (see
+  /// docs/ARCHITECTURE.md, "Factorized answer graphs") instead of
+  /// expanding rows. `options.result_form` selects the representation:
+  /// under kFlat (or kAuto on a satellite-free plan) each row becomes a
+  /// singleton group, so the call succeeds for every form. The base
+  /// implementation returns kUnimplemented — callers fall back to
+  /// Materialize; AMbER overrides it.
+  virtual Result<FactorizedRows> Factorize(const SelectQuery& query,
+                                           const ExecOptions& options);
+
+  /// Translates one expanded row of data-vertex ids into N-Triples tokens
+  /// (the Materialize output format). Only meaningful on engines whose
+  /// Factorize succeeds; the base implementation returns an empty row.
+  virtual std::vector<std::string> TranslateRow(
+      std::span<const VertexId> row) const;
 
   /// Parses `text` and counts.
   Result<CountResult> CountSparql(std::string_view text,

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <unordered_set>
 
 #include "rdf/literal_value.h"
@@ -275,6 +276,56 @@ std::string WorkloadGenerator::Render(const std::vector<uint32_t>& chosen,
       body +=
           "  " + tok(tt.subject) + " " + tt.predicate.ToNTriples() + " " + o +
           " .\n";
+    }
+  }
+
+  // Factorization stressor: multiply the result cardinality by appending
+  // `anchor <p> ?SFi` patterns over the anchor's highest-fanout resource
+  // predicate. Purely additive and deterministic — no rng draws — so
+  // satellite_fanout == 0 reproduces the exact pre-knob text.
+  if (options.satellite_fanout > 0) {
+    std::string anchor_token;
+    std::string anchor_var;
+    if (!center.empty() && var_of.count(center) > 0) {
+      anchor_token = center;
+      anchor_var = var_of[center];
+    } else {
+      for (uint32_t idx : chosen) {
+        std::string tkn = data_[idx].subject.ToNTriples();
+        auto it = var_of.find(tkn);
+        if (it != var_of.end()) {
+          anchor_token = tkn;
+          anchor_var = it->second;
+          break;
+        }
+      }
+    }
+    auto eit = entity_index_.find(anchor_token);
+    if (!anchor_var.empty() && eit != entity_index_.end()) {
+      // Ordered map: ties on count break to the lexicographically
+      // smallest predicate, independent of data order.
+      std::map<std::string, uint32_t> by_pred;
+      for (const Incident& i : incident_[eit->second]) {
+        if (!i.as_subject) continue;
+        const Triple& t = data_[i.triple_index];
+        if (!t.object.is_resource()) continue;
+        ++by_pred[t.predicate.ToNTriples()];
+      }
+      std::string best;
+      uint32_t best_count = 0;
+      for (const auto& [pred, cnt] : by_pred) {
+        if (cnt > best_count) {
+          best = pred;
+          best_count = cnt;
+        }
+      }
+      if (!best.empty()) {
+        for (int i = 0; i < options.satellite_fanout; ++i) {
+          std::string var = "?SF" + std::to_string(i);
+          var_order.push_back(var);
+          body += "  " + anchor_var + " " + best + " " + var + " .\n";
+        }
+      }
     }
   }
 

@@ -52,6 +52,14 @@ struct WorkloadOptions {
   /// nearly everything). The window is slid to contain the source triple's
   /// own value, so the query keeps its witness and stays answerable.
   double filter_selectivity = 0.1;
+  /// Factorization stressor: append this many extra patterns
+  /// `anchor <p> ?SFi` (fresh projected variables) on the query's anchor
+  /// vertex, all over the anchor's highest-fanout resource predicate, so
+  /// the result cardinality multiplies by fanout^satellite_fanout while
+  /// the factorized representation stays O(groups). Deterministic (no rng
+  /// draws) and skipped when the anchor has no resource edges; 0 (the
+  /// default) leaves the generated text bit-identical to before.
+  int satellite_fanout = 0;
 };
 
 /// \brief Generates star-shaped and complex-shaped SPARQL workloads from a

@@ -134,6 +134,9 @@ uint64_t QueryService::EntryBytes(const std::string& key,
     bytes += row.size() * sizeof(std::string);
     for (const std::string& cell : row) bytes += cell.size();
   }
+  // A factorized handle is charged at its true (group) storage — the
+  // whole point of retaining it instead of the expanded cross-product.
+  if (e.have_fact) bytes += e.fact.ByteSize();
   return bytes;
 }
 
@@ -174,9 +177,18 @@ void QueryService::UpsertLocked(const std::string& key, CacheEntry&& fresh) {
   bool grew = false;
   if (fresh.have_rows && !e.have_rows) {
     e.have_rows = true;
-    e.var_names = std::move(fresh.var_names);
+    e.var_names = fresh.var_names;
     e.rows = std::move(fresh.rows);
     e.truncated = fresh.truncated;
+    grew = true;
+  }
+  if (fresh.have_fact && !e.have_fact) {
+    e.have_fact = true;
+    e.fact = std::move(fresh.fact);
+    if (!e.have_rows) {
+      e.var_names = fresh.var_names;
+      e.truncated = fresh.truncated;
+    }
     grew = true;
   }
   if (fresh.have_count && !e.have_count) {
@@ -224,14 +236,19 @@ QueryResponse QueryService::BuildResponse(const CacheEntry& entry,
   resp.timed_out = entry.exec_stats.timed_out;
   resp.cancelled = entry.exec_stats.cancelled;
   if (request.count_only) {
-    // A complete (untruncated) row handle is an exact count too.
-    resp.total_rows =
-        entry.have_count ? entry.count : static_cast<uint64_t>(
-                                             entry.rows.size());
+    // A complete (untruncated) handle is an exact count too — for a
+    // factorized one the count is product-of-list-sizes arithmetic
+    // (FactorizedResult::total_rows), no expansion involved.
+    if (entry.have_count) {
+      resp.total_rows = entry.count;
+    } else if (entry.have_rows && !entry.truncated) {
+      resp.total_rows = entry.rows.size();
+    } else {
+      resp.total_rows = entry.fact.total_rows;
+    }
     return resp;
   }
   resp.truncated = entry.truncated;
-  resp.total_rows = entry.rows.size();
   // Map the canonical variable spellings back to this request's own.
   resp.var_names.reserve(entry.var_names.size());
   for (const std::string& canon : entry.var_names) {
@@ -239,6 +256,31 @@ QueryResponse QueryService::BuildResponse(const CacheEntry& entry,
     resp.var_names.push_back(it != nq.canon_to_orig.end() ? it->second
                                                           : canon);
   }
+  if (!entry.have_rows && entry.have_fact) {
+    // Factorized handle: the retained set is the row_limit clamp of the
+    // full cardinality; the page expands ONLY rows [offset, offset+limit)
+    // — Skip() jumps whole groups, so a deep-OFFSET page never
+    // re-enumerates its prefix.
+    const uint64_t retained =
+        entry.fact.row_limit == 0
+            ? entry.fact.total_rows
+            : std::min(entry.fact.total_rows, entry.fact.row_limit);
+    resp.total_rows = retained;
+    const uint64_t begin = std::min<uint64_t>(request.offset, retained);
+    uint64_t end = retained;
+    if (request.limit != 0) {
+      end = std::min<uint64_t>(begin + request.limit, end);
+    }
+    FactorizedResult::Cursor cur = entry.fact.Expand();
+    cur.Skip(begin);
+    resp.rows.reserve(static_cast<size_t>(end - begin));
+    for (uint64_t i = begin; i < end && cur.Next(); ++i) {
+      resp.rows.push_back(engine_->TranslateRow(cur.Row()));
+    }
+    resp.stats.rows_expanded += cur.rows_expanded();
+    return resp;
+  }
+  resp.total_rows = entry.rows.size();
   // The page: rows [offset, offset+limit) of the retained handle.
   const uint64_t begin =
       std::min<uint64_t>(request.offset, entry.rows.size());
@@ -272,20 +314,35 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
       nq.key + (request.count_only ? "#count" : "#rows");
   std::shared_ptr<Flight> flight;  // set iff this request leads a flight
 
+  // Whether an answer for this request would come from a factorized
+  // handle (rather than retained flat rows / a stored count) — the
+  // ServiceStats::factorized_hits accounting predicate, mirroring the
+  // handle preference order of BuildResponse.
+  auto fact_served = [&request](const CacheEntry& e) {
+    if (!e.have_fact) return false;
+    return request.count_only
+               ? (!e.have_count && !(e.have_rows && !e.truncated))
+               : !e.have_rows;
+  };
+
   if (use_cache) {
     std::unique_lock<std::mutex> lock(mu_);
     CacheEntry* entry = LookupLocked(nq.key);
-    // A hit must actually be able to answer this request's mode: rows for
-    // a materializing request; an exact count (stored, or derivable from a
-    // complete row handle) for a counting one.
+    // A hit must actually be able to answer this request's mode: rows (or
+    // a factorized handle, expanded per page) for a materializing
+    // request; an exact count (stored, or derivable from a complete
+    // handle of either form) for a counting one.
     const bool usable =
         entry != nullptr &&
         (request.count_only
-             ? (entry->have_count || (entry->have_rows && !entry->truncated))
-             : entry->have_rows);
+             ? (entry->have_count ||
+                (entry->have_rows && !entry->truncated) ||
+                (entry->have_fact && !entry->truncated))
+             : (entry->have_rows || entry->have_fact));
     if (usable) {
       ++stats_.cache_hits;
       ++stats_.queries;
+      if (fact_served(*entry)) ++stats_.factorized_hits;
       QueryResponse resp = BuildResponse(*entry, nq, request, true);
       stats_.rows_served += resp.rows.size();
       return resp;
@@ -337,6 +394,7 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
         ++stats_.queries;
         if (lead->entry->exec_stats.timed_out) ++stats_.timed_out;
         if (lead->entry->exec_stats.cancelled) ++stats_.cancelled;
+        if (fact_served(*lead->entry)) ++stats_.factorized_hits;
         QueryResponse resp = BuildResponse(*lead->entry, nq, request, true);
         stats_.rows_served += resp.rows.size();
         return resp;
@@ -418,15 +476,33 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
       out->have_count = true;
       out->count = cr->count;
       out->exec_stats = cr->stats;
-    } else {
-      Result<MaterializedRows> mr = engine_->Materialize(nq.query, exec);
-      if (!mr.ok()) return mr.status();
-      out->have_rows = true;
-      out->var_names = std::move(mr->var_names);
-      out->rows = std::move(mr->rows);
-      out->truncated = mr->stats.truncated;
-      out->exec_stats = mr->stats;
+      return Status::OK();
     }
+    if (options_.result_form != ResultForm::kFlat) {
+      // Retain the factorized answer graph instead of expanded rows.
+      // Engines that cannot factorize (the baselines) report
+      // kUnimplemented ONCE and this service instance could pin that,
+      // but the probe is cheap — fall through to the flat handle.
+      ExecOptions fexec = exec;
+      fexec.result_form = options_.result_form;
+      Result<FactorizedRows> fr = engine_->Factorize(nq.query, fexec);
+      if (fr.ok()) {
+        out->have_fact = true;
+        out->var_names = std::move(fr->var_names);
+        out->fact = std::move(fr->result);
+        out->truncated = fr->stats.truncated;
+        out->exec_stats = fr->stats;
+        return Status::OK();
+      }
+      if (!fr.status().IsUnimplemented()) return fr.status();
+    }
+    Result<MaterializedRows> mr = engine_->Materialize(nq.query, exec);
+    if (!mr.ok()) return mr.status();
+    out->have_rows = true;
+    out->var_names = std::move(mr->var_names);
+    out->rows = std::move(mr->rows);
+    out->truncated = mr->stats.truncated;
+    out->exec_stats = mr->stats;
     return Status::OK();
   };
 
@@ -712,6 +788,80 @@ Result<StreamResponse> QueryService::QueryStream(std::string_view text,
   // cannot be unsent, so a mid-stream failure is surfaced, not retried.
   AMBER_RETURN_IF_ERROR(
       FaultInjector::Global().Inject(faults::kServiceExecute));
+
+  if (options_.result_form != ResultForm::kFlat) {
+    ExecOptions fexec = exec;
+    fexec.result_form = options_.result_form;
+    Result<FactorizedRows> fr = engine_->Factorize(nq.query, fexec);
+    if (!fr.ok() && !fr.status().IsUnimplemented()) return fr.status();
+    if (fr.ok()) {
+      // Stream by expanding the factorized handle: the offset is
+      // pre-skipped through the cursor (whole groups at a time), so a
+      // deep-OFFSET stream never re-enumerates its prefix; pages then
+      // leave through the same bounded PagingSink as the flat path.
+      StreamResponse resp;
+      resp.stats = fr->stats;
+      resp.var_names.reserve(fr->var_names.size());
+      for (const std::string& canon : fr->var_names) {
+        auto it = nq.canon_to_orig.find(canon);
+        resp.var_names.push_back(it != nq.canon_to_orig.end() ? it->second
+                                                              : canon);
+      }
+      if (fr->stats.timed_out || fr->stats.cancelled) {
+        // Partial handle — end like a timed-out / cancelled flat stream:
+        // no pages, no terminator.
+        resp.cancelled = fr->stats.cancelled;
+        resp.timed_out = !resp.cancelled && fr->stats.timed_out;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.queries;
+        if (resp.cancelled) ++stats_.cancelled;
+        if (resp.timed_out) ++stats_.timed_out;
+        stats_.exec.MergeFrom(resp.stats);
+        return resp;
+      }
+      const FactorizedResult& fact = fr->result;
+      const uint64_t retained =
+          fact.row_limit == 0 ? fact.total_rows
+                              : std::min(fact.total_rows, fact.row_limit);
+      const uint64_t skip = std::min<uint64_t>(request.offset, retained);
+      uint64_t remaining = retained - skip;
+      if (request.limit != 0) remaining = std::min(remaining, request.limit);
+      PagingSink pager(sink, /*offset=*/0, options_.stream_page_rows,
+                       options_.stream_buffer_bytes, &exec_cancel);
+      FactorizedResult::Cursor cur = fact.Expand();
+      cur.Skip(skip);
+      bool open = true;
+      std::vector<std::string> row_text;
+      for (uint64_t i = 0; i < remaining && open && cur.Next(); ++i) {
+        row_text = engine_->TranslateRow(cur.Row());
+        open = pager.OnRow(row_text);
+      }
+      resp.stats.rows_expanded += cur.rows_expanded();
+      if (!pager.status().ok()) return pager.status();  // page-handoff fault
+      resp.cancelled = pager.aborted() || exec_cancel.cancelled();
+      resp.complete = !resp.cancelled;
+      if (resp.complete && !pager.Flush(/*last=*/true)) {
+        if (!pager.status().ok()) return pager.status();
+        resp.cancelled = true;
+        resp.complete = false;
+      }
+      const uint64_t cap = EffectiveRowCap(nq.query, exec);
+      resp.truncated = cap != 0 && skip + pager.delivered() >= cap;
+      resp.rows_streamed = pager.delivered();
+      resp.pages = pager.pages();
+      resp.peak_buffered_bytes = pager.peak_bytes();
+      resp.stats.rows = pager.delivered();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.queries;
+      if (resp.cancelled) ++stats_.cancelled;
+      stats_.exec.MergeFrom(resp.stats);
+      stats_.rows_served += pager.delivered();
+      return resp;
+    }
+    // Engine cannot factorize (kUnimplemented): fall through to the flat
+    // stream path — without a second kServiceExecute injection.
+  }
+
   PagingSink pager(sink, request.offset, options_.stream_page_rows,
                    options_.stream_buffer_bytes, &exec_cancel);
   Result<StreamResult> sr = engine_->Stream(nq.query, exec, &pager);

@@ -166,6 +166,16 @@ struct ServiceOptions {
   /// peak buffered memory stays O(min of the two) regardless of result
   /// cardinality. 0 = rows bound only.
   uint64_t stream_buffer_bytes = 256 << 10;  // 256 KiB
+
+  /// Result representation requested from the engine (core/exec.h). Under
+  /// kFactorized / kAuto, materializing executions retain the FACTORIZED
+  /// answer graph instead of expanded rows: the cache charges the handle
+  /// at its (much smaller) factorized byte size, counts are answered
+  /// without expansion, and pages expand only the rows they return (a
+  /// deep-OFFSET page skips whole groups instead of re-enumerating its
+  /// prefix). Engines that cannot factorize fall back to flat handles
+  /// transparently. Responses are bit-identical either way.
+  ResultForm result_form = ResultForm::kFlat;
 };
 
 /// Per-request knobs (the ExecutionOptions-style surface).
@@ -259,6 +269,10 @@ struct ServiceStats {
   /// Requests served by attaching to another request's in-flight
   /// execution of the same key (single-flight followers).
   uint64_t single_flight_hits = 0;
+  /// Requests answered from a factorized (unexpanded) result handle —
+  /// cache hits and single-flight followers whose page or count came from
+  /// the answer graph rather than retained flat rows.
+  uint64_t factorized_hits = 0;
   /// Execution attempts beyond the first (transient-failure retries).
   uint64_t retries = 0;
   /// Requests whose thread budget was clamped by overload shedding.
@@ -380,8 +394,12 @@ class QueryService {
     SelectQuery query;  // canonical names (the plan half of the cache)
     bool have_rows = false;
     bool have_count = false;
+    /// A factorized answer-graph handle (core/factorized.h): pages expand
+    /// lazily through a cursor; accounted at its factorized byte size.
+    bool have_fact = false;
     std::vector<std::string> var_names;  // canonical spelling
     std::vector<std::vector<std::string>> rows;
+    FactorizedResult fact;
     bool truncated = false;
     uint64_t count = 0;
     ExecStats exec_stats;  // the execution that produced the handle

@@ -13,6 +13,7 @@
 
 #include "core/amber_engine.h"
 #include "server/query_service.h"
+#include "sparql/parser.h"
 #include "test_util.h"
 
 namespace amber {
@@ -485,6 +486,156 @@ TEST(QueryServiceCacheTest, CacheDisabledAlwaysExecutes) {
   EXPECT_EQ(stats.cache_hits, 0u);
   EXPECT_EQ(stats.cache_misses, 0u);  // disabled cache records nothing
   EXPECT_EQ(stats.cache_entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Factorized result handles (ServiceOptions::result_form).
+// ---------------------------------------------------------------------------
+
+// 6 star centers × 8 p0-objects × 8 p1-objects: the query below has
+// 6 groups of 64 rows each (384 total) in factorized form.
+std::vector<Triple> FanoutData() {
+  std::vector<Triple> data;
+  for (int c = 0; c < 6; ++c) {
+    Term center = Term::Iri("urn:c" + std::to_string(c));
+    for (int i = 0; i < 8; ++i) {
+      data.emplace_back(center, Term::Iri("urn:p0"),
+                        Term::Iri("urn:a" + std::to_string(c) + "_" +
+                                  std::to_string(i)));
+      data.emplace_back(center, Term::Iri("urn:p1"),
+                        Term::Iri("urn:b" + std::to_string(c) + "_" +
+                                  std::to_string(i)));
+    }
+  }
+  return data;
+}
+
+constexpr char kFanoutQuery[] =
+    "SELECT ?c ?a ?b WHERE { ?c <urn:p0> ?a . ?c <urn:p1> ?b . }";
+constexpr uint64_t kFanoutGroupCard = 64;  // 8 × 8 rows per group
+
+TEST(QueryServiceCacheTest, FactorizedHandleServesDeepOffsetPages) {
+  AmberEngine engine = MustBuild(FanoutData());
+  auto flat = engine.MaterializeSparql(kFanoutQuery, {});
+  ASSERT_TRUE(flat.ok());
+  const uint64_t total = flat->rows.size();
+  ASSERT_EQ(total, 6u * kFanoutGroupCard);
+
+  ServiceOptions options;
+  options.cache_entries = 8;
+  options.result_form = ResultForm::kAuto;
+  QueryService service(&engine, options);
+
+  // Miss: the execution retains the factorized handle; the first page
+  // expands only its own rows.
+  RequestOptions first;
+  first.limit = 4;
+  auto warm = service.Query(kFanoutQuery, first);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_FALSE(warm->cache_hit);
+  EXPECT_EQ(warm->total_rows, total);
+  ASSERT_EQ(warm->rows.size(), 4u);
+  for (size_t i = 0; i < warm->rows.size(); ++i) {
+    EXPECT_EQ(warm->rows[i], flat->rows[i]);
+  }
+  EXPECT_LE(warm->stats.rows_expanded, 4 + kFanoutGroupCard);
+
+  // Deep-OFFSET page from the cached handle: the prefix is skipped by
+  // group arithmetic, never re-enumerated — the acceptance bound is
+  // page size plus (at most) one boundary group's cardinality.
+  RequestOptions deep;
+  deep.offset = total - 12;
+  deep.limit = 10;
+  auto page = service.Query(kFanoutQuery, deep);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->cache_hit);
+  ASSERT_EQ(page->rows.size(), 10u);
+  for (size_t i = 0; i < page->rows.size(); ++i) {
+    EXPECT_EQ(page->rows[i], flat->rows[deep.offset + i]) << i;
+  }
+  EXPECT_LE(page->stats.rows_expanded, 10 + kFanoutGroupCard);
+
+  // Counts come straight from total_rows — no expansion at all.
+  RequestOptions count;
+  count.count_only = true;
+  auto counted = service.Query(kFanoutQuery, count);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_TRUE(counted->cache_hit);
+  EXPECT_EQ(counted->total_rows, total);
+  EXPECT_EQ(counted->stats.rows_expanded, 0u);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.factorized_hits, 2u);  // the deep page and the count
+}
+
+TEST(QueryServiceCacheTest, FactorizedEntriesChargedAtGroupStorageSize) {
+  AmberEngine engine = MustBuild(FanoutData());
+
+  ServiceOptions flat_opts;
+  flat_opts.cache_entries = 8;
+  QueryService flat_service(&engine, flat_opts);
+  ASSERT_TRUE(flat_service.Query(kFanoutQuery, {}).ok());
+  const uint64_t flat_bytes = flat_service.Stats().bytes_cached;
+
+  ServiceOptions fact_opts = flat_opts;
+  fact_opts.result_form = ResultForm::kFactorized;
+  QueryService fact_service(&engine, fact_opts);
+  ASSERT_TRUE(fact_service.Query(kFanoutQuery, {}).ok());
+  const uint64_t fact_bytes = fact_service.Stats().bytes_cached;
+
+  // 384 expanded rows of IRI strings vs 6 groups of id lists: the
+  // factorized entry must be charged at its (much smaller) group storage.
+  EXPECT_GT(fact_bytes, 0u);
+  EXPECT_LT(fact_bytes, flat_bytes / 4) << "flat=" << flat_bytes;
+
+  // The charge tracks FactorizedResult::ByteSize (plus key/var-name
+  // overhead shared with flat entries).
+  auto parsed = SparqlParser::Parse(kFanoutQuery);
+  ASSERT_TRUE(parsed.ok());
+  ExecOptions fexec;
+  fexec.result_form = ResultForm::kFactorized;
+  auto fact = engine.Factorize(*parsed, fexec);
+  ASSERT_TRUE(fact.ok());
+  EXPECT_GE(fact_bytes, fact->result.ByteSize());
+}
+
+TEST(QueryServiceCacheTest, FactorizedResponsesDifferentiallyIdentical) {
+  auto data = testutil::RandomDataset(23, 14, 80, 3);
+  AmberEngine engine = MustBuild(data);
+
+  ServiceOptions flat_opts;
+  flat_opts.cache_entries = 32;
+  QueryService flat_service(&engine, flat_opts);
+  ServiceOptions fact_opts = flat_opts;
+  fact_opts.result_form = ResultForm::kAuto;
+  QueryService fact_service(&engine, fact_opts);
+
+  std::vector<std::string> texts;
+  for (int qi = 0; qi < 5; ++qi) {
+    texts.push_back(testutil::RandomQueryFromData(data, 500 + qi, 3));
+  }
+  texts.push_back("SELECT DISTINCT ?a WHERE { ?a <urn:p0> ?b . }");
+  texts.push_back(
+      "SELECT ?a ?c WHERE { ?a <urn:p0> ?b . ?b <urn:p1> ?c . } LIMIT 4");
+
+  for (const std::string& text : texts) {
+    for (const auto& [offset, limit] :
+         std::vector<std::pair<uint64_t, uint64_t>>{
+             {0, 0}, {0, 3}, {2, 2}, {7, 0}}) {
+      RequestOptions request;
+      request.offset = offset;
+      request.limit = limit;
+      auto want = flat_service.Query(text, request);
+      auto miss_or_hit = fact_service.Query(text, request);
+      auto hit = fact_service.Query(text, request);  // definitely cached
+      ASSERT_TRUE(want.ok() && miss_or_hit.ok() && hit.ok()) << text;
+      EXPECT_EQ(miss_or_hit->rows, want->rows) << text;
+      EXPECT_EQ(hit->rows, want->rows) << text;
+      EXPECT_EQ(hit->total_rows, want->total_rows) << text;
+      EXPECT_EQ(hit->truncated, want->truncated) << text;
+      EXPECT_EQ(hit->var_names, want->var_names) << text;
+    }
+  }
 }
 
 }  // namespace

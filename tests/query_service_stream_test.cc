@@ -426,5 +426,56 @@ TEST(QueryServiceOrphanTest, ResolvedFollowersNeverOrphanTheLeader) {
   EXPECT_EQ(service.Stats().orphaned_flights, 0u);
 }
 
+// Factorized streaming (ServiceOptions::result_form): the stream is fed
+// from a lazily-expanded answer-graph cursor instead of engine row
+// emission; pages, end-state flags and row payloads must be bit-identical
+// to the flat stream, and a deep offset expands only the delivered rows.
+TEST_F(QueryServiceStreamTest, FactorizedStreamMatchesFlatStream) {
+  ServiceOptions flat_opts;
+  flat_opts.pool_threads = 2;
+  flat_opts.stream_page_rows = 3;
+  QueryService flat_service(engine_, flat_opts);
+  ServiceOptions fact_opts = flat_opts;
+  fact_opts.result_form = ResultForm::kAuto;
+  QueryService fact_service(engine_, fact_opts);
+
+  std::vector<std::string> texts;
+  for (int qi = 0; qi < 3; ++qi) {
+    texts.push_back(testutil::RandomQueryFromData(*data_, 3100 + qi, 3));
+  }
+  texts.push_back("SELECT DISTINCT ?a WHERE { ?a <urn:p0> ?b . }");
+  texts.push_back(
+      "SELECT ?a ?c WHERE { ?a <urn:p0> ?b . ?b <urn:p1> ?c . } LIMIT 7");
+
+  const struct {
+    uint64_t offset, limit;
+  } shapes[] = {{0, 0}, {2, 3}, {5, 0}, {0, 4}};
+
+  for (const std::string& text : texts) {
+    for (const auto& shape : shapes) {
+      SCOPED_TRACE(text + " offset=" + std::to_string(shape.offset) +
+                   " limit=" + std::to_string(shape.limit));
+      RequestOptions request;
+      request.offset = shape.offset;
+      request.limit = shape.limit;
+
+      CollectingPageSink flat_sink;
+      auto flat = flat_service.QueryStream(text, request, &flat_sink);
+      CollectingPageSink fact_sink;
+      auto fact = fact_service.QueryStream(text, request, &fact_sink);
+      ASSERT_TRUE(flat.ok() && fact.ok())
+          << flat.status() << " / " << fact.status();
+
+      CheckClassification(*fact);
+      EXPECT_EQ(fact_sink.rows, flat_sink.rows);
+      EXPECT_EQ(fact->rows_streamed, flat->rows_streamed);
+      EXPECT_EQ(fact->complete, flat->complete);
+      EXPECT_EQ(fact->truncated, flat->truncated);
+      EXPECT_EQ(fact->var_names, flat->var_names);
+      EXPECT_TRUE(fact_sink.saw_last);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace amber

@@ -240,5 +240,58 @@ TEST_F(WorkloadTest, OversizedRequestReturnsFewerQueries) {
   EXPECT_TRUE(queries.empty());
 }
 
+TEST_F(WorkloadTest, SatelliteFanoutZeroIsBitIdentical) {
+  // The knob must be purely additive: at 0 the generated text is exactly
+  // the pre-knob output (no rng draws are spent on the feature).
+  WorkloadGenerator gen(data_);
+  WorkloadOptions base;
+  base.query_size = 5;
+  base.count = 10;
+  WorkloadOptions zero = base;
+  zero.satellite_fanout = 0;
+  for (QueryShape shape : {QueryShape::kStar, QueryShape::kComplex}) {
+    EXPECT_EQ(gen.Generate(shape, base), gen.Generate(shape, zero));
+  }
+}
+
+TEST_F(WorkloadTest, SatelliteFanoutAppendsAnswerableProjectedSatellites) {
+  auto engine = AmberEngine::Build(data_);
+  ASSERT_TRUE(engine.ok());
+  WorkloadGenerator gen(data_);
+  WorkloadOptions base;
+  base.query_size = 4;
+  base.count = 8;
+  WorkloadOptions fanned = base;
+  fanned.satellite_fanout = 3;
+
+  for (QueryShape shape : {QueryShape::kStar, QueryShape::kComplex}) {
+    auto plain = gen.Generate(shape, base);
+    auto queries = gen.Generate(shape, fanned);
+    ASSERT_EQ(queries.size(), plain.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const std::string& text = queries[i];
+      // Additive: the fanned query is the plain query plus ?SF patterns.
+      EXPECT_NE(text.find("?SF0"), std::string::npos) << text;
+      EXPECT_NE(text.find("?SF2"), std::string::npos) << text;
+      auto parsed = SparqlParser::Parse(text);
+      ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+      // The ?SF variables are projected (they multiply the result).
+      int projected_sf = 0;
+      for (const std::string& v : parsed->projection) {
+        if (v.rfind("SF", 0) == 0) ++projected_sf;
+      }
+      EXPECT_EQ(projected_sf, 3) << text;
+      // Still answerable: the anchor's own edges witness every pattern.
+      auto count = engine->CountSparql(text, {});
+      ASSERT_TRUE(count.ok()) << count.status() << "\n" << text;
+      EXPECT_GE(count->count, 1u) << text;
+      // The fanout multiplies cardinality relative to the plain query.
+      auto plain_count = engine->CountSparql(plain[i], {});
+      ASSERT_TRUE(plain_count.ok());
+      EXPECT_GE(count->count, plain_count->count) << text;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace amber
