@@ -26,6 +26,12 @@
 //                    streaming path claims. tools/bench_diff.py gates it
 //                    with a ceiling (a streamed point ballooning toward
 //                    O(result) memory is a regression even at equal qps).
+//   service-http     The same cache-bypassed closed loop through the
+//                    HTTP/1.1 transport (server/http_server.h): every
+//                    request crosses a real loopback socket, the wire
+//                    serializers, and the keep-alive request loop. The
+//                    spread against service-pooled IS the transport tax
+//                    (framing + JSON + syscalls), measured, not guessed.
 //   service-degraded-<R>pct
 //                    One series per AMBER_BENCH_FAULT_RATE entry: the
 //                    cache-bypassed service under a seeded R% transient
@@ -34,6 +40,15 @@
 //                    overload shedding enabled. The robustness floor the
 //                    gate defends: the runtime must keep answering —
 //                    degraded qps, not a collapse to zero.
+//
+// A second, fixed-workload section measures BYTES ON THE WIRE: one
+// star query per satellite count (2 / 4 / 6 extra satellite patterns over
+// fanout-3 hubs) streamed over HTTP as rows and as factorized groups
+// ("result_form":"groups"). The http-wire-rows / http-wire-groups series
+// attach `bytes_on_wire` (total streamed payload bytes) to each point;
+// tools/bench_diff.py gates groups-mode bytes with a ceiling — the
+// factorized transport losing its compression (shipping the expanded
+// cross-product again) is a regression even at equal qps.
 //
 // Reported per (series, clients) point: sustained qps plus p50/p99 request
 // latency. Expected shape: service-pooled >= per-query-spawn on qps at
@@ -63,6 +78,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -70,8 +86,12 @@
 #include <vector>
 
 #include "common/bench_common.h"
+#include "rdf/term.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
 #include "server/query_service.h"
 #include "util/fault_injector.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace {
@@ -92,6 +112,8 @@ struct ThroughputPoint {
   // Streaming series only: max StreamResponse::peak_buffered_bytes seen
   // across the window — the in-flight-page high-water mark. 0 elsewhere.
   uint64_t peak_buffered_bytes = 0;
+  // Wire series only: total streamed payload bytes. 0 elsewhere.
+  uint64_t bytes_on_wire = 0;
 };
 
 double Percentile(std::vector<double>& sorted, double p) {
@@ -183,7 +205,8 @@ void WriteThroughputJson(
          << ", \"answered\": " << p.answered << ", \"total\": " << p.total
          << ", \"qps\": " << p.qps << ", \"p50_ms\": " << p.p50_ms
          << ", \"p99_ms\": " << p.p99_ms
-         << ", \"peak_buffered_bytes\": " << p.peak_buffered_bytes << "}";
+         << ", \"peak_buffered_bytes\": " << p.peak_buffered_bytes
+         << ", \"bytes_on_wire\": " << p.bytes_on_wire << "}";
     }
     os << "]}" << (e + 1 < names.size() ? "," : "") << "\n";
   }
@@ -271,7 +294,8 @@ int main() {
       std::chrono::milliseconds(config.timeout_ms);
 
   std::vector<std::string> names = {"service-pooled", "service-cached",
-                                    "per-query-spawn", "service-streaming"};
+                                    "per-query-spawn", "service-streaming",
+                                    "service-http"};
   for (int rate : fault_rates) {
     names.push_back("service-degraded-" + std::to_string(rate) + "pct");
   }
@@ -338,6 +362,44 @@ int main() {
       point.peak_buffered_bytes = peak_bytes.load();
       series[3].push_back(point);
     }
+    {  // service-http: the same closed loop through the loopback HTTP
+       // transport. Connection handlers park on the service pool, so the
+       // pool is sized to the client count plus the spare worker the
+       // capacity invariant requires; budget 1 (no borrowed helpers).
+      ServiceOptions http_options = service_options;
+      http_options.pool_threads = clients + 1;
+      http_options.default_thread_budget = 1;
+      http_options.max_thread_budget = 1;
+      QueryService service(&engine, http_options);
+      HttpServer server(&service);
+      if (Status s = server.Start(); !s.ok()) {
+        std::fprintf(stderr, "http server: %s\n", s.ToString().c_str());
+        series[4].push_back(ThroughputPoint{clients});
+      } else {
+        const uint16_t port = server.port();
+        series[4].push_back(RunPoint(
+            clients, window, queries.size(), [&, port](size_t qi) {
+              // One keep-alive client per closed-loop thread (threads are
+              // per-point, so so are the connections).
+              thread_local std::unique_ptr<HttpClient> client;
+              thread_local uint16_t client_port = 0;
+              if (!client || client_port != port) {
+                client = std::make_unique<HttpClient>(port);
+                client_port = port;
+              }
+              json::Writer w;
+              w.BeginObject();
+              w.KV("query", queries[qi]);
+              w.KV("limit", max_rows);
+              w.KV("bypass_cache", true);
+              w.EndObject();
+              auto resp = client->Post("/query", w.Take());
+              if (!resp.ok()) client->Close();
+              return resp.ok() && resp->status == 200;
+            }));
+        server.Stop();
+      }
+    }
     for (size_t f = 0; f < fault_rates.size(); ++f) {
       // service-degraded: the cache-bypassed service under a seeded R%
       // transient fault probability at service.execute, with retries and
@@ -355,7 +417,7 @@ int main() {
         spec.seed = 1000u * static_cast<uint64_t>(clients) + f;
         fault.emplace(faults::kServiceExecute, spec);
       }
-      series[4 + f].push_back(RunPoint(clients, window, queries.size(),
+      series[5 + f].push_back(RunPoint(clients, window, queries.size(),
                                        [&](size_t qi) {
                                          RequestOptions req;
                                          req.bypass_cache = true;
@@ -397,6 +459,89 @@ int main() {
     std::printf("service-streaming peak buffered bytes (max over points): "
                 "%llu\n",
                 static_cast<unsigned long long>(high));
+  }
+
+  // ---- Bytes on the wire: rows vs factorized groups ----------------------
+  // A fixed synthetic star workload (fanout-3 hubs, k satellite patterns)
+  // streamed over HTTP in both result forms. "size" = satellite count k;
+  // rows mode ships 3^k rows per hub, groups mode ships one group of k
+  // short lists — the compression the factorized transport claims.
+  {
+    std::vector<Triple> star;
+    for (int h = 0; h < 6; ++h) {
+      Term hub = Term::Iri("urn:hub" + std::to_string(h));
+      for (int s = 0; s < 3; ++s) {
+        star.emplace_back(hub, Term::Iri("urn:p0"),
+                          Term::Iri("urn:hub" + std::to_string(h) + "sat" +
+                                    std::to_string(s)));
+      }
+    }
+    auto star_built = AmberEngine::Build(star);
+    if (star_built.ok()) {
+      AmberEngine star_engine = std::move(star_built).value();
+      ServiceOptions wire_options;
+      wire_options.pool_threads = 4;
+      QueryService service(&star_engine, wire_options);
+      HttpServer server(&service);
+      if (Status s = server.Start(); s.ok()) {
+        HttpClient client(server.port());
+        std::vector<ThroughputPoint> rows_points, groups_points;
+        std::printf("\nBytes on the wire, rows vs groups (star query, "
+                    "fanout-3 hubs)\n%-12s  %12s  %14s  %8s\n",
+                    "satellites", "rows bytes", "groups bytes", "ratio");
+        for (int sats : {2, 4, 6}) {
+          std::string q = "SELECT ?h";
+          for (int i = 0; i < sats; ++i) q += " ?s" + std::to_string(i);
+          q += " WHERE {";
+          for (int i = 0; i < sats; ++i) {
+            q += " ?h <urn:p0> ?s" + std::to_string(i) + " .";
+          }
+          q += " }";
+          uint64_t form_bytes[2] = {0, 0};
+          for (int form = 0; form < 2; ++form) {  // 0 = rows, 1 = groups
+            json::Writer w;
+            w.BeginObject();
+            w.KV("query", q);
+            w.KV("bypass_cache", true);
+            if (form == 1) w.KV("result_form", "groups");
+            w.EndObject();
+            const auto t0 = Clock::now();
+            auto resp = client.PostStream("/query/stream", w.Take(),
+                                          [](std::string_view) {
+                                            return true;
+                                          });
+            const double ms = std::chrono::duration<double, std::milli>(
+                                  Clock::now() - t0)
+                                  .count();
+            ThroughputPoint point;
+            point.clients = sats;  // "size" axis = satellite count
+            point.total = 1;
+            point.avg_ms = point.p50_ms = point.p99_ms = ms;
+            if (resp.ok() && resp->status == 200 &&
+                resp->chunked_complete) {
+              point.answered = 1;
+              point.bytes_on_wire = resp->body.size();
+            }
+            form_bytes[form] = point.bytes_on_wire;
+            (form == 0 ? rows_points : groups_points).push_back(point);
+          }
+          std::printf("%-12d  %12llu  %14llu  %7.1fx\n", sats,
+                      static_cast<unsigned long long>(form_bytes[0]),
+                      static_cast<unsigned long long>(form_bytes[1]),
+                      form_bytes[1] > 0
+                          ? static_cast<double>(form_bytes[0]) /
+                                static_cast<double>(form_bytes[1])
+                          : 0.0);
+        }
+        server.Stop();
+        names.push_back("http-wire-rows");
+        series.push_back(std::move(rows_points));
+        names.push_back("http-wire-groups");
+        series.push_back(std::move(groups_points));
+      } else {
+        std::fprintf(stderr, "wire section: %s\n", s.ToString().c_str());
+      }
+    }
   }
   std::fflush(stdout);
 

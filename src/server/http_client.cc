@@ -1,0 +1,367 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace amber {
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// The marker ReadResponse uses for "stale keep-alive socket": RoundTrip
+// retries exactly this failure on a fresh connection.
+constexpr char kClosedWithoutResponse[] = "connection closed without response";
+
+}  // namespace
+
+const std::string* HttpResponse::Header(std::string_view key) const {
+  for (const auto& [k, v] : headers) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> HttpResponse::Lines() const {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) nl = body.size();
+    if (nl > pos) lines.emplace_back(body.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+HttpClient::HttpClient(uint16_t port, std::string host)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+Status HttpClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket(): " + std::string(strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(recv_timeout_.count() / 1000);
+  tv.tv_usec =
+      static_cast<suseconds_t>((recv_timeout_.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect(" + host_ + ":" +
+                           std::to_string(port_) + "): " + err);
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status HttpClient::SendAll(std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError("send(): " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status HttpClient::FillMore(bool* eof) {
+  *eof = false;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      rbuf_.append(chunk, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) {
+      *eof = true;
+      return Status::OK();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Timeout("recv timed out");
+    }
+    return Status::IOError("recv(): " + std::string(strerror(errno)));
+  }
+}
+
+Result<HttpResponse> HttpClient::ReadResponse(
+    const std::function<bool(std::string_view)>* on_line) {
+  // --- Head (looped: interim 100-continue responses are skipped).
+  HttpResponse resp;
+  while (true) {
+    size_t head_end;
+    while ((head_end = rbuf_.find("\r\n\r\n")) == std::string::npos) {
+      bool eof = false;
+      AMBER_RETURN_IF_ERROR(FillMore(&eof));
+      if (eof) {
+        return rbuf_.empty() ? Status::IOError(kClosedWithoutResponse)
+                             : Status::IOError("truncated response head");
+      }
+    }
+    const std::string_view head = std::string_view(rbuf_).substr(0, head_end);
+    const size_t line_end = head.find("\r\n");
+    const std::string_view status_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    const size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string_view::npos) {
+      return Status::IOError("malformed status line");
+    }
+    const std::string_view code_sv = Trim(status_line.substr(sp1 + 1, 3));
+    int code = 0;
+    const auto [ptr, ec] =
+        std::from_chars(code_sv.data(), code_sv.data() + code_sv.size(), code);
+    if (ec != std::errc() || ptr != code_sv.data() + code_sv.size()) {
+      return Status::IOError("malformed status code");
+    }
+
+    resp = HttpResponse{};
+    resp.status = code;
+    size_t pos =
+        line_end == std::string_view::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string_view::npos) eol = head.size();
+      const std::string_view line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos) continue;
+      resp.headers.emplace_back(ToLower(line.substr(0, colon)),
+                                std::string(Trim(line.substr(colon + 1))));
+    }
+    rbuf_.erase(0, head_end + 4);
+    if (resp.status != 100) break;
+  }
+
+  // --- Body.
+  const std::string* te = resp.Header("transfer-encoding");
+  const bool chunked =
+      te != nullptr && ToLower(*te).find("chunked") != std::string::npos;
+  if (chunked) {
+    resp.chunked_complete = false;
+    std::string pending;  // decoded bytes not yet emitted as lines
+    while (true) {
+      // Chunk-size line.
+      size_t crlf;
+      bool dead = false;
+      while ((crlf = rbuf_.find("\r\n")) == std::string::npos) {
+        bool eof = false;
+        const Status s = FillMore(&eof);
+        if (!s.ok() || eof) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) break;  // incomplete stream: return what arrived
+      std::string_view size_sv = std::string_view(rbuf_).substr(0, crlf);
+      const size_t semi = size_sv.find(';');
+      if (semi != std::string_view::npos) size_sv = size_sv.substr(0, semi);
+      uint64_t chunk_size = 0;
+      const auto [p, ec] = std::from_chars(
+          size_sv.data(), size_sv.data() + size_sv.size(), chunk_size, 16);
+      if (ec != std::errc() || p != size_sv.data() + size_sv.size()) {
+        return Status::IOError("malformed chunk size");
+      }
+      rbuf_.erase(0, crlf + 2);
+
+      if (chunk_size == 0) {
+        // Terminator; consume the trailing CRLF when it arrives.
+        while (rbuf_.size() < 2) {
+          bool eof = false;
+          const Status s = FillMore(&eof);
+          if (!s.ok() || eof) break;
+        }
+        if (rbuf_.size() >= 2 && rbuf_[0] == '\r' && rbuf_[1] == '\n') {
+          rbuf_.erase(0, 2);
+        }
+        resp.chunked_complete = true;
+        break;
+      }
+
+      // Chunk payload + its CRLF.
+      while (rbuf_.size() < chunk_size + 2) {
+        bool eof = false;
+        const Status s = FillMore(&eof);
+        if (!s.ok() || eof) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) break;
+      const std::string_view data =
+          std::string_view(rbuf_).substr(0, chunk_size);
+      resp.body.append(data);
+      if (on_line != nullptr) {
+        pending.append(data);
+        size_t nl;
+        while ((nl = pending.find('\n')) != std::string::npos) {
+          const std::string_view line(pending.data(), nl);
+          if (!line.empty() && !(*on_line)(line)) {
+            // Abandon: close immediately so the server's next page write
+            // fails and the request's token trips.
+            Close();
+            return resp;
+          }
+          pending.erase(0, nl + 1);
+        }
+      }
+      rbuf_.erase(0, chunk_size + 2);
+    }
+    if (!resp.chunked_complete) Close();  // the socket is unusable now
+    return resp;
+  }
+
+  if (const std::string* cl = resp.Header("content-length")) {
+    uint64_t content_length = 0;
+    const auto [p, ec] =
+        std::from_chars(cl->data(), cl->data() + cl->size(), content_length);
+    if (ec != std::errc() || p != cl->data() + cl->size()) {
+      return Status::IOError("malformed Content-Length");
+    }
+    while (rbuf_.size() < content_length) {
+      bool eof = false;
+      AMBER_RETURN_IF_ERROR(FillMore(&eof));
+      if (eof) return Status::IOError("truncated response body");
+    }
+    resp.body = rbuf_.substr(0, content_length);
+    rbuf_.erase(0, content_length);
+  } else {
+    // Read-to-EOF body (the server always frames, but Raw peers may not).
+    while (true) {
+      bool eof = false;
+      AMBER_RETURN_IF_ERROR(FillMore(&eof));
+      if (eof) break;
+    }
+    resp.body = std::move(rbuf_);
+    rbuf_.clear();
+  }
+
+  if (const std::string* conn = resp.Header("connection")) {
+    if (ToLower(*conn).find("close") != std::string::npos) Close();
+  }
+  return resp;
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(
+    const std::string& request,
+    const std::function<bool(std::string_view)>* on_line) {
+  const bool reused = fd_ >= 0;
+  AMBER_RETURN_IF_ERROR(EnsureConnected());
+  const Status sent = SendAll(request);
+  if (sent.ok()) {
+    Result<HttpResponse> resp = ReadResponse(on_line);
+    if (resp.ok()) return resp;
+    // Only a kept-alive socket the server closed BETWEEN requests (so no
+    // response byte arrived) is safely retryable on a fresh connection.
+    if (!reused || resp.status().message() != kClosedWithoutResponse) {
+      Close();
+      return resp;
+    }
+  } else if (!reused) {
+    Close();
+    return sent;
+  }
+  Close();
+  AMBER_RETURN_IF_ERROR(EnsureConnected());
+  AMBER_RETURN_IF_ERROR(SendAll(request));
+  Result<HttpResponse> resp = ReadResponse(on_line);
+  if (!resp.ok()) Close();
+  return resp;
+}
+
+Result<HttpResponse> HttpClient::Get(const std::string& path) {
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host_ +
+                              "\r\nConnection: keep-alive\r\n\r\n";
+  return RoundTrip(request, nullptr);
+}
+
+Result<HttpResponse> HttpClient::Post(const std::string& path,
+                                      std::string_view body) {
+  std::string request = "POST " + path + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\nContent-Type: application/json\r\n"
+                        "Content-Length: " +
+                        std::to_string(body.size()) +
+                        "\r\nConnection: keep-alive\r\n\r\n";
+  request.append(body);
+  return RoundTrip(request, nullptr);
+}
+
+Result<HttpResponse> HttpClient::PostStream(
+    const std::string& path, std::string_view body,
+    const std::function<bool(std::string_view)>& on_line) {
+  std::string request = "POST " + path + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\nContent-Type: application/json\r\n"
+                        "Content-Length: " +
+                        std::to_string(body.size()) +
+                        "\r\nConnection: keep-alive\r\n\r\n";
+  request.append(body);
+  return RoundTrip(request, &on_line);
+}
+
+Result<HttpResponse> HttpClient::Raw(std::string_view bytes) {
+  Close();
+  AMBER_RETURN_IF_ERROR(EnsureConnected());
+  AMBER_RETURN_IF_ERROR(SendAll(bytes));
+  // Half-close the write side: a server waiting for more request bytes
+  // sees EOF instead of stalling out its read timeout.
+  ::shutdown(fd_, SHUT_WR);
+  Result<HttpResponse> resp = ReadResponse(nullptr);
+  Close();
+  return resp;
+}
+
+}  // namespace amber

@@ -1,0 +1,98 @@
+// A minimal blocking HTTP/1.1 client over POSIX sockets — the in-process
+// counterpart of server/http_server.h, used by the transport tests, the
+// examples and the bench closed loop. Deliberately small: keep-alive with
+// transparent reconnect, Content-Length and chunked bodies, NDJSON
+// line-by-line streaming, and a raw-bytes escape hatch for framing fuzz.
+// Not a general-purpose client (no TLS, no redirects, no proxies).
+
+#ifndef AMBER_SERVER_HTTP_CLIENT_H_
+#define AMBER_SERVER_HTTP_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace amber {
+
+/// One decoded HTTP response.
+struct HttpResponse {
+  int status = 0;
+  /// Header keys lowercased, in arrival order.
+  std::vector<std::pair<std::string, std::string>> headers;
+  /// The decoded body (chunked transfer reassembled).
+  std::string body;
+  /// Chunked bodies only: the 0-chunk terminator arrived. The server
+  /// withholds it from cancelled/timed-out/aborted streams, so false
+  /// means "incomplete stream", not "client bug".
+  bool chunked_complete = true;
+
+  /// Lowercase header lookup; nullptr when absent.
+  const std::string* Header(std::string_view key) const;
+  /// The body split on newlines (NDJSON lines; empty lines dropped).
+  std::vector<std::string> Lines() const;
+};
+
+/// \brief Blocking loopback client. Not thread-safe; one per thread.
+class HttpClient {
+ public:
+  explicit HttpClient(uint16_t port, std::string host = "127.0.0.1");
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  Result<HttpResponse> Get(const std::string& path);
+  Result<HttpResponse> Post(const std::string& path, std::string_view body);
+
+  /// POST whose response is consumed line by line as chunks arrive:
+  /// `on_line` sees each NDJSON line (no trailing newline) the moment its
+  /// chunk is decoded. Returning false ABANDONS the stream — the socket
+  /// closes immediately (the server's next page write fails and trips the
+  /// request's cancellation), and the call returns what arrived so far
+  /// with chunked_complete = false. The full body accumulates in the
+  /// response either way.
+  Result<HttpResponse> PostStream(
+      const std::string& path, std::string_view body,
+      const std::function<bool(std::string_view)>& on_line);
+
+  /// Sends `bytes` verbatim on a FRESH connection, half-closes the write
+  /// side, and reads one response (framing-fuzz tests). An error means
+  /// the server closed without answering — for malformed framing that is
+  /// an acceptable outcome alongside a 4xx.
+  Result<HttpResponse> Raw(std::string_view bytes);
+
+  /// How long one blocking read may stall before the call errors out.
+  void set_recv_timeout(std::chrono::milliseconds t) { recv_timeout_ = t; }
+
+  /// Drops the kept-alive connection (next call reconnects).
+  void Close();
+
+ private:
+  Status EnsureConnected();
+  Status SendAll(std::string_view data);
+  /// Reads one response (headers + body) from the connection. Interim
+  /// 100-continue responses are skipped. `on_line` may be null.
+  Result<HttpResponse> ReadResponse(
+      const std::function<bool(std::string_view)>* on_line);
+  /// Appends more bytes to rbuf_; false on EOF (eof_ set) or error.
+  Status FillMore(bool* eof);
+  Result<HttpResponse> RoundTrip(
+      const std::string& request,
+      const std::function<bool(std::string_view)>* on_line);
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+  std::string rbuf_;
+  std::chrono::milliseconds recv_timeout_{10'000};
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SERVER_HTTP_CLIENT_H_

@@ -114,6 +114,50 @@ void QueryService::Release() {
   admission_cv_.notify_one();
 }
 
+Result<uint64_t> QueryService::RegisterRequest(
+    const CancellationSource& cancel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutting_down_) {
+    ++stats_.shutdown_rejects;
+    return Status::Unavailable("query service is shutting down");
+  }
+  const uint64_t id = next_request_id_++;
+  active_requests_.emplace(id, cancel);
+  return id;
+}
+
+void QueryService::UnregisterRequest(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_requests_.erase(id);
+  if (active_requests_.empty()) drain_cv_.notify_all();
+}
+
+void QueryService::Shutdown(std::chrono::milliseconds grace) {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutting_down_ = true;  // new requests now fail fast with kUnavailable
+  auto drained = [this] { return active_requests_.empty(); };
+  if (grace.count() > 0) {
+    drain_cv_.wait_for(lock, grace, drained);
+  }
+  while (!drained()) {
+    // Past the grace budget: trip every in-flight request's source.
+    // Cancel() runs OUTSIDE mu_ — a tripped token can wake code that
+    // immediately re-locks mu_ to unregister. Executions unwind within
+    // one matcher tick window; queued requests drain as the cancelled
+    // ones release their admission slots (woken below); single-flight
+    // followers resolve through their leader's publication. Sources are
+    // sticky, so re-cancelling on a later iteration is a no-op.
+    std::vector<CancellationSource> to_cancel;
+    to_cancel.reserve(active_requests_.size());
+    for (auto& [id, src] : active_requests_) to_cancel.push_back(src);
+    lock.unlock();
+    for (CancellationSource& src : to_cancel) src.Cancel();
+    admission_cv_.notify_all();
+    lock.lock();
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(10), drained);
+  }
+}
+
 QueryService::CacheEntry* QueryService::LookupLocked(const std::string& key) {
   auto it = cache_.find(key);
   if (it == cache_.end()) return nullptr;
@@ -226,6 +270,36 @@ void QueryService::PublishFlightLocked(
   flight->cv.notify_all();
 }
 
+ResultGroup QueryService::TranslateGroup(const FactorizedResult& fact,
+                                         const FactorizedResult::Group& g) {
+  ResultGroup out;
+  out.multiplicity = g.multiplicity;
+  out.fixed.resize(g.fixed.size());
+  std::vector<VertexId> one(1);
+  for (size_t i = 0; i < g.fixed.size(); ++i) {
+    if (i < fact.slot_list.size() && fact.slot_list[i] != kNoGroupList) {
+      continue;  // satellite slot: unspecified, ships as the empty string
+    }
+    one[0] = g.fixed[i];
+    out.fixed[i] = std::move(engine_->TranslateRow(one)[0]);
+  }
+  out.lists.reserve(g.lists.size());
+  for (const std::vector<VertexId>& list : g.lists) {
+    out.lists.push_back(engine_->TranslateRow(list));
+  }
+  return out;
+}
+
+void QueryService::FillGroups(const FactorizedResult& fact,
+                              QueryResponse* resp) {
+  resp->groups_form = true;
+  resp->slot_list = fact.slot_list;
+  resp->groups.reserve(fact.groups.size());
+  for (const FactorizedResult::Group& g : fact.groups) {
+    resp->groups.push_back(TranslateGroup(fact, g));
+  }
+}
+
 QueryResponse QueryService::BuildResponse(const CacheEntry& entry,
                                           const NormalizedQuery& nq,
                                           const RequestOptions& request,
@@ -255,6 +329,20 @@ QueryResponse QueryService::BuildResponse(const CacheEntry& entry,
     auto it = nq.canon_to_orig.find(canon);
     resp.var_names.push_back(it != nq.canon_to_orig.end() ? it->second
                                                           : canon);
+  }
+  if (request.want_groups && entry.have_fact &&
+      !entry.fact.needs_row_dedup) {
+    // Granted groups form: ship the factorized records themselves. A
+    // DISTINCT handle with colliding groups is excluded above — its
+    // expansion routes through a row-level dedup set no client could
+    // replay — and falls through to expanded rows instead.
+    const uint64_t retained =
+        entry.fact.row_limit == 0
+            ? entry.fact.total_rows
+            : std::min(entry.fact.total_rows, entry.fact.row_limit);
+    resp.total_rows = retained;
+    FillGroups(entry.fact, &resp);
+    return resp;
   }
   if (!entry.have_rows && entry.have_fact) {
     // Factorized handle: the retained set is the row_limit clamp of the
@@ -300,12 +388,28 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
                                                ? request.deadline
                                                : options_.default_deadline;
 
+  if (request.want_groups) {
+    if (request.count_only) {
+      return Status::InvalidArgument(
+          "want_groups cannot combine with count_only");
+    }
+    if (request.offset != 0 || request.limit != 0) {
+      return Status::InvalidArgument(
+          "want_groups responses are not row-addressable: offset/limit "
+          "must be zero (paginate in rows mode instead)");
+    }
+  }
   AMBER_ASSIGN_OR_RETURN(NormalizedQuery nq, NormalizeQuery(text));
 
   // One merged cancel scope per request: the client's token plus every
   // internal abort signal (orphaned-flight retirement cancels through the
   // flight's copy of this source). The engine sees its token.
   CancellationSource exec_cancel(request.cancel);
+
+  // Drain registry: Shutdown() rejects us here or can cancel us later.
+  AMBER_ASSIGN_OR_RETURN(const uint64_t drain_id,
+                         RegisterRequest(exec_cancel));
+  DrainGuard drain_guard{this, drain_id};
 
   const bool use_cache = options_.cache_entries > 0 && !request.bypass_cache;
   // Rows and counts of one query are distinct flights: a count result
@@ -320,9 +424,11 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
   // handle preference order of BuildResponse.
   auto fact_served = [&request](const CacheEntry& e) {
     if (!e.have_fact) return false;
-    return request.count_only
-               ? (!e.have_count && !(e.have_rows && !e.truncated))
-               : !e.have_rows;
+    if (request.count_only) {
+      return !e.have_count && !(e.have_rows && !e.truncated);
+    }
+    if (request.want_groups && !e.fact.needs_row_dedup) return true;
+    return !e.have_rows;
   };
 
   if (use_cache) {
@@ -478,13 +584,20 @@ Result<QueryResponse> QueryService::Query(std::string_view text,
       out->exec_stats = cr->stats;
       return Status::OK();
     }
-    if (options_.result_form != ResultForm::kFlat) {
+    // A want_groups request upgrades a flat-configured service to kAuto
+    // for ITS execution: the factorized handle it needs gets retained
+    // (and cached) without changing what other requests run under.
+    const ResultForm form =
+        options_.result_form != ResultForm::kFlat
+            ? options_.result_form
+            : (request.want_groups ? ResultForm::kAuto : ResultForm::kFlat);
+    if (form != ResultForm::kFlat) {
       // Retain the factorized answer graph instead of expanded rows.
       // Engines that cannot factorize (the baselines) report
       // kUnimplemented ONCE and this service instance could pin that,
       // but the probe is cheap — fall through to the flat handle.
       ExecOptions fexec = exec;
-      fexec.result_form = options_.result_form;
+      fexec.result_form = form;
       Result<FactorizedRows> fr = engine_->Factorize(nq.query, fexec);
       if (fr.ok()) {
         out->have_fact = true;
@@ -714,6 +827,11 @@ Result<StreamResponse> QueryService::QueryStream(std::string_view text,
     return Status::InvalidArgument(
         "count_only requests cannot stream; use Query()");
   }
+  if (request.want_groups && (request.offset != 0 || request.limit != 0)) {
+    return Status::InvalidArgument(
+        "want_groups streams are not row-addressable: offset/limit must "
+        "be zero (stream in rows mode instead)");
+  }
   AMBER_ASSIGN_OR_RETURN(NormalizedQuery nq, NormalizeQuery(text));
 
   // Client token merged with the service's internal abort signals (sink
@@ -722,6 +840,11 @@ Result<StreamResponse> QueryService::QueryStream(std::string_view text,
   // to retain or share — and a cancelled partial stream can never be
   // cached by construction.
   CancellationSource exec_cancel(request.cancel);
+
+  // Drain registry: Shutdown() rejects us here or can cancel us later.
+  AMBER_ASSIGN_OR_RETURN(const uint64_t drain_id,
+                         RegisterRequest(exec_cancel));
+  DrainGuard drain_guard{this, drain_id};
 
   bool shed = false;
   switch (Admit(start, budget, &shed)) {
@@ -789,9 +912,13 @@ Result<StreamResponse> QueryService::QueryStream(std::string_view text,
   AMBER_RETURN_IF_ERROR(
       FaultInjector::Global().Inject(faults::kServiceExecute));
 
-  if (options_.result_form != ResultForm::kFlat) {
+  const ResultForm stream_form =
+      options_.result_form != ResultForm::kFlat
+          ? options_.result_form
+          : (request.want_groups ? ResultForm::kAuto : ResultForm::kFlat);
+  if (stream_form != ResultForm::kFlat) {
     ExecOptions fexec = exec;
-    fexec.result_form = options_.result_form;
+    fexec.result_form = stream_form;
     Result<FactorizedRows> fr = engine_->Factorize(nq.query, fexec);
     if (!fr.ok() && !fr.status().IsUnimplemented()) return fr.status();
     if (fr.ok()) {
@@ -823,6 +950,96 @@ Result<StreamResponse> QueryService::QueryStream(std::string_view text,
       const uint64_t retained =
           fact.row_limit == 0 ? fact.total_rows
                               : std::min(fact.total_rows, fact.row_limit);
+      if (request.want_groups && !fact.needs_row_dedup) {
+        // Groups page path: ship the factorized records themselves, one
+        // page per flush, never expanding. Pages flush on the
+        // REPRESENTED-row bound (so a wire page covers about as many
+        // logical rows as a rows-mode page) or on the byte budget over
+        // retained tokens, whichever trips first — buffered memory stays
+        // O(page) of GROUP payload, the whole point. DISTINCT handles
+        // whose groups collide (needs_row_dedup) are excluded: their
+        // expansion routes through a dedup set no client could replay —
+        // they fall through to the expanded-row stream below.
+        resp.groups_form = true;
+        resp.slot_list = fact.slot_list;
+        StreamPage page;
+        uint64_t page_rep = 0;    // rows represented by the in-flight page
+        uint64_t page_bytes = 0;  // token bytes buffered in it
+        uint64_t delivered = 0;   // represented rows already delivered
+        uint64_t pages = 0;
+        uint64_t peak_bytes = 0;
+        Status fault_status = Status::OK();
+        auto flush = [&](bool last) -> bool {
+          if (page.groups.empty() && !last) return true;
+          if (Status fault =
+                  FaultInjector::Global().Inject(faults::kServiceStream);
+              !fault.ok()) {
+            fault_status = std::move(fault);
+            exec_cancel.Cancel();
+            return false;
+          }
+          page.first_row = delivered;
+          page.last = last;
+          const uint64_t rep = page_rep;
+          ++pages;
+          page_rep = 0;
+          page_bytes = 0;
+          StreamPage out_page = std::move(page);
+          page = StreamPage();
+          if (!sink->OnPage(std::move(out_page))) {
+            exec_cancel.Cancel();
+            return false;
+          }
+          delivered += rep;
+          return true;
+        };
+        bool open = true;
+        for (const FactorizedResult::Group& g : fact.groups) {
+          if (exec_cancel.cancelled()) {
+            open = false;
+            break;
+          }
+          ResultGroup out = TranslateGroup(fact, g);
+          uint64_t gbytes =
+              sizeof(ResultGroup) + out.fixed.size() * sizeof(std::string);
+          for (const std::string& cell : out.fixed) gbytes += cell.size();
+          for (const std::vector<std::string>& list : out.lists) {
+            gbytes += sizeof(list) + list.size() * sizeof(std::string);
+            for (const std::string& cell : list) gbytes += cell.size();
+          }
+          page_rep = SaturatingAdd(page_rep, g.Cardinality());
+          page_bytes += gbytes;
+          page.groups.push_back(std::move(out));
+          peak_bytes = std::max(peak_bytes, page_bytes);
+          if (page_rep >= options_.stream_page_rows ||
+              (options_.stream_buffer_bytes > 0 &&
+               page_bytes >= options_.stream_buffer_bytes)) {
+            if (!(open = flush(/*last=*/false))) break;
+          }
+        }
+        if (!fault_status.ok()) return fault_status;
+        resp.cancelled = !open || exec_cancel.cancelled();
+        resp.complete = !resp.cancelled;
+        if (resp.complete && !flush(/*last=*/true)) {
+          if (!fault_status.ok()) return fault_status;
+          resp.cancelled = true;
+          resp.complete = false;
+        }
+        // The group crossing a row cap is delivered whole; the summary's
+        // rows_streamed is clamped so clients trim expansion to it.
+        resp.truncated = fact.truncated;
+        resp.rows_streamed = std::min(delivered, retained);
+        resp.pages = pages;
+        resp.peak_buffered_bytes = peak_bytes;
+        resp.stats.rows = resp.rows_streamed;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.queries;
+        if (resp.cancelled) ++stats_.cancelled;
+        ++stats_.factorized_hits;
+        stats_.exec.MergeFrom(resp.stats);
+        stats_.rows_served += resp.rows_streamed;
+        return resp;
+      }
       const uint64_t skip = std::min<uint64_t>(request.offset, retained);
       uint64_t remaining = retained - skip;
       if (request.limit != 0) remaining = std::min(remaining, request.limit);

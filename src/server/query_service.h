@@ -210,6 +210,36 @@ struct RequestOptions {
   /// retirement), so the client source never observes service-internal
   /// cancellations. Default: never cancelled.
   CancellationToken cancel;
+
+  /// Ship the FACTORIZED answer graph (core embedding + per-satellite
+  /// candidate lists) instead of expanded rows: the response carries
+  /// ResultGroups whose client-side expansion — list 0 fastest, each row
+  /// repeated `multiplicity` times — reproduces the flat rows exactly.
+  /// This is the wire form of PR 9's compression ("result_form":"groups"
+  /// over HTTP): a satellite-heavy result ships O(groups) tokens, not
+  /// the cross-product. The service falls back to rows transparently
+  /// when no factorized handle is available (baseline engines, or a
+  /// DISTINCT result whose groups collide and need row-level dedup — a
+  /// client cannot replay that filter), so callers must branch on
+  /// QueryResponse::groups_form, not on this flag. Invalid combined with
+  /// count_only or with a non-zero offset/limit (groups are not
+  /// row-addressable without expanding; paginate in rows mode instead).
+  bool want_groups = false;
+};
+
+/// One factorized solution record in transport form (all data vertices
+/// translated back to tokens). Expansion order is the odometer of
+/// core/factorized.h: lists[0] advances fastest, each emitted row repeats
+/// `multiplicity` times consecutively.
+struct ResultGroup {
+  /// One entry per projection slot; satellite slots (those with a list
+  /// index in QueryResponse::slot_list) hold an empty string and draw
+  /// from `lists` instead.
+  std::vector<std::string> fixed;
+  /// One candidate-token list per distinct projected satellite.
+  std::vector<std::vector<std::string>> lists;
+  /// Row repetitions from non-projected satellites (1 under DISTINCT).
+  uint64_t multiplicity = 1;
 };
 
 /// One answered request.
@@ -240,6 +270,16 @@ struct QueryResponse {
   /// Served from the plan/result cache without executing.
   bool cache_hit = false;
 
+  /// The response carries `groups` instead of `rows` (a granted
+  /// RequestOptions::want_groups). total_rows still counts EXPANDED rows;
+  /// truncated means expansion must be trimmed to total_rows.
+  bool groups_form = false;
+  /// groups_form only: per projection slot, the index into each group's
+  /// `lists`, or kNoGroupList (core/exec.h) for core-bound slots.
+  std::vector<uint32_t> slot_list;
+  /// groups_form only: the factorized result, in emission order.
+  std::vector<ResultGroup> groups;
+
   /// Stats of the execution that produced the retained handle (for cache
   /// hits: the original miss's execution).
   ExecStats stats;
@@ -251,6 +291,8 @@ struct ServiceStats {
   uint64_t queries = 0;
   /// Requests rejected with kResourceExhausted at admission.
   uint64_t rejected = 0;
+  /// Requests rejected with kUnavailable because Shutdown() had begun.
+  uint64_t shutdown_rejects = 0;
   /// Requests whose budget expired (queued or executing).
   uint64_t timed_out = 0;
   /// Requests (and streams) that ended cancelled — client token, sink
@@ -291,9 +333,14 @@ struct ServiceStats {
 /// One in-order slice of a streamed result (QueryStream).
 struct StreamPage {
   /// Index of rows[0] within the full delivered stream (post-offset), so
-  /// a sink can verify it never missed a page.
+  /// a sink can verify it never missed a page. On a groups page: the
+  /// index of the first row the page's groups EXPAND to.
   uint64_t first_row = 0;
   std::vector<std::vector<std::string>> rows;
+  /// Groups-mode streams (RequestOptions::want_groups granted) fill
+  /// `groups` instead of `rows`; the slot_list arrives in the
+  /// StreamResponse summary. A page carries one form, never both.
+  std::vector<ResultGroup> groups;
   /// Set on the final page of a COMPLETE stream (the terminator: possibly
   /// empty). Cancelled and timed-out streams end without a last page.
   bool last = false;
@@ -315,6 +362,12 @@ class PageSink {
 struct StreamResponse {
   /// Projected variable names in the request's own spelling.
   std::vector<std::string> var_names;
+  /// The stream delivered groups pages (want_groups granted; empty pages
+  /// aside, every page carried `groups`). rows_streamed then counts the
+  /// rows those groups REPRESENT, not payload entries.
+  bool groups_form = false;
+  /// groups_form only: the slot → list mapping shared by every group.
+  std::vector<uint32_t> slot_list;
   /// Rows delivered across every page.
   uint64_t rows_streamed = 0;
   /// Pages delivered (including the final terminator page).
@@ -386,7 +439,35 @@ class QueryService {
   /// Consistent snapshot of the service counters.
   ServiceStats Stats() const;
 
+  /// Drains the service. The contract, in order:
+  ///
+  ///   1. From the moment Shutdown() begins, every NEW Query/QueryStream
+  ///      call fails fast with Status::kUnavailable (counted in
+  ///      ServiceStats::shutdown_rejects) — permanently; a shut-down
+  ///      service never serves again.
+  ///   2. Requests already inside the service get `grace` to finish
+  ///      normally (grace 0 = none).
+  ///   3. Past the grace budget, every in-flight request's cancellation
+  ///      source is tripped: executions unwind within one matcher tick
+  ///      window and answer `cancelled`; queued requests drain as the
+  ///      cancelled ones release their slots; single-flight followers are
+  ///      resolved by their (cancelled) leader's publication.
+  ///   4. Shutdown() returns only when no request remains inside the
+  ///      service.
+  ///
+  /// The pool and the cache stay intact (the destructor tears them
+  /// down); Stats() remains callable. Idempotent and thread-safe, but
+  /// callers must ensure no PageSink can block forever ignoring its
+  /// stream's cancellation — the HTTP server shuts client sockets before
+  /// calling this, so in-flight page writes fail promptly.
+  void Shutdown(std::chrono::milliseconds grace = std::chrono::milliseconds(0));
+
   const ServiceOptions& options() const { return options_; }
+
+  /// The service's persistent worker pool. The HTTP transport dispatches
+  /// connection handlers onto it (server/http_server.h documents the
+  /// capacity headroom that keeps exec helper tasks schedulable).
+  ThreadPool* pool() { return &pool_; }
 
  private:
   /// Retained per-key state: the parsed plan plus the result handle(s).
@@ -460,6 +541,30 @@ class QueryService {
                               const NormalizedQuery& nq,
                               const RequestOptions& request, bool cache_hit);
 
+  /// Translates one factorized group into transport form: core slots and
+  /// candidate lists become tokens, satellite `fixed` slots become empty
+  /// strings.
+  ResultGroup TranslateGroup(const FactorizedResult& fact,
+                             const FactorizedResult::Group& g);
+  /// Translates a whole handle into QueryResponse::groups
+  /// (BuildResponse's groups-form path).
+  void FillGroups(const FactorizedResult& fact, QueryResponse* resp);
+
+  /// Registers a request in the drain registry (Shutdown cancels
+  /// through it). Fails with kUnavailable once Shutdown() has begun.
+  /// On success the caller must call UnregisterRequest exactly once.
+  Result<uint64_t> RegisterRequest(const CancellationSource& cancel);
+  void UnregisterRequest(uint64_t id);
+
+  /// RAII over Register/UnregisterRequest.
+  struct DrainGuard {
+    QueryService* s = nullptr;
+    uint64_t id = 0;
+    ~DrainGuard() {
+      if (s != nullptr) s->UnregisterRequest(id);
+    }
+  };
+
   QueryEngine* engine_;
   const ServiceOptions options_;
   ThreadPool pool_;
@@ -479,6 +584,15 @@ class QueryService {
   /// In-flight executions by "key#mode" (rows and counts of one query
   /// are distinct flights — their results are not interchangeable).
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
+  // Shutdown drain state (all under mu_): every request registers its
+  // cancellation source for the duration of its Query/QueryStream call;
+  // Shutdown trips the registered sources past the grace budget and
+  // waits on drain_cv_ until the registry empties.
+  bool shutting_down_ = false;
+  uint64_t next_request_id_ = 0;
+  std::unordered_map<uint64_t, CancellationSource> active_requests_;
+  std::condition_variable drain_cv_;
 };
 
 }  // namespace amber

@@ -49,6 +49,10 @@ inline constexpr const char kEngineExecute[] = "engine.execute";
 inline constexpr const char kParallelChunk[] = "parallel.chunk";
 /// QueryService::QueryStream, before each page handoff to the PageSink.
 inline constexpr const char kServiceStream[] = "service.stream";
+/// HttpServer, before each response/page write to a client socket — a
+/// firing behaves exactly like a mid-response transport failure (the
+/// connection is aborted and the request's token trips).
+inline constexpr const char kServerWrite[] = "server.write";
 /// MappedFile::Open, before the mmap (artifact read fault).
 inline constexpr const char kMmapOpen[] = "mmap.open";
 /// amf::Reader::Open, before header/table validation.

@@ -1,0 +1,442 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace amber {
+namespace json {
+
+namespace {
+
+const char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+void AppendQuoted(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          *out += "\\u00";
+          out->push_back(kHexDigits[c >> 4]);
+          out->push_back(kHexDigits[c & 0xF]);
+        } else {
+          // Bytes >= 0x80 pass through untouched: the wire carries UTF-8
+          // (or whatever byte soup the dataset's tokens hold) verbatim.
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  assert(ec == std::errc());
+  (void)ec;
+  out->append(buf, ptr);
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded string_view. All entry points
+/// return false on malformed input and set `error_`; the caller converts
+/// to Status::InvalidArgument with the byte offset.
+class Parser {
+ public:
+  Parser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<Value> Run() {
+    Value v;
+    SkipWs();
+    if (!ParseValue(&v, 0)) return Fail();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      error_ = "trailing bytes after JSON document";
+      return Fail();
+    }
+    return v;
+  }
+
+ private:
+  Status Fail() const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + error_);
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!Eof()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Expect(char c, const char* what) {
+    if (Eof() || Peek() != c) {
+      error_ = what;
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      error_ = "invalid literal";
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(Value* out, size_t depth) {
+    if (depth > max_depth_) {
+      error_ = "nesting deeper than max_depth";
+      return false;
+    }
+    if (Eof()) {
+      error_ = "unexpected end of input";
+      return false;
+    }
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return ParseString(&out->str_v);
+      case 't':
+        out->kind = Value::Kind::kBool;
+        out->bool_v = true;
+        return Literal("true");
+      case 'f':
+        out->kind = Value::Kind::kBool;
+        out->bool_v = false;
+        return Literal("false");
+      case 'n':
+        out->kind = Value::Kind::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value* out, size_t depth) {
+    out->kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (!Eof() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (Eof() || Peek() != '"') {
+        error_ = "expected object key string";
+        return false;
+      }
+      if (!ParseString(&key)) return false;
+      for (const auto& [k, v] : out->object) {
+        if (k == key) {
+          // Duplicate keys are ambiguous on a wire protocol; reject
+          // instead of silently keeping one.
+          error_ = "duplicate object key";
+          return false;
+        }
+      }
+      SkipWs();
+      if (!Expect(':', "expected ':' after object key")) return false;
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Eof()) {
+        error_ = "unterminated object";
+        return false;
+      }
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      error_ = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool ParseArray(Value* out, size_t depth) {
+    out->kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (!Eof() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      out->array.push_back(std::move(v));
+      SkipWs();
+      if (Eof()) {
+        error_ = "unterminated array";
+        return false;
+      }
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      error_ = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  bool HexQuad(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      error_ = "truncated \\u escape";
+      return false;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        error_ = "invalid hex digit in \\u escape";
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (Eof()) {
+        error_ = "unterminated string";
+        return false;
+      }
+      unsigned char c = static_cast<unsigned char>(Peek());
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        error_ = "unescaped control character in string";
+        return false;
+      }
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (Eof()) {
+        error_ = "truncated escape";
+        return false;
+      }
+      char esc = Peek();
+      ++pos_;
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp;
+          if (!HexQuad(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              error_ = "unpaired high surrogate";
+              return false;
+            }
+            pos_ += 2;
+            uint32_t low;
+            if (!HexQuad(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              error_ = "invalid low surrogate";
+              return false;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            error_ = "unpaired low surrogate";
+            return false;
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          error_ = "invalid escape character";
+          return false;
+      }
+    }
+  }
+
+  bool ParseNumber(Value* out) {
+    const size_t begin = pos_;
+    if (!Eof() && Peek() == '-') ++pos_;
+    if (Eof() || Peek() < '0' || Peek() > '9') {
+      error_ = "invalid number";
+      return false;
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!Eof() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!Eof() && Peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (Eof() || Peek() < '0' || Peek() > '9') {
+        error_ = "digits required after decimal point";
+        return false;
+      }
+      while (!Eof() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (Eof() || Peek() < '0' || Peek() > '9') {
+        error_ = "digits required in exponent";
+        return false;
+      }
+      while (!Eof() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string_view lit = text_.substr(begin, pos_ - begin);
+    out->kind = Value::Kind::kNumber;
+    auto [dptr, dec] =
+        std::from_chars(lit.data(), lit.data() + lit.size(), out->num_v);
+    if (dec == std::errc::result_out_of_range) {
+      // Magnitude overflow clamps to ±inf which JSON cannot round-trip;
+      // keep the clamped double (callers bound-check anyway).
+      out->num_v = lit.front() == '-' ? -HUGE_VAL : HUGE_VAL;
+    } else if (dec != std::errc() || dptr != lit.data() + lit.size()) {
+      error_ = "invalid number";
+      return false;
+    }
+    if (integral) {
+      {
+        auto [p, ec] =
+            std::from_chars(lit.data(), lit.data() + lit.size(), out->int_v);
+        out->is_int = ec == std::errc() && p == lit.data() + lit.size();
+      }
+      if (lit.front() != '-') {
+        auto [p, ec] =
+            std::from_chars(lit.data(), lit.data() + lit.size(), out->uint_v);
+        out->is_uint = ec == std::errc() && p == lit.data() + lit.size();
+      }
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  const size_t max_depth_;
+  size_t pos_ = 0;
+  const char* error_ = "malformed JSON";
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text, size_t max_depth) {
+  return Parser(text, max_depth).Run();
+}
+
+}  // namespace json
+}  // namespace amber

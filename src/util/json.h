@@ -1,0 +1,182 @@
+// A hand-rolled JSON reader/writer for the wire layer (server/wire.h) —
+// no third-party dependencies, matching the repo's status-based error
+// model.
+//
+// Two halves:
+//
+//   * Writer: an append-only serializer with automatic comma/colon
+//     management. Values nest through Begin/End calls; strings are
+//     escaped per RFC 8259 (control characters, quote, backslash as
+//     \uXXXX / two-char escapes). Doubles print shortest-round-trip
+//     (std::to_chars), so serialization is deterministic — the wire
+//     byte-identity tests depend on it.
+//
+//   * Parse: a recursive-descent parser into a small Value DOM. It is
+//     hardened for untrusted network input: depth-capped (stack safety),
+//     total-input bounded by the caller (the HTTP layer caps request
+//     bytes), full \uXXXX unescaping including surrogate pairs, and it
+//     NEVER crashes on malformed bytes — every failure is a
+//     Status::InvalidArgument (fuzzed in tests/json_test.cc).
+//
+// Numbers: JSON has one number type; Value keeps the double plus exact
+// int64/uint64 views when the literal was integral and in range, so
+// options fields (offsets, limits, budgets) round-trip exactly.
+
+#ifndef AMBER_UTIL_JSON_H_
+#define AMBER_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace amber {
+namespace json {
+
+/// Appends `s` to `*out` as a quoted, escaped JSON string literal.
+void AppendQuoted(std::string* out, std::string_view s);
+
+/// Appends the shortest round-trip decimal form of `d` (NaN/Inf, which
+/// JSON cannot represent, serialize as null).
+void AppendDouble(std::string* out, double d);
+
+/// \brief Append-only JSON serializer with automatic comma management.
+///
+/// Usage errors (a value where a key is required, unbalanced End calls)
+/// are programming errors, checked by assert in debug builds; the writer
+/// is for trusted serialization code, not untrusted input.
+class Writer {
+ public:
+  Writer() { out_.reserve(256); }
+
+  void BeginObject() {
+    ValuePrefix();
+    out_.push_back('{');
+    stack_.push_back(Frame{/*object=*/true, /*first=*/true});
+  }
+  void EndObject() {
+    out_.push_back('}');
+    stack_.pop_back();
+  }
+  void BeginArray() {
+    ValuePrefix();
+    out_.push_back('[');
+    stack_.push_back(Frame{/*object=*/false, /*first=*/true});
+  }
+  void EndArray() {
+    out_.push_back(']');
+    stack_.pop_back();
+  }
+
+  /// Writes `"key":` inside an object (the next call supplies the value).
+  void Key(std::string_view key) {
+    Frame& f = stack_.back();
+    if (!f.first) out_.push_back(',');
+    f.first = false;
+    AppendQuoted(&out_, key);
+    out_.push_back(':');
+  }
+
+  void Null() {
+    ValuePrefix();
+    out_ += "null";
+  }
+  void Bool(bool b) {
+    ValuePrefix();
+    out_ += b ? "true" : "false";
+  }
+  void Int(int64_t v) {
+    ValuePrefix();
+    out_ += std::to_string(v);
+  }
+  void UInt(uint64_t v) {
+    ValuePrefix();
+    out_ += std::to_string(v);
+  }
+  void Double(double v) {
+    ValuePrefix();
+    AppendDouble(&out_, v);
+  }
+  void String(std::string_view s) {
+    ValuePrefix();
+    AppendQuoted(&out_, s);
+  }
+
+  /// Convenience: Key + value in one call.
+  void KV(std::string_view key, std::string_view v) { Key(key), String(v); }
+  void KV(std::string_view key, const char* v) { Key(key), String(v); }
+  void KV(std::string_view key, bool v) { Key(key), Bool(v); }
+  void KV(std::string_view key, uint64_t v) { Key(key), UInt(v); }
+  void KV(std::string_view key, int64_t v) { Key(key), Int(v); }
+  void KV(std::string_view key, double v) { Key(key), Double(v); }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  struct Frame {
+    bool object;
+    bool first;
+  };
+
+  // Comma before array elements; object values follow a Key() which
+  // already placed the separator.
+  void ValuePrefix() {
+    if (stack_.empty()) return;
+    Frame& f = stack_.back();
+    if (f.object) return;
+    if (!f.first) out_.push_back(',');
+    f.first = false;
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+};
+
+/// \brief One parsed JSON value (a small owning DOM).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool bool_v = false;
+  /// Always set for numbers. The exact integer views are set only when
+  /// the literal was integral and representable.
+  double num_v = 0.0;
+  int64_t int_v = 0;
+  uint64_t uint_v = 0;
+  bool is_int = false;   // int_v valid
+  bool is_uint = false;  // uint_v valid
+  std::string str_v;
+  /// Insertion order preserved (duplicate keys are a parse error).
+  std::vector<std::pair<std::string, Value>> object;
+  std::vector<Value> array;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value* Find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses `text` as ONE JSON document (leading/trailing whitespace
+/// allowed, trailing garbage rejected). Every malformed input returns
+/// Status::InvalidArgument; nesting beyond `max_depth` is rejected.
+Result<Value> Parse(std::string_view text, size_t max_depth = 64);
+
+}  // namespace json
+}  // namespace amber
+
+#endif  // AMBER_UTIL_JSON_H_

@@ -37,6 +37,39 @@ enum class StatusCode : int {
 /// "InvalidArgument", ...).
 std::string_view StatusCodeName(StatusCode code);
 
+/// Maps a StatusCode onto the HTTP status the transport answers with —
+/// the ONE error path of server/http_server.cc, exhaustively unit-tested
+/// (tests/util_test.cc) so a new code can never silently fall through.
+/// Caller errors are 4xx (kInvalidArgument → 400, kNotFound → 404,
+/// kResourceExhausted → 429); server-side conditions are 5xx
+/// (kUnavailable → 503 retryable, kTimeout → 504, kUnimplemented → 501,
+/// kCorruption / kIOError / kInternal → 500).
+constexpr int StatusCodeToHttp(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kCorruption:
+      return 500;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kTimeout:
+      return 504;
+    case StatusCode::kIOError:
+      return 500;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kInternal:
+      return 500;
+    case StatusCode::kUnavailable:
+      return 503;
+  }
+  return 500;
+}
+
 /// \brief Outcome of an operation that can fail.
 ///
 /// A default-constructed Status is OK. Error statuses carry a code and a

@@ -25,6 +25,33 @@ TEST(StatusTest, OkByDefault) {
   EXPECT_EQ(s.ToString(), "OK");
 }
 
+// Exhaustive: every status code has a deliberate HTTP mapping (the wire
+// error schema and the transport's response codes both ride on it).
+TEST(StatusTest, StatusCodeToHttpCoversEveryCode) {
+  const struct {
+    StatusCode code;
+    int http;
+  } expected[] = {
+      {StatusCode::kOk, 200},
+      {StatusCode::kInvalidArgument, 400},
+      {StatusCode::kNotFound, 404},
+      {StatusCode::kCorruption, 500},
+      {StatusCode::kUnimplemented, 501},
+      {StatusCode::kTimeout, 504},
+      {StatusCode::kIOError, 500},
+      {StatusCode::kResourceExhausted, 429},
+      {StatusCode::kInternal, 500},
+      {StatusCode::kUnavailable, 503},
+  };
+  for (const auto& e : expected) {
+    EXPECT_EQ(StatusCodeToHttp(e.code), e.http) << StatusCodeName(e.code);
+  }
+  // Compile-time usable (the server builds status lines in constexpr
+  // contexts) and total: 4xx/5xx only for errors.
+  static_assert(StatusCodeToHttp(StatusCode::kOk) == 200);
+  static_assert(StatusCodeToHttp(StatusCode::kUnavailable) == 503);
+}
+
 TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   Status s = Status::NotFound("missing thing");
   EXPECT_FALSE(s.ok());

@@ -55,7 +55,7 @@ def index_points(data):
 
 
 def compare_file(name, base, cur, ratio, slack_ms, qps_floor=10.0,
-                 buffer_floor_bytes=1 << 20):
+                 buffer_floor_bytes=1 << 20, wire_floor_bytes=1 << 16):
     """Returns a list of regression strings for one bench file."""
     if base.get("config") != cur.get("config"):
         print(f"  SKIP {name}: config changed "
@@ -134,6 +134,23 @@ def compare_file(name, base, cur, ratio, slack_ms, qps_floor=10.0,
             else:
                 print(f"  ok   {name}: {engine} @ {size}: "
                       f"{b_buf} -> {c_buf} peak buffered bytes")
+        # Wire points carry bytes_on_wire — the payload the HTTP transport
+        # actually shipped. Ceiling gate like the buffer gate: the
+        # http-wire-groups series ballooning back toward rows-sized
+        # payloads means the factorized transport lost its compression,
+        # a regression even at equal timings. The absolute floor keeps
+        # small payloads (headers, short lists) from gating on jitter.
+        b_wire = bp.get("bytes_on_wire", 0)
+        c_wire = cp.get("bytes_on_wire", 0)
+        if b_wire > 0:
+            limit = max(b_wire * ratio, float(wire_floor_bytes))
+            if c_wire > limit:
+                regressions.append(
+                    f"{name}: {engine} @ size {size} wire bytes ballooned "
+                    f"{b_wire} -> {c_wire} (limit {limit:.0f})")
+            else:
+                print(f"  ok   {name}: {engine} @ {size}: "
+                      f"{b_wire} -> {c_wire} bytes on wire")
     return regressions
 
 
@@ -153,6 +170,9 @@ def main(argv=None):
     parser.add_argument("--buffer-floor-bytes", type=int, default=1 << 20,
                         help="peak_buffered_bytes ceilings are never lower "
                              "than this (default %(default)s)")
+    parser.add_argument("--wire-floor-bytes", type=int, default=1 << 16,
+                        help="bytes_on_wire ceilings are never lower than "
+                             "this (default %(default)s)")
     args = parser.parse_args(argv)
 
     if not args.baseline_dir.is_dir():
@@ -189,7 +209,7 @@ def main(argv=None):
         regressions.extend(
             compare_file(base_path.name, base, cur, args.ratio,
                          args.slack_ms, args.qps_floor,
-                         args.buffer_floor_bytes))
+                         args.buffer_floor_bytes, args.wire_floor_bytes))
 
     print(f"\ncompared {compared} bench file(s) against "
           f"{args.baseline_dir} (ratio {args.ratio}, slack "

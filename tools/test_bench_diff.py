@@ -282,6 +282,56 @@ def test_points_without_buffer_field_skip_the_buffer_gate():
     assert run_main(base, cur) == 0
 
 
+# ---------------------------------------------------------------------------
+# Wire-bytes ceiling gate (the http-wire-rows / http-wire-groups series).
+# ---------------------------------------------------------------------------
+
+def wire(bytes_on_wire=None, engine="http-wire-groups", size=6):
+    data = harness(avg_ms=1.0, engine=engine, size=size)
+    if bytes_on_wire is not None:
+        data["engines"][0]["series"][0]["bytes_on_wire"] = bytes_on_wire
+    return data
+
+
+def test_wire_bytes_stable_passes():
+    base, cur = write_dirs(wire(bytes_on_wire=3000),
+                           wire(bytes_on_wire=3500),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+
+
+def test_wire_bytes_under_floor_never_gated():
+    # 3 KB -> 48 KB blows the 4x ratio but sits under the 64 KiB absolute
+    # floor: short-list payload jitter, not a lost-compression balloon.
+    base, cur = write_dirs(wire(bytes_on_wire=3000),
+                           wire(bytes_on_wire=48 * 1024),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+
+
+def test_wire_bytes_balloon_fails():
+    # The groups series shipping rows-sized payloads again (3 KB ->
+    # 512 KB, the expanded cross-product) clears both ratio and floor.
+    base, cur = write_dirs(wire(bytes_on_wire=3000),
+                           wire(bytes_on_wire=512 * 1024),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 1
+
+
+def test_wire_bytes_floor_is_configurable():
+    base, cur = write_dirs(wire(bytes_on_wire=3000),
+                           wire(bytes_on_wire=48 * 1024),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur, "--wire-floor-bytes", "8192") == 1
+
+
+def test_points_without_wire_field_skip_the_wire_gate():
+    base, cur = write_dirs(wire(bytes_on_wire=None),
+                           wire(bytes_on_wire=1 << 30),
+                           name="BENCH_throughput.json")
+    assert run_main(base, cur) == 0
+
+
 if __name__ == "__main__":
     failures = 0
     for name, fn in sorted(globals().items()):
